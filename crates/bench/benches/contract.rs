@@ -1,0 +1,62 @@
+//! PERF — contract algebra: satisfaction checks run every control cycle;
+//! splitting runs on every contract adoption in a hierarchy.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use bskel_core::bs::BsExpr;
+use bskel_core::contract::{split::split, Contract};
+use bskel_monitor::SensorSnapshot;
+
+fn deep_pipe(stages: usize) -> BsExpr {
+    BsExpr::pipe(
+        "p",
+        (0..stages)
+            .map(|i| {
+                if i % 3 == 1 {
+                    BsExpr::farm(format!("f{i}"), BsExpr::seq(format!("w{i}")), 4)
+                } else {
+                    BsExpr::seq_weighted(format!("s{i}"), 1.0 + i as f64)
+                }
+            })
+            .collect(),
+    )
+}
+
+fn bench_contract(c: &mut Criterion) {
+    let mut group = c.benchmark_group("contract");
+
+    let contract = Contract::all([
+        Contract::throughput_range(0.3, 0.7),
+        Contract::par_degree(4, 64),
+        Contract::secure_domains(["untrusted_ip_domain_A", "untrusted_ip_domain_B"]),
+    ]);
+    let mut snap = SensorSnapshot::empty(0.0);
+    snap.departure_rate = 0.5;
+    snap.num_workers = 16;
+
+    group.bench_function("satisfied_by_conjunction", |b| {
+        b.iter(|| black_box(contract.satisfied_by(black_box(&snap))));
+    });
+
+    let pipe10 = deep_pipe(10);
+    group.bench_function("split_pipe_10_stages", |b| {
+        b.iter(|| black_box(split(black_box(&contract), black_box(&pipe10))));
+    });
+
+    group.bench_function("parse_bs_expression", |b| {
+        b.iter(|| {
+            black_box(
+                BsExpr::parse(black_box(
+                    "farm(pipeline(sequential, farm(sequential)*8, sequential))*2",
+                ))
+                .unwrap(),
+            )
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_contract);
+criterion_main!(benches);

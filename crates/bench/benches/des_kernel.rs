@@ -1,0 +1,55 @@
+//! PERF — discrete-event kernel throughput.
+//!
+//! The simulator's event queue handles every task arrival/completion; its
+//! schedule/pop cost bounds how long the experiment binaries take.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use bskel_sim::EventQueue;
+
+fn bench_kernel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("des_kernel");
+    for n in [1_000usize, 10_000] {
+        group.bench_with_input(
+            BenchmarkId::new("schedule_then_drain", n),
+            &n,
+            |b, &n| {
+                b.iter(|| {
+                    let mut q = EventQueue::new();
+                    // Pseudo-random but deterministic times.
+                    let mut t = 0u64;
+                    for i in 0..n {
+                        t = t.wrapping_mul(6364136223846793005).wrapping_add(i as u64);
+                        let at = (t % 1_000_000) as f64 / 1000.0;
+                        q.schedule(at, i);
+                    }
+                    let mut sum = 0usize;
+                    while let Some((_, e)) = q.pop() {
+                        sum += e;
+                    }
+                    black_box(sum)
+                });
+            },
+        );
+    }
+    group.bench_function("interleaved_schedule_pop", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            q.schedule(0.0, 0u64);
+            let mut popped = 0u64;
+            // A self-rescheduling event chain, like the sim's Emit loop.
+            while let Some((t, e)) = q.pop() {
+                popped += 1;
+                if popped < 1_000 {
+                    q.schedule(t + 0.1, e + 1);
+                }
+            }
+            black_box(popped)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernel);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! PERF — threaded-farm overhead vs a plain sequential loop.
+//!
+//! The behavioural-skeleton pitch only holds if the skeleton machinery
+//! (emitter, per-worker deques, collector, metrics) costs little relative
+//! to real task work. We push a fixed stream through (a) a bare loop,
+//! (b) a 1-worker farm, (c) a 4-worker farm, on a task that does a fixed
+//! amount of arithmetic.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use bskel_skel::farm::FarmBuilder;
+use bskel_skel::stream::StreamMsg;
+
+const TASKS: u64 = 2_000;
+
+fn work(x: u64) -> u64 {
+    // ~1 µs of integer work.
+    let mut acc = x;
+    for i in 0..200 {
+        acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);
+    }
+    acc
+}
+
+fn run_farm(workers: u32) -> u64 {
+    let farm = FarmBuilder::from_fn(work).initial_workers(workers).build();
+    let tx = farm.input();
+    let rx = farm.output();
+    for i in 0..TASKS {
+        tx.send(StreamMsg::item(i, i)).expect("farm accepts input");
+    }
+    tx.send(StreamMsg::End).expect("farm accepts end");
+    let mut acc = 0u64;
+    for msg in rx.iter() {
+        match msg {
+            StreamMsg::Item { payload, .. } => acc = acc.wrapping_add(payload),
+            StreamMsg::End => break,
+        }
+    }
+    farm.shutdown();
+    acc
+}
+
+fn bench_farm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("farm_overhead");
+    group.sample_size(10);
+
+    group.bench_function("sequential_baseline", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for i in 0..TASKS {
+                acc = acc.wrapping_add(work(black_box(i)));
+            }
+            black_box(acc)
+        });
+    });
+    group.bench_function("farm_1_worker", |b| b.iter(|| black_box(run_farm(1))));
+    group.bench_function("farm_4_workers", |b| b.iter(|| black_box(run_farm(4))));
+    group.finish();
+}
+
+criterion_group!(benches, bench_farm);
+criterion_main!(benches);

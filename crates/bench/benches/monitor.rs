@@ -1,0 +1,60 @@
+//! PERF — sensor-path costs.
+//!
+//! Counters and estimators sit on the skeleton hot path (one update per
+//! task); they must cost nanoseconds, not microseconds.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use bskel_monitor::{queue_variance, Counter, Ewma, RateEstimator, Welford};
+
+fn bench_monitor(c: &mut Criterion) {
+    let mut group = c.benchmark_group("monitor");
+
+    group.bench_function("counter_incr", |b| {
+        let counter = Counter::new();
+        b.iter(|| {
+            counter.incr();
+            black_box(&counter);
+        });
+    });
+
+    group.bench_function("rate_record_and_query", |b| {
+        let mut est = RateEstimator::new(2.0);
+        let mut t = 0.0;
+        b.iter(|| {
+            t += 0.01;
+            est.record(t);
+            black_box(est.rate(t));
+        });
+    });
+
+    group.bench_function("welford_update", |b| {
+        let mut w = Welford::new();
+        let mut x = 0.0f64;
+        b.iter(|| {
+            x += 0.1;
+            w.update(black_box(x % 17.0));
+        });
+        black_box(w.mean());
+    });
+
+    group.bench_function("ewma_update", |b| {
+        let mut e = Ewma::new(0.2);
+        let mut x = 0.0f64;
+        b.iter(|| {
+            x += 0.1;
+            black_box(e.update(black_box(x % 5.0)));
+        });
+    });
+
+    group.bench_function("queue_variance_64", |b| {
+        let lens: Vec<u64> = (0..64).map(|i| (i * 7) % 23).collect();
+        b.iter(|| black_box(queue_variance(black_box(&lens))));
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_monitor);
+criterion_main!(benches);

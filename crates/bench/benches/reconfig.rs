@@ -1,0 +1,57 @@
+//! PERF — reconfiguration latency of the threaded farm.
+//!
+//! The paper's Fig. 4 shows a ~10 s reconfiguration window dominated by
+//! grid deployment; on a thread substrate the mechanical cost (spawn,
+//! registration, rebalance) should be microseconds. These benches pin that
+//! down: `ADD_EXECUTOR`, `REMOVE_EXECUTOR` and `BALANCE_LOAD` actuations
+//! against a live farm.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use bskel_skel::farm::{Farm, FarmBuilder};
+use bskel_skel::stream::StreamMsg;
+
+fn idle_farm(workers: u32) -> Farm<u64, u64> {
+    FarmBuilder::from_fn(|x: u64| x)
+        .initial_workers(workers)
+        .max_workers(4096)
+        .build()
+}
+
+fn bench_reconfig(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reconfig");
+    group.sample_size(20);
+
+    group.bench_function("add_then_remove_worker", |b| {
+        let farm = idle_farm(2);
+        let ctl = farm.control();
+        b.iter(|| {
+            ctl.add_workers(1).expect("below cap");
+            ctl.remove_workers(1).expect("above floor");
+        });
+        farm.input().send(StreamMsg::End).unwrap();
+        farm.shutdown();
+    });
+
+    group.bench_function("rebalance_noop", |b| {
+        let farm = idle_farm(8);
+        let ctl = farm.control();
+        b.iter(|| black_box(ctl.rebalance()));
+        farm.input().send(StreamMsg::End).unwrap();
+        farm.shutdown();
+    });
+
+    group.bench_function("sense_snapshot", |b| {
+        let farm = idle_farm(8);
+        let ctl = farm.control();
+        b.iter(|| black_box(ctl.sense(black_box(1.0))));
+        farm.input().send(StreamMsg::End).unwrap();
+        farm.shutdown();
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_reconfig);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! PERF — rule-engine cost per control cycle.
+//!
+//! The paper's managers invoke the JBoss engine once per control period;
+//! the engine must be negligible next to the period (seconds). These
+//! benches measure a full cycle over the Fig. 5 program in the quiet
+//! (no rule fires) and firing cases, plus parsing the rule file.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use bskel_rules::stdlib::{farm_params, farm_rules, FARM_RULES_TEXT};
+use bskel_rules::{parse_rules, RuleEngine, WorkingMemory};
+
+fn bench_cycles(c: &mut Criterion) {
+    let params = farm_params(0.3, 0.7, 1, 16, 4.0);
+    let quiet = WorkingMemory::from_beans([
+        ("arrivalRate", 0.5),
+        ("departureRate", 0.5),
+        ("numWorkers", 4.0),
+        ("queueVariance", 0.5),
+    ]);
+    let firing = WorkingMemory::from_beans([
+        ("arrivalRate", 0.5),
+        ("departureRate", 0.1),
+        ("numWorkers", 2.0),
+        ("queueVariance", 9.0),
+    ]);
+
+    let mut group = c.benchmark_group("rule_engine");
+    group.bench_function("cycle_quiet", |b| {
+        let mut engine = RuleEngine::new(farm_rules());
+        b.iter(|| black_box(engine.cycle(black_box(&quiet), &params).unwrap()));
+    });
+    group.bench_function("cycle_firing", |b| {
+        let mut engine = RuleEngine::new(farm_rules());
+        b.iter(|| black_box(engine.cycle(black_box(&firing), &params).unwrap()));
+    });
+    group.bench_function("parse_fig5_program", |b| {
+        b.iter(|| black_box(parse_rules(black_box(FARM_RULES_TEXT)).unwrap()));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_cycles);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! PERF — end-to-end simulation speed.
+//!
+//! A full Fig. 3-style run (60 simulated seconds, manager ticking every
+//! second) should complete in milliseconds of wall time; this is what
+//! makes sweeping the experiment space (SEC1, ablations) cheap.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use bskel_core::contract::Contract;
+use bskel_sim::{FarmScenario, PipelineScenario};
+
+fn bench_scenarios(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scenario");
+    group.sample_size(20);
+
+    group.bench_function("farm_60s_sim", |b| {
+        let scenario = FarmScenario::builder()
+            .horizon(60.0)
+            .contract(Contract::min_throughput(0.6))
+            .build();
+        b.iter(|| black_box(scenario.run(black_box(42))));
+    });
+
+    group.bench_function("pipeline_120s_sim", |b| {
+        let scenario = PipelineScenario::builder().horizon(120.0).build();
+        b.iter(|| black_box(scenario.run(black_box(42))));
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_scenarios);
+criterion_main!(benches);

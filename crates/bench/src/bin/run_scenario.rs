@@ -1,0 +1,58 @@
+//! `run_scenario` — run a JSON-described experiment.
+//!
+//! ```sh
+//! cargo run -p bskel-bench --bin run_scenario -- scenario.json
+//! cargo run -p bskel-bench --bin run_scenario -- scenario.json --csv trace.csv
+//! echo '{...}' | cargo run -p bskel-bench --bin run_scenario -- -
+//! ```
+//!
+//! Prints the run report as JSON on stdout; `--csv <path>` additionally
+//! writes the sampled time series. See `bskel_bench::config` for the
+//! configuration schema and `scenarios/` for ready-made files.
+
+use bskel_bench::config::ScenarioConfig;
+use std::io::Read;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(path) = args.first() else {
+        eprintln!("usage: run_scenario <config.json | -> [--csv <trace.csv>]");
+        std::process::exit(2);
+    };
+
+    let text = if path == "-" {
+        let mut buf = String::new();
+        std::io::stdin()
+            .read_to_string(&mut buf)
+            .expect("read stdin");
+        buf
+    } else {
+        std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("cannot read {path}: {e}");
+            std::process::exit(2);
+        })
+    };
+
+    let cfg = ScenarioConfig::from_json(&text).unwrap_or_else(|e| {
+        eprintln!("bad scenario config: {e}");
+        std::process::exit(2);
+    });
+
+    let (report, csv) = cfg.run();
+    println!(
+        "{}",
+        serde_json::to_string_pretty(&report).expect("report serialises")
+    );
+
+    if let Some(pos) = args.iter().position(|a| a == "--csv") {
+        let Some(out) = args.get(pos + 1) else {
+            eprintln!("--csv needs a path");
+            std::process::exit(2);
+        };
+        std::fs::write(out, csv).unwrap_or_else(|e| {
+            eprintln!("cannot write {out}: {e}");
+            std::process::exit(2);
+        });
+        eprintln!("trace written to {out}");
+    }
+}

@@ -1,0 +1,124 @@
+//! SEC1 — the security-cost experiment the paper's conclusions reference
+//! (refs \[20\], \[31\]: *"the proposed strategy ensures the use of secure
+//! protocols only when strictly needed, thus avoiding the introduction of
+//! unnecessary overheads"*).
+//!
+//! A farm under a throughput SLA grows over a node pool with a varying
+//! fraction of untrusted nodes. Three securing policies compete:
+//!
+//! * **never**  — plain channels everywhere: fastest, but violates c_sec
+//!   on every task sent to an untrusted node;
+//! * **always** — secure every channel: zero violations, maximum overhead;
+//! * **selective** — the autonomic policy of the paper: secure exactly the
+//!   untrusted channels (two-phase, before first use).
+//!
+//! Expected shape: selective ≈ never when everything is trusted,
+//! ≈ always when nothing is, strictly between on mixed pools — always with
+//! zero violations.
+
+use bskel_bench::table;
+use bskel_core::contract::Contract;
+use bskel_sim::{FarmScenario, SecurityPolicy, SslCostModel};
+
+fn run(untrusted: usize, trusted: usize, policy: SecurityPolicy) -> (u64, u64, u64) {
+    let outcome = FarmScenario::builder()
+        .nodes(trusted, untrusted)
+        .initial_workers(1)
+        .service_time(2.0)
+        .arrival_rate(4.0)
+        .contract(Contract::min_throughput(3.0))
+        .recruit_latency(2.0)
+        .ssl(SslCostModel {
+            handshake: 1.0,
+            plain_comm: 0.25,
+            ssl_factor: 4.0,
+        })
+        .secure_mode(policy)
+        .horizon(120.0)
+        .build()
+        .run(7);
+    (
+        outcome.tasks_done,
+        outcome.plaintext_to_untrusted,
+        outcome.handshakes,
+    )
+}
+
+fn main() {
+    println!("SEC1: throughput vs c_sec violations by securing policy\n");
+    println!(
+        "{:>10} {:>10} | {:>14} {:>10} {:>10}",
+        "untrusted", "policy", "tasks done", "violations", "handshakes"
+    );
+    let pool = 8usize;
+    let mut rows = Vec::new();
+    for untrusted_frac in [0usize, 2, 4, 6, 8] {
+        let trusted = pool - untrusted_frac;
+        for (name, policy) in [
+            ("never", SecurityPolicy::Never),
+            ("always", SecurityPolicy::Always),
+            ("selective", SecurityPolicy::IfUntrusted),
+        ] {
+            let (done, viol, hs) = run(untrusted_frac, trusted, policy);
+            println!(
+                "{:>9}/8 {:>10} | {:>14} {:>10} {:>10}",
+                untrusted_frac, name, done, viol, hs
+            );
+            rows.push((untrusted_frac, name, done, viol));
+        }
+        println!();
+    }
+
+    // Shape checks.
+    let get = |frac: usize, name: &str| {
+        rows.iter()
+            .find(|(f, n, _, _)| *f == frac && *n == name)
+            .map(|&(_, _, d, v)| (d, v))
+            .expect("row exists")
+    };
+    let all_trusted_gap =
+        get(0, "selective").0 as i64 - get(0, "never").0 as i64;
+    let all_untrusted_gap =
+        get(8, "selective").0 as i64 - get(8, "always").0 as i64;
+    let never_violates_on_mixed = get(4, "never").1 > 0;
+    let selective_clean = [0usize, 2, 4, 6, 8]
+        .iter()
+        .all(|&f| get(f, "selective").1 == 0);
+
+    println!(
+        "{}",
+        table(
+            "SEC1 shape checks",
+            &[
+                (
+                    "selective == never on all-trusted pool".into(),
+                    format!("Δtasks = {all_trusted_gap} (expect ≈ 0)")
+                ),
+                (
+                    "selective == always on all-untrusted pool".into(),
+                    format!("Δtasks = {all_untrusted_gap} (expect ≈ 0)")
+                ),
+                (
+                    "never-SSL violates c_sec on mixed pool".into(),
+                    never_violates_on_mixed.to_string()
+                ),
+                (
+                    "selective has zero violations everywhere".into(),
+                    selective_clean.to_string()
+                ),
+                (
+                    "verdict".into(),
+                    if all_trusted_gap.abs() <= 5
+                        && all_untrusted_gap.abs() <= 5
+                        && never_violates_on_mixed
+                        && selective_clean
+                    {
+                        "PASS".into()
+                    } else {
+                        "FAIL".into()
+                    }
+                ),
+            ]
+        )
+    );
+}

@@ -1,0 +1,301 @@
+//! Declarative scenario configuration (JSON) for the `run_scenario` CLI.
+//!
+//! Experiments are data: a JSON file selects the scenario kind, workload,
+//! contract and knobs, and the runner produces a summary plus optional
+//! trace exports. This is the "SLA as configuration" surface an operator
+//! (rather than a Rust programmer) would touch.
+
+use bskel_core::contract::Contract;
+use bskel_sim::models::SecureMode;
+use bskel_sim::{FarmScenario, PipelineScenario, SslCostModel};
+use serde::{Deserialize, Serialize};
+
+fn default_seed() -> u64 {
+    42
+}
+
+fn default_horizon() -> f64 {
+    300.0
+}
+
+fn default_one() -> u32 {
+    1
+}
+
+/// Serializable securing policy (mirrors `bskel_sim::models::SecureMode`).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum SecurePolicyConfig {
+    /// Never secure channels.
+    Never,
+    /// Secure every channel.
+    Always,
+    /// Secure untrusted channels before first use (two-phase).
+    IfUntrusted,
+    /// Naive commit with a reaction delay, seconds.
+    Delayed {
+        /// Security-manager reaction delay.
+        delay: f64,
+    },
+}
+
+impl From<SecurePolicyConfig> for SecureMode {
+    fn from(c: SecurePolicyConfig) -> Self {
+        match c {
+            SecurePolicyConfig::Never => SecureMode::Never,
+            SecurePolicyConfig::Always => SecureMode::Always,
+            SecurePolicyConfig::IfUntrusted => SecureMode::IfUntrusted,
+            SecurePolicyConfig::Delayed { delay } => SecureMode::DelayedIfUntrusted { delay },
+        }
+    }
+}
+
+/// A runnable scenario description.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "kind", rename_all = "snake_case")]
+pub enum ScenarioConfig {
+    /// Single-farm scenario (Fig. 3 family).
+    Farm {
+        /// Per-task cost, seconds (deterministic).
+        service_time: f64,
+        /// Offered input rate, tasks/s.
+        arrival_rate: f64,
+        /// Workers at start-up.
+        #[serde(default = "default_one")]
+        initial_workers: u32,
+        /// The SLA (uses `bskel_core::contract::Contract`'s serde form).
+        contract: Contract,
+        /// Run length, seconds.
+        #[serde(default = "default_horizon")]
+        horizon: f64,
+        /// Trusted / untrusted pool sizes.
+        #[serde(default)]
+        nodes: Option<(usize, usize)>,
+        /// Channel-securing policy.
+        #[serde(default)]
+        secure: Option<SecurePolicyConfig>,
+        /// SSL cost model.
+        #[serde(default)]
+        ssl: Option<SslCostModel>,
+        /// Injected failures `(time, workers killed)`.
+        #[serde(default)]
+        failures: Vec<(f64, u32)>,
+        /// Fault-tolerance floor.
+        #[serde(default)]
+        ft_min_workers: Option<u32>,
+        /// Migration gain threshold.
+        #[serde(default)]
+        migrate_min_gain: Option<f64>,
+        /// Model-based initial setup.
+        #[serde(default)]
+        model_initial_setup: bool,
+        /// RNG seed.
+        #[serde(default = "default_seed")]
+        seed: u64,
+    },
+    /// Hierarchical pipeline scenario (Fig. 4 family).
+    Pipeline {
+        /// Producer's initial rate, tasks/s.
+        initial_rate: f64,
+        /// The SLA.
+        contract: Contract,
+        /// Farm-stage per-task cost, seconds.
+        farm_service_time: f64,
+        /// Farm workers at start-up.
+        #[serde(default = "default_one")]
+        initial_workers: u32,
+        /// Workers per `ADD_EXECUTOR`.
+        #[serde(default = "default_one")]
+        add_batch: u32,
+        /// Stream length.
+        count: u64,
+        /// Run length, seconds.
+        #[serde(default = "default_horizon")]
+        horizon: f64,
+        /// RNG seed.
+        #[serde(default = "default_seed")]
+        seed: u64,
+    },
+}
+
+/// The runner's summary, serialised back to the caller as JSON.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Delivered throughput at the horizon (farm) or mid-run mean
+    /// (pipeline), tasks/s.
+    pub throughput: f64,
+    /// Final parallelism degree.
+    pub workers: u32,
+    /// Tasks completed.
+    pub tasks_done: u64,
+    /// First time the contract floor was reached, if ever.
+    pub time_to_contract: Option<f64>,
+    /// c_sec violations (plaintext tasks to untrusted nodes).
+    pub security_violations: u64,
+    /// Manager events emitted.
+    pub events: usize,
+}
+
+impl ScenarioConfig {
+    /// Parses a config from JSON text.
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        serde_json::from_str(text).map_err(|e| e.to_string())
+    }
+
+    /// Runs the scenario; returns the report and the trace CSV.
+    pub fn run(&self) -> (RunReport, String) {
+        match self.clone() {
+            ScenarioConfig::Farm {
+                service_time,
+                arrival_rate,
+                initial_workers,
+                contract,
+                horizon,
+                nodes,
+                secure,
+                ssl,
+                failures,
+                ft_min_workers,
+                migrate_min_gain,
+                model_initial_setup,
+                seed,
+            } => {
+                let mut b = FarmScenario::builder()
+                    .service_time(service_time)
+                    .arrival_rate(arrival_rate)
+                    .initial_workers(initial_workers)
+                    .contract(contract)
+                    .horizon(horizon)
+                    .model_initial_setup(model_initial_setup);
+                if let Some((trusted, untrusted)) = nodes {
+                    b = b.nodes(trusted, untrusted);
+                }
+                if let Some(policy) = secure {
+                    b = b.secure_mode(policy.into());
+                }
+                if let Some(ssl) = ssl {
+                    b = b.ssl(ssl);
+                }
+                for (at, count) in failures {
+                    b = b.inject_failure(at, count);
+                }
+                if let Some(ft) = ft_min_workers {
+                    b = b.ft_min_workers(ft);
+                }
+                if let Some(gain) = migrate_min_gain {
+                    b = b.migrate_min_gain(gain);
+                }
+                let outcome = b.build().run(seed);
+                let report = RunReport {
+                    throughput: outcome.final_snapshot.departure_rate,
+                    workers: outcome.final_snapshot.num_workers,
+                    tasks_done: outcome.tasks_done,
+                    time_to_contract: outcome.time_to_contract,
+                    security_violations: outcome.plaintext_to_untrusted,
+                    events: outcome.events.len(),
+                };
+                (report, outcome.trace.to_csv())
+            }
+            ScenarioConfig::Pipeline {
+                initial_rate,
+                contract,
+                farm_service_time,
+                initial_workers,
+                add_batch,
+                count,
+                horizon,
+                seed,
+            } => {
+                let outcome = PipelineScenario::builder()
+                    .initial_rate(initial_rate)
+                    .contract(contract.clone())
+                    .farm_service_time(farm_service_time)
+                    .initial_workers(initial_workers)
+                    .add_batch(add_batch)
+                    .count(count)
+                    .horizon(horizon)
+                    .build()
+                    .run(seed);
+                let lo = contract.throughput_bounds().map_or(0.0, |(lo, _)| lo);
+                let report = RunReport {
+                    throughput: outcome
+                        .trace
+                        .mean_over("throughput", horizon / 2.0, horizon * 0.85)
+                        .unwrap_or(0.0),
+                    workers: outcome.final_farm.num_workers,
+                    tasks_done: outcome.consumed,
+                    time_to_contract: outcome.trace.first_reaching("throughput", lo),
+                    security_violations: 0,
+                    events: outcome.events.len(),
+                };
+                (report, outcome.trace.to_csv())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn farm_config_roundtrip_and_run() {
+        let json = r#"{
+            "kind": "farm",
+            "service_time": 5.0,
+            "arrival_rate": 1.0,
+            "initial_workers": 1,
+            "contract": { "MinThroughput": 0.6 },
+            "horizon": 120.0,
+            "seed": 7
+        }"#;
+        let cfg = ScenarioConfig::from_json(json).unwrap();
+        let back = serde_json::to_string(&cfg).unwrap();
+        assert_eq!(ScenarioConfig::from_json(&back).unwrap(), cfg);
+        let (report, csv) = cfg.run();
+        assert!(report.throughput >= 0.5, "{report:?}");
+        assert!(report.workers >= 3);
+        assert!(csv.starts_with("t,"));
+    }
+
+    #[test]
+    fn pipeline_config_runs() {
+        let json = r#"{
+            "kind": "pipeline",
+            "initial_rate": 0.2,
+            "contract": { "ThroughputRange": { "lo": 0.3, "hi": 0.7 } },
+            "farm_service_time": 10.0,
+            "initial_workers": 3,
+            "add_batch": 2,
+            "count": 60,
+            "horizon": 200.0
+        }"#;
+        let cfg = ScenarioConfig::from_json(json).unwrap();
+        let (report, _) = cfg.run();
+        assert_eq!(report.tasks_done, 60);
+        assert!(report.time_to_contract.is_some());
+    }
+
+    #[test]
+    fn security_fields_parse() {
+        let json = r#"{
+            "kind": "farm",
+            "service_time": 2.0,
+            "arrival_rate": 4.0,
+            "contract": { "MinThroughput": 3.0 },
+            "nodes": [2, 6],
+            "secure": "if_untrusted",
+            "ssl": { "handshake": 0.5, "plain_comm": 0.1, "ssl_factor": 3.0 },
+            "horizon": 60.0
+        }"#;
+        let cfg = ScenarioConfig::from_json(json).unwrap();
+        let (report, _) = cfg.run();
+        assert_eq!(report.security_violations, 0);
+    }
+
+    #[test]
+    fn bad_json_reports_error() {
+        assert!(ScenarioConfig::from_json("{").is_err());
+        assert!(ScenarioConfig::from_json(r#"{"kind": "nope"}"#).is_err());
+    }
+}

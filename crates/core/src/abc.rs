@@ -1,0 +1,163 @@
+//! The Autonomic Behaviour Controller (ABC) interface.
+//!
+//! Paper §4.1: *"The AM interacts with (uses services provided by) an
+//! Autonomic Behaviour Controller (ABC) that provides methods to access the
+//! computation status (monitoring) and to implement the actions ordered by
+//! the AM (actuators)."* The [`Abc`] trait is that boundary: it is the
+//! *only* way a manager touches the computation, which is what lets the
+//! same manager (and the same rule programs) drive both the threaded
+//! skeleton runtime and the discrete-event simulator.
+
+use bskel_monitor::{SensorSnapshot, Time};
+use std::fmt;
+
+/// Typed actuator operations a manager can order.
+///
+/// These are the `ManagerOperation`s of the paper's prototype, mapped from
+/// the symbolic names fired by rules (see `bskel_rules::op`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ManagerOp {
+    /// Recruit resources and add `n` workers to a functional-replication
+    /// skeleton (paper: `ADD_EXECUTOR`; Fig. 4 adds two at a time).
+    AddWorkers(u32),
+    /// Remove `n` workers (paper: `REMOVE_EXECUTOR`).
+    RemoveWorkers(u32),
+    /// Redistribute queued tasks evenly across workers
+    /// (paper: `BALANCE_LOAD`).
+    BalanceLoad,
+    /// Set a producer's emission rate to an absolute value (tasks/s).
+    SetRate(f64),
+    /// Scale a producer's emission rate by a factor (incRate/decRate).
+    ScaleRate(f64),
+    /// Require communications with the named node to use the secure
+    /// protocol (security-concern actuator, paper §3.2).
+    SecureChannel {
+        /// Node identifier, substrate-specific.
+        node: String,
+    },
+    /// A substrate-specific operation, passed through uninterpreted.
+    Custom(String),
+}
+
+impl fmt::Display for ManagerOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ManagerOp::AddWorkers(n) => write!(f, "addWorkers({n})"),
+            ManagerOp::RemoveWorkers(n) => write!(f, "removeWorkers({n})"),
+            ManagerOp::BalanceLoad => write!(f, "balanceLoad"),
+            ManagerOp::SetRate(r) => write!(f, "setRate({r})"),
+            ManagerOp::ScaleRate(x) => write!(f, "scaleRate({x})"),
+            ManagerOp::SecureChannel { node } => write!(f, "secureChannel({node})"),
+            ManagerOp::Custom(s) => write!(f, "custom({s})"),
+        }
+    }
+}
+
+/// What happened to an ordered actuation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ActuationOutcome {
+    /// The action was applied (possibly asynchronously — e.g. worker
+    /// recruitment completes after a deployment delay, during which the
+    /// ABC reports `reconfiguring` in its snapshots).
+    Applied,
+    /// The action was accepted but had no effect (e.g. `BalanceLoad` on
+    /// already-balanced queues). Managers do not log an event for these.
+    NoOp,
+    /// The substrate refused the action (e.g. no recruitable resources
+    /// left). The manager treats this as "no locally available plan" and
+    /// reports a violation / enters passive mode.
+    Refused {
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+/// ABC errors: the substrate is broken (as opposed to merely refusing).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AbcError(pub String);
+
+impl fmt::Display for AbcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ABC error: {}", self.0)
+    }
+}
+
+impl std::error::Error for AbcError {}
+
+/// The monitoring + actuation boundary between a manager and its
+/// computation.
+pub trait Abc: Send {
+    /// Samples the computation's sensors.
+    fn sense(&mut self, now: Time) -> SensorSnapshot;
+
+    /// Executes an actuator operation.
+    fn actuate(&mut self, op: &ManagerOp, now: Time) -> Result<ActuationOutcome, AbcError>;
+}
+
+/// A trivially inert ABC for managers over components with no actuators
+/// (e.g. a consumer stage that is monitored but never reconfigured), and
+/// for tests.
+#[derive(Debug, Default)]
+pub struct NullAbc {
+    /// Snapshot returned by `sense` (tests can preload it).
+    pub snapshot: Option<SensorSnapshot>,
+}
+
+impl Abc for NullAbc {
+    fn sense(&mut self, now: Time) -> SensorSnapshot {
+        self.snapshot
+            .clone()
+            .unwrap_or_else(|| SensorSnapshot::empty(now))
+    }
+
+    fn actuate(&mut self, _op: &ManagerOp, _now: Time) -> Result<ActuationOutcome, AbcError> {
+        Ok(ActuationOutcome::NoOp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_abc_senses_empty() {
+        let mut abc = NullAbc::default();
+        let s = abc.sense(3.0);
+        assert_eq!(s.at, 3.0);
+        assert_eq!(s.num_workers, 0);
+    }
+
+    #[test]
+    fn null_abc_returns_preloaded_snapshot() {
+        let mut preset = SensorSnapshot::empty(1.0);
+        preset.departure_rate = 0.5;
+        let mut abc = NullAbc {
+            snapshot: Some(preset.clone()),
+        };
+        assert_eq!(abc.sense(9.0), preset);
+    }
+
+    #[test]
+    fn null_abc_actuations_are_noops() {
+        let mut abc = NullAbc::default();
+        assert_eq!(
+            abc.actuate(&ManagerOp::AddWorkers(2), 0.0),
+            Ok(ActuationOutcome::NoOp)
+        );
+    }
+
+    #[test]
+    fn manager_op_display() {
+        assert_eq!(ManagerOp::AddWorkers(2).to_string(), "addWorkers(2)");
+        assert_eq!(ManagerOp::BalanceLoad.to_string(), "balanceLoad");
+        assert_eq!(
+            ManagerOp::SecureChannel { node: "n3".into() }.to_string(),
+            "secureChannel(n3)"
+        );
+    }
+
+    #[test]
+    fn abc_is_object_safe() {
+        let _: Box<dyn Abc> = Box::new(NullAbc::default());
+    }
+}

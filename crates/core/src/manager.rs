@@ -1,0 +1,1156 @@
+//! The autonomic manager: a MAPE control loop over an ABC.
+//!
+//! Each behavioural skeleton carries an autonomic manager executing the
+//! classical control loop (paper §3): *monitor* (sample the ABC's sensors),
+//! *analyse* (evaluate the rule program against the sampled beans),
+//! *plan/execute* (run the fired rules' actions through the ABC's
+//! actuators, or report a violation to the parent manager when no local
+//! action applies).
+//!
+//! ## Active/passive roles (P_rol)
+//!
+//! Following §4.2, the manager's mode is *derived from rule fireability*:
+//! "transition to the passive state is modelled by the absence of fireable
+//! 'active' rules (rules not raising a violation)". Concretely, after each
+//! cycle:
+//!
+//! * some actuator rule fired → **active**;
+//! * only violation-raising rules fired → **passive** (the manager has
+//!   reported upward and is waiting for the situation to change — a new
+//!   contract, or sensors making a local rule fireable again);
+//! * nothing fired → the contract is being met; the manager stays active.
+//!
+//! ## Hierarchy plumbing
+//!
+//! Managers communicate through two tiny shared cells: a parent posts
+//! contracts into each child's [`ContractSlot`]; children push
+//! [`ViolationReport`]s into their parent's [`Mailbox`]. Both substrates
+//! (threads, simulator) drive managers by calling
+//! [`AutonomicManager::control_cycle`] at each control period.
+
+use crate::abc::{Abc, ActuationOutcome, ManagerOp};
+use crate::concern::Concern;
+use crate::contract::Contract;
+use crate::events::{EventKind, EventLog};
+use bskel_monitor::{SensorSnapshot, Time};
+use bskel_rules::stdlib::{self, hier_beans, viol};
+use bskel_rules::{op, OpCall, RuleEngine, RuleSet, WorkingMemory};
+use std::sync::{Arc, Mutex};
+
+/// Manager mode (paper Fig. 1, right).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AmState {
+    /// Autonomically ensuring the contract via the local control loop.
+    #[default]
+    Active,
+    /// Only monitoring; a violation has been reported and no local plan is
+    /// fireable. Left when a new contract arrives or a local rule becomes
+    /// fireable again.
+    Passive,
+}
+
+/// A violation reported by a manager to its parent.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ViolationKind {
+    /// Input pressure below what the contract requires (only an upstream
+    /// actor can fix this).
+    NotEnoughTasks,
+    /// Input pressure above what the contract needs (warning; enables
+    /// upstream throttling / memory tuning).
+    TooMuchTasks,
+    /// The reporting manager observed the end of its input stream.
+    EndOfStream,
+    /// The contract cannot be met and no local plan exists.
+    Unsatisfiable(String),
+}
+
+/// A violation report in a parent's mailbox.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ViolationReport {
+    /// Reporting manager's name.
+    pub from: String,
+    /// What went wrong.
+    pub kind: ViolationKind,
+    /// When it was reported.
+    pub at: Time,
+}
+
+/// A shared mailbox children push violation reports into.
+#[derive(Debug, Clone, Default)]
+pub struct Mailbox {
+    inner: Arc<Mutex<Vec<ViolationReport>>>,
+}
+
+impl Mailbox {
+    /// Creates an empty mailbox.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Pushes a report.
+    pub fn push(&self, report: ViolationReport) {
+        self.inner.lock().expect("mailbox poisoned").push(report);
+    }
+
+    /// Takes all pending reports.
+    pub fn drain(&self) -> Vec<ViolationReport> {
+        std::mem::take(&mut *self.inner.lock().expect("mailbox poisoned"))
+    }
+
+    /// Number of pending reports.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("mailbox poisoned").len()
+    }
+
+    /// True when no reports are pending.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// A shared cell a parent posts contracts into.
+#[derive(Debug, Clone, Default)]
+pub struct ContractSlot {
+    inner: Arc<Mutex<Option<Contract>>>,
+}
+
+impl ContractSlot {
+    /// Creates an empty slot.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Posts a contract, replacing any unconsumed one.
+    pub fn post(&self, c: Contract) {
+        *self.inner.lock().expect("contract slot poisoned") = Some(c);
+    }
+
+    /// Takes the pending contract, if any.
+    pub fn take(&self) -> Option<Contract> {
+        self.inner.lock().expect("contract slot poisoned").take()
+    }
+}
+
+/// A parent's handle on one child manager.
+#[derive(Debug, Clone)]
+pub struct ChildLink {
+    /// Child manager name.
+    pub name: String,
+    /// Slot to post sub-contracts into.
+    pub slot: ContractSlot,
+    /// Whether this child is the stream *source* (a producer stage): the
+    /// pipeline manager drives sources with output-rate contracts
+    /// (incRate/decRate) rather than forwarding the throughput SLA.
+    pub is_source: bool,
+}
+
+/// What pattern the manager manages — selects the rule program and the
+/// binding of symbolic operations to actuators.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ManagerKind {
+    /// Functional-replication (task farm) manager: Fig. 5 rules.
+    Farm,
+    /// Pipeline coordinator: reacts to child violations with rate
+    /// contracts for the source stage.
+    Pipeline,
+    /// Stream-source (producer) manager: self-tunes its emission rate
+    /// within the output-rate contract.
+    Producer,
+    /// Monitor-only sequential stage (e.g. the consumer).
+    Sequential,
+}
+
+/// Manager tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ManagerConfig {
+    /// Manager name (e.g. `AM_F`).
+    pub name: String,
+    /// The concern managed. The built-in kinds manage
+    /// [`Concern::Performance`].
+    pub concern: Concern,
+    /// Pattern kind.
+    pub kind: ManagerKind,
+    /// Seconds between control cycles.
+    pub control_period: f64,
+    /// Workers added per `ADD_EXECUTOR` firing (the paper's Fig. 4 adds
+    /// two at a time).
+    pub add_batch: u32,
+    /// Workers removed per `REMOVE_EXECUTOR` firing.
+    pub remove_batch: u32,
+    /// Parallelism-degree floor when the contract does not constrain it.
+    pub min_workers: u32,
+    /// Parallelism-degree ceiling when the contract does not constrain it.
+    pub max_workers: u32,
+    /// Queue-variance threshold for rebalancing.
+    pub max_unbalance: f64,
+    /// Multiplicative step of an `incRate` contract (paper: the producer
+    /// emits "more and more frequently").
+    pub rate_inc_factor: f64,
+    /// Multiplicative step of a `decRate` contract ("slightly decrease").
+    pub rate_dec_factor: f64,
+    /// Initial target rate assumed for a source child before the first
+    /// incRate (tasks/s).
+    pub initial_source_rate: f64,
+    /// Extra rule parameters merged over the contract-derived ones
+    /// (e.g. `FT_MIN_WORKERS` for a merged perf+FT rule program).
+    pub extra_params: Vec<(String, f64)>,
+    /// Model-based initial parallelism-degree setup (the ASSIST-heritage
+    /// policy the paper cites from refs. \[10\]/\[13\]): on adopting a throughput
+    /// contract, a farm manager jumps straight to
+    /// `ceil(rate_floor × service_time)` workers instead of ramping
+    /// reactively. Requires a service-time sensor (the simulator's cost
+    /// model, or a workload specification).
+    pub model_initial_setup: bool,
+}
+
+impl ManagerConfig {
+    fn base(name: &str, kind: ManagerKind) -> Self {
+        Self {
+            name: name.to_owned(),
+            concern: Concern::Performance,
+            kind,
+            control_period: 1.0,
+            add_batch: 1,
+            remove_batch: 1,
+            min_workers: 1,
+            max_workers: 64,
+            max_unbalance: 4.0,
+            rate_inc_factor: 1.25,
+            rate_dec_factor: 0.92,
+            initial_source_rate: 0.2,
+            extra_params: Vec::new(),
+            model_initial_setup: false,
+        }
+    }
+
+    /// Defaults for a farm manager.
+    pub fn farm(name: &str) -> Self {
+        Self::base(name, ManagerKind::Farm)
+    }
+
+    /// Defaults for a pipeline manager.
+    pub fn pipeline(name: &str) -> Self {
+        Self::base(name, ManagerKind::Pipeline)
+    }
+
+    /// Defaults for a producer manager.
+    pub fn producer(name: &str) -> Self {
+        Self::base(name, ManagerKind::Producer)
+    }
+
+    /// Defaults for a monitor-only sequential-stage manager.
+    pub fn sequential(name: &str) -> Self {
+        Self::base(name, ManagerKind::Sequential)
+    }
+}
+
+/// An autonomic manager bound to a computation through an ABC.
+pub struct AutonomicManager {
+    cfg: ManagerConfig,
+    state: AmState,
+    contract: Contract,
+    engine: RuleEngine,
+    params: bskel_rules::ParamTable,
+    abc: Box<dyn Abc>,
+    log: EventLog,
+    contract_slot: ContractSlot,
+    parent: Option<Mailbox>,
+    inbox: Mailbox,
+    children: Vec<ChildLink>,
+    source_rate: f64,
+    end_stream_seen: bool,
+    end_stream_reported: bool,
+    needs_initial_setup: bool,
+    last_snapshot: Option<SensorSnapshot>,
+}
+
+impl AutonomicManager {
+    /// Creates a manager with its pattern's standard rule program and a
+    /// best-effort contract; call [`AutonomicManager::contract_slot`] /
+    /// [`AutonomicManager::mailbox`] to wire it into a hierarchy, and post
+    /// the real contract into its slot.
+    pub fn new(cfg: ManagerConfig, abc: Box<dyn Abc>, log: EventLog) -> Self {
+        let rules = match cfg.kind {
+            ManagerKind::Farm => stdlib::farm_rules(),
+            ManagerKind::Pipeline => stdlib::pipeline_rules(),
+            ManagerKind::Producer => stdlib::producer_rules(),
+            ManagerKind::Sequential => RuleSet::new(),
+        };
+        let source_rate = cfg.initial_source_rate;
+        let mut m = Self {
+            cfg,
+            state: AmState::Active,
+            contract: Contract::BestEffort,
+            engine: RuleEngine::new(rules),
+            params: bskel_rules::ParamTable::new(),
+            abc,
+            log,
+            contract_slot: ContractSlot::new(),
+            parent: None,
+            inbox: Mailbox::new(),
+            children: Vec::new(),
+            source_rate,
+            end_stream_seen: false,
+            end_stream_reported: false,
+            needs_initial_setup: false,
+            last_snapshot: None,
+        };
+        m.params = m.derive_params(&Contract::BestEffort);
+        m
+    }
+
+    /// Replaces the rule program (custom policies).
+    pub fn with_rules(mut self, rules: RuleSet) -> Self {
+        self.engine = RuleEngine::new(rules);
+        self
+    }
+
+    /// Sets the parent mailbox violations are reported to.
+    pub fn with_parent(mut self, parent: Mailbox) -> Self {
+        self.parent = Some(parent);
+        self
+    }
+
+    /// Registers a child manager link.
+    pub fn add_child(&mut self, link: ChildLink) {
+        self.children.push(link);
+    }
+
+    /// The slot a parent (or the user) posts this manager's contract into.
+    pub fn contract_slot(&self) -> ContractSlot {
+        self.contract_slot.clone()
+    }
+
+    /// The mailbox this manager's children report violations into.
+    pub fn mailbox(&self) -> Mailbox {
+        self.inbox.clone()
+    }
+
+    /// Manager name.
+    pub fn name(&self) -> &str {
+        &self.cfg.name
+    }
+
+    /// Current mode.
+    pub fn state(&self) -> AmState {
+        self.state
+    }
+
+    /// Currently adopted contract.
+    pub fn contract(&self) -> &Contract {
+        &self.contract
+    }
+
+    /// Configured control period (seconds).
+    pub fn control_period(&self) -> f64 {
+        self.cfg.control_period
+    }
+
+    /// The most recent sensor snapshot (for inspection/tests).
+    pub fn last_snapshot(&self) -> Option<&SensorSnapshot> {
+        self.last_snapshot.as_ref()
+    }
+
+    /// The event log handle.
+    pub fn log(&self) -> &EventLog {
+        &self.log
+    }
+
+    /// Mutable access to the underlying ABC (substrate-specific drivers).
+    pub fn abc_mut(&mut self) -> &mut dyn Abc {
+        self.abc.as_mut()
+    }
+
+    fn emit(&self, at: Time, kind: EventKind, detail: Option<String>) {
+        self.log.push(at, &self.cfg.name, kind, detail);
+    }
+
+    /// Derives the rule parameters implied by a contract for this kind.
+    fn derive_params(&self, contract: &Contract) -> bskel_rules::ParamTable {
+        let mut params = self.derive_kind_params(contract);
+        for (name, value) in &self.cfg.extra_params {
+            params.set(name.clone(), *value);
+        }
+        params
+    }
+
+    fn derive_kind_params(&self, contract: &Contract) -> bskel_rules::ParamTable {
+        match self.cfg.kind {
+            ManagerKind::Farm => {
+                let (lo, hi) = contract.throughput_bounds().unwrap_or((0.0, f64::INFINITY));
+                let (min_w, max_w) = contract
+                    .par_degree_bounds()
+                    .unwrap_or((self.cfg.min_workers, self.cfg.max_workers));
+                stdlib::farm_params(lo, hi, min_w, max_w, self.cfg.max_unbalance)
+            }
+            ManagerKind::Producer => {
+                let (floor, ceil) = contract
+                    .output_rate_bounds()
+                    .or_else(|| contract.throughput_bounds())
+                    .unwrap_or((0.0, f64::INFINITY));
+                stdlib::producer_params(floor, ceil)
+            }
+            ManagerKind::Pipeline | ManagerKind::Sequential => bskel_rules::ParamTable::new(),
+        }
+    }
+
+    /// Adopts a new contract: recomputes rule parameters, propagates
+    /// sub-contracts to children, (re-)enters active mode.
+    fn adopt_contract(&mut self, contract: Contract, now: Time) {
+        self.params = self.derive_params(&contract);
+        self.emit(now, EventKind::NewContract, Some(contract.to_string()));
+        self.contract = contract;
+        if self.cfg.model_initial_setup && self.cfg.kind == ManagerKind::Farm {
+            self.needs_initial_setup = true;
+        }
+        if self.state == AmState::Passive {
+            self.state = AmState::Active;
+            self.emit(now, EventKind::EnterActive, None);
+        }
+
+        // Contract propagation (P_spl): the pipeline forwards the SLA to
+        // its non-source children; the source is driven by rate contracts.
+        // The farm hands workers best-effort — our ChildLinks for farms are
+        // the worker managers, if any are registered.
+        if self.children.is_empty() {
+            return;
+        }
+        match self.cfg.kind {
+            ManagerKind::Pipeline => {
+                for child in &self.children {
+                    if child.is_source {
+                        child.slot.post(Contract::output_rate(self.source_rate));
+                    } else {
+                        child.slot.post(self.contract.clone());
+                    }
+                }
+            }
+            ManagerKind::Farm => {
+                let workers_sub = match self.contract.secure_domain_set() {
+                    Some(d) if !d.is_empty() => {
+                        Contract::all([Contract::BestEffort, Contract::SecureDomains(d)])
+                    }
+                    _ => Contract::BestEffort,
+                };
+                for child in &self.children {
+                    child.slot.post(workers_sub.clone());
+                }
+            }
+            ManagerKind::Producer | ManagerKind::Sequential => {}
+        }
+    }
+
+    /// Runs one monitor–analyse–plan–execute cycle at time `now`.
+    ///
+    /// Returns the operation calls the rule engine produced (after their
+    /// effects have been applied), which drivers may inspect.
+    pub fn control_cycle(&mut self, now: Time) -> Vec<OpCall> {
+        // New contract first: adopting is allowed even mid-reconfiguration.
+        if let Some(c) = self.contract_slot.take() {
+            self.adopt_contract(c, now);
+        }
+
+        let snap = self.abc.sense(now);
+        let reconfiguring = snap.reconfiguring;
+        self.last_snapshot = Some(snap.clone());
+
+        // Sensor blackout during reconfiguration (paper: "No sensor data is
+        // available for AM_F during the reconfiguration").
+        if reconfiguring {
+            return Vec::new();
+        }
+
+        // Model-based initial parallelism-degree setup (paper §3, citing
+        // [10]: the parallelism degree "can be initially set to some
+        // 'optimal' value and then adapted"). One shot per contract.
+        if self.needs_initial_setup {
+            self.needs_initial_setup = false;
+            if let Some((lo, _)) = self.contract.throughput_bounds() {
+                if snap.service_time > 0.0 && lo > 0.0 {
+                    let target = (lo * snap.service_time).ceil().max(1.0) as u32;
+                    if target > snap.num_workers {
+                        let add = target - snap.num_workers;
+                        if let Ok(ActuationOutcome::Applied) =
+                            self.abc.actuate(&ManagerOp::AddWorkers(add), now)
+                        {
+                            self.emit(
+                                now,
+                                EventKind::AddWorker,
+                                Some(format!("{add} (model-init)")),
+                            );
+                            // Reconfiguration in flight; resume next cycle.
+                            return Vec::new();
+                        }
+                    }
+                }
+            }
+        }
+
+        // Drain child violations into hierarchy beans.
+        let mut viol_not_enough = false;
+        let mut viol_too_much = false;
+        for report in self.inbox.drain() {
+            match report.kind {
+                ViolationKind::NotEnoughTasks => viol_not_enough = true,
+                ViolationKind::TooMuchTasks => viol_too_much = true,
+                ViolationKind::EndOfStream => {
+                    if !self.end_stream_seen {
+                        self.end_stream_seen = true;
+                        self.emit(now, EventKind::EndStream, Some(report.from.clone()));
+                    }
+                }
+                ViolationKind::Unsatisfiable(reason) => {
+                    // Escalate: this manager has no generic plan for an
+                    // unsatisfiable child; report upward.
+                    self.raise(now, ViolationKind::Unsatisfiable(reason));
+                }
+            }
+        }
+
+        // Own end-of-stream observation: report once to the parent.
+        if snap.end_of_stream && !self.end_stream_reported {
+            self.end_stream_reported = true;
+            self.end_stream_seen = true;
+            self.emit(now, EventKind::EndStream, None);
+            if let Some(parent) = &self.parent {
+                parent.push(ViolationReport {
+                    from: self.cfg.name.clone(),
+                    kind: ViolationKind::EndOfStream,
+                    at: now,
+                });
+            }
+        }
+
+        // Contract-check events (the contrLow/contrHigh lines of Fig. 4).
+        let check_bounds = match self.cfg.kind {
+            ManagerKind::Producer => self
+                .contract
+                .output_rate_bounds()
+                .or_else(|| self.contract.throughput_bounds()),
+            _ => self.contract.throughput_bounds(),
+        };
+        if let Some((lo, hi)) = check_bounds {
+            if snap.departure_rate < lo && !(snap.end_of_stream && snap.queued_tasks == 0) {
+                self.emit(now, EventKind::ContrLow, None);
+            } else if snap.departure_rate > hi {
+                self.emit(now, EventKind::ContrHigh, None);
+            }
+        }
+
+        // Working memory: sensors + hierarchy beans.
+        let mut wm = WorkingMemory::from_beans(snap.to_beans());
+        wm.insert_flag(hier_beans::VIOL_NOT_ENOUGH, viol_not_enough);
+        wm.insert_flag(hier_beans::VIOL_TOO_MUCH, viol_too_much);
+        wm.insert_flag(hier_beans::END_STREAM, self.end_stream_seen);
+
+        let ops = match self.engine.cycle_ops(&wm, &self.params) {
+            Ok(ops) => ops,
+            Err(e) => {
+                // A broken rule program is a policy bug: surface it loudly
+                // in the event log and raise it upward.
+                self.emit(now, EventKind::Other(format!("ruleError:{e}")), None);
+                self.raise(now, ViolationKind::Unsatisfiable(e.to_string()));
+                return Vec::new();
+            }
+        };
+
+        let mut acted = false;
+        let mut violated = false;
+        let mut refused = false;
+        for call in &ops {
+            match call.operation.as_str() {
+                op::RAISE_VIOLATION => {
+                    violated = true;
+                    let kind = match call.data.as_deref() {
+                        Some(viol::NOT_ENOUGH_TASKS) => {
+                            self.emit(now, EventKind::NotEnough, None);
+                            ViolationKind::NotEnoughTasks
+                        }
+                        Some(viol::TOO_MUCH_TASKS) => {
+                            self.emit(now, EventKind::TooMuch, None);
+                            ViolationKind::TooMuchTasks
+                        }
+                        other => ViolationKind::Unsatisfiable(
+                            other.unwrap_or("unspecified").to_owned(),
+                        ),
+                    };
+                    self.raise(now, kind);
+                }
+                op::ADD_EXECUTOR => {
+                    let op_ = ManagerOp::AddWorkers(self.cfg.add_batch);
+                    match self.abc.actuate(&op_, now) {
+                        Ok(ActuationOutcome::Applied) => {
+                            acted = true;
+                            self.emit(
+                                now,
+                                EventKind::AddWorker,
+                                Some(self.cfg.add_batch.to_string()),
+                            );
+                        }
+                        Ok(ActuationOutcome::NoOp) => {}
+                        Ok(ActuationOutcome::Refused { reason }) => {
+                            violated = true;
+                            refused = true;
+                            self.raise(now, ViolationKind::Unsatisfiable(reason));
+                        }
+                        Err(e) => {
+                            self.emit(now, EventKind::Other(format!("abcError:{e}")), None);
+                        }
+                    }
+                }
+                op::REMOVE_EXECUTOR => {
+                    let op_ = ManagerOp::RemoveWorkers(self.cfg.remove_batch);
+                    if let Ok(ActuationOutcome::Applied) = self.abc.actuate(&op_, now) {
+                        acted = true;
+                        self.emit(
+                            now,
+                            EventKind::RemoveWorker,
+                            Some(self.cfg.remove_batch.to_string()),
+                        );
+                    }
+                }
+                op::BALANCE_LOAD => {
+                    if let Ok(ActuationOutcome::Applied) =
+                        self.abc.actuate(&ManagerOp::BalanceLoad, now)
+                    {
+                        acted = true;
+                        self.emit(now, EventKind::Rebalance, None);
+                    }
+                }
+                op::INC_RATE => match self.cfg.kind {
+                    ManagerKind::Pipeline => {
+                        self.source_rate *= self.cfg.rate_inc_factor;
+                        let c = Contract::output_rate(self.source_rate);
+                        for child in self.children.iter().filter(|c| c.is_source) {
+                            child.slot.post(c.clone());
+                        }
+                        acted = true;
+                        self.emit(
+                            now,
+                            EventKind::IncRate,
+                            Some(format!("{:.3}", self.source_rate)),
+                        );
+                    }
+                    _ => {
+                        let op_ = ManagerOp::ScaleRate(self.cfg.rate_inc_factor);
+                        if let Ok(ActuationOutcome::Applied) = self.abc.actuate(&op_, now) {
+                            acted = true;
+                            self.emit(now, EventKind::IncRate, None);
+                        }
+                    }
+                },
+                op::DEC_RATE => match self.cfg.kind {
+                    ManagerKind::Pipeline => {
+                        self.source_rate *= self.cfg.rate_dec_factor;
+                        let c = Contract::output_rate(self.source_rate);
+                        for child in self.children.iter().filter(|c| c.is_source) {
+                            child.slot.post(c.clone());
+                        }
+                        acted = true;
+                        self.emit(
+                            now,
+                            EventKind::DecRate,
+                            Some(format!("{:.3}", self.source_rate)),
+                        );
+                    }
+                    _ => {
+                        let op_ = ManagerOp::ScaleRate(self.cfg.rate_dec_factor);
+                        if let Ok(ActuationOutcome::Applied) = self.abc.actuate(&op_, now) {
+                            acted = true;
+                            self.emit(now, EventKind::DecRate, None);
+                        }
+                    }
+                },
+                other => {
+                    // Unknown symbolic operations pass through as custom
+                    // actuations (substrate extensions).
+                    let op_ = ManagerOp::Custom(other.to_owned());
+                    if let Ok(ActuationOutcome::Applied) = self.abc.actuate(&op_, now) {
+                        acted = true;
+                        self.emit(now, EventKind::Other(other.to_owned()), None);
+                    }
+                }
+            }
+        }
+
+        // Mode derivation (P_rol, §4.2). A refused corrective action means
+        // the planned local repair is unavailable — passive even if some
+        // secondary actuation (e.g. a rebalance) went through.
+        let new_state = if refused {
+            AmState::Passive
+        } else if acted {
+            AmState::Active
+        } else if violated {
+            AmState::Passive
+        } else {
+            self.state
+        };
+        if new_state != self.state {
+            self.state = new_state;
+            self.emit(
+                now,
+                match new_state {
+                    AmState::Active => EventKind::EnterActive,
+                    AmState::Passive => EventKind::EnterPassive,
+                },
+                None,
+            );
+        }
+
+        ops
+    }
+
+    fn raise(&self, now: Time, kind: ViolationKind) {
+        self.emit(now, EventKind::RaiseViol, Some(format!("{kind:?}")));
+        if let Some(parent) = &self.parent {
+            parent.push(ViolationReport {
+                from: self.cfg.name.clone(),
+                kind,
+                at: now,
+            });
+        }
+    }
+}
+
+impl std::fmt::Debug for AutonomicManager {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AutonomicManager")
+            .field("name", &self.cfg.name)
+            .field("kind", &self.cfg.kind)
+            .field("state", &self.state)
+            .field("contract", &self.contract)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::abc::{AbcError, NullAbc};
+
+    /// Scripted ABC: a queue of snapshots plus a log of actuations.
+    struct MockAbc {
+        snapshots: Vec<SensorSnapshot>,
+        cursor: usize,
+        pub actuations: Arc<Mutex<Vec<ManagerOp>>>,
+        refuse_adds: bool,
+    }
+
+    impl MockAbc {
+        fn new(snapshots: Vec<SensorSnapshot>) -> Self {
+            Self {
+                snapshots,
+                cursor: 0,
+                actuations: Arc::new(Mutex::new(Vec::new())),
+                refuse_adds: false,
+            }
+        }
+    }
+
+    impl Abc for MockAbc {
+        fn sense(&mut self, now: Time) -> SensorSnapshot {
+            let i = self.cursor.min(self.snapshots.len().saturating_sub(1));
+            self.cursor += 1;
+            self.snapshots
+                .get(i)
+                .cloned()
+                .unwrap_or_else(|| SensorSnapshot::empty(now))
+        }
+
+        fn actuate(&mut self, op: &ManagerOp, _now: Time) -> Result<ActuationOutcome, AbcError> {
+            self.actuations.lock().unwrap().push(op.clone());
+            if self.refuse_adds && matches!(op, ManagerOp::AddWorkers(_)) {
+                return Ok(ActuationOutcome::Refused {
+                    reason: "no resources".into(),
+                });
+            }
+            Ok(ActuationOutcome::Applied)
+        }
+    }
+
+    fn farm_snap(arrival: f64, departure: f64, workers: u32, qvar: f64) -> SensorSnapshot {
+        let mut s = SensorSnapshot::empty(0.0);
+        s.arrival_rate = arrival;
+        s.departure_rate = departure;
+        s.num_workers = workers;
+        s.queue_variance = qvar;
+        s
+    }
+
+    fn farm_manager(snaps: Vec<SensorSnapshot>) -> (AutonomicManager, Arc<Mutex<Vec<ManagerOp>>>) {
+        let abc = MockAbc::new(snaps);
+        let acts = Arc::clone(&abc.actuations);
+        let m = AutonomicManager::new(ManagerConfig::farm("AM_F"), Box::new(abc), EventLog::new());
+        (m, acts)
+    }
+
+    #[test]
+    fn adopts_contract_and_derives_params() {
+        let (mut m, _) = farm_manager(vec![farm_snap(0.5, 0.5, 4, 0.0)]);
+        m.contract_slot().post(Contract::throughput_range(0.3, 0.7));
+        m.control_cycle(0.0);
+        assert_eq!(m.contract(), &Contract::throughput_range(0.3, 0.7));
+        assert!(!m.log().of_kind(&EventKind::NewContract).is_empty());
+    }
+
+    #[test]
+    fn underdelivery_with_pressure_adds_workers() {
+        let (mut m, acts) = farm_manager(vec![farm_snap(0.5, 0.1, 1, 0.0)]);
+        m.contract_slot().post(Contract::throughput_range(0.3, 0.7));
+        let ops = m.control_cycle(0.0);
+        assert!(!ops.is_empty());
+        assert!(acts
+            .lock()
+            .unwrap()
+            .iter()
+            .any(|o| matches!(o, ManagerOp::AddWorkers(_))));
+        assert_eq!(m.state(), AmState::Active);
+        assert_eq!(m.log().of_kind(&EventKind::AddWorker).len(), 1);
+        assert_eq!(m.log().of_kind(&EventKind::ContrLow).len(), 1);
+    }
+
+    #[test]
+    fn starvation_raises_violation_and_goes_passive() {
+        let (mut m, acts) = farm_manager(vec![farm_snap(0.05, 0.05, 2, 0.0)]);
+        let parent = Mailbox::new();
+        m = m.with_parent(parent.clone());
+        m.contract_slot().post(Contract::throughput_range(0.3, 0.7));
+        m.control_cycle(0.0);
+        assert!(acts.lock().unwrap().is_empty(), "no local action possible");
+        assert_eq!(m.state(), AmState::Passive);
+        let reports = parent.drain();
+        assert_eq!(reports.len(), 1);
+        assert_eq!(reports[0].kind, ViolationKind::NotEnoughTasks);
+        assert_eq!(reports[0].from, "AM_F");
+        assert_eq!(m.log().of_kind(&EventKind::NotEnough).len(), 1);
+        assert_eq!(m.log().of_kind(&EventKind::RaiseViol).len(), 1);
+        assert_eq!(m.log().of_kind(&EventKind::EnterPassive).len(), 1);
+    }
+
+    #[test]
+    fn passive_manager_reactivates_when_local_rule_fires() {
+        // Cycle 1: starvation → passive. Cycle 2: pressure returned and
+        // throughput low → addWorker fires → active again (paper §4.2,
+        // second phase).
+        let (mut m, _) = farm_manager(vec![
+            farm_snap(0.05, 0.05, 2, 0.0),
+            farm_snap(0.5, 0.2, 2, 0.0),
+        ]);
+        m.contract_slot().post(Contract::throughput_range(0.3, 0.7));
+        m.control_cycle(0.0);
+        assert_eq!(m.state(), AmState::Passive);
+        m.control_cycle(1.0);
+        assert_eq!(m.state(), AmState::Active);
+        assert_eq!(m.log().of_kind(&EventKind::EnterActive).len(), 1);
+    }
+
+    #[test]
+    fn new_contract_reactivates_passive_manager() {
+        let (mut m, _) = farm_manager(vec![
+            farm_snap(0.05, 0.05, 2, 0.0),
+            farm_snap(0.05, 0.05, 2, 0.0),
+        ]);
+        m.contract_slot().post(Contract::throughput_range(0.3, 0.7));
+        m.control_cycle(0.0);
+        assert_eq!(m.state(), AmState::Passive);
+        m.contract_slot().post(Contract::throughput_range(0.01, 0.7));
+        m.control_cycle(1.0);
+        assert_eq!(m.state(), AmState::Active);
+    }
+
+    #[test]
+    fn refused_add_escalates_unsatisfiable() {
+        let mut abc = MockAbc::new(vec![farm_snap(0.5, 0.1, 4, 0.0)]);
+        abc.refuse_adds = true;
+        let parent = Mailbox::new();
+        let mut m =
+            AutonomicManager::new(ManagerConfig::farm("AM_F"), Box::new(abc), EventLog::new())
+                .with_parent(parent.clone());
+        m.contract_slot().post(Contract::throughput_range(0.3, 0.7));
+        m.control_cycle(0.0);
+        assert_eq!(m.state(), AmState::Passive);
+        let reports = parent.drain();
+        assert!(reports
+            .iter()
+            .any(|r| matches!(r.kind, ViolationKind::Unsatisfiable(_))));
+    }
+
+    #[test]
+    fn reconfiguration_blackout_suppresses_cycle() {
+        let mut blackout = farm_snap(0.5, 0.1, 1, 0.0);
+        blackout.reconfiguring = true;
+        let (mut m, acts) = farm_manager(vec![blackout]);
+        m.contract_slot().post(Contract::throughput_range(0.3, 0.7));
+        let ops = m.control_cycle(0.0);
+        assert!(ops.is_empty());
+        assert!(acts.lock().unwrap().is_empty());
+        // Contract was still adopted (only sensing is blacked out).
+        assert_eq!(m.contract(), &Contract::throughput_range(0.3, 0.7));
+    }
+
+    #[test]
+    fn overdelivery_removes_workers() {
+        let (mut m, acts) = farm_manager(vec![farm_snap(0.5, 0.9, 4, 0.0)]);
+        m.contract_slot().post(Contract::throughput_range(0.3, 0.7));
+        m.control_cycle(0.0);
+        assert!(acts
+            .lock()
+            .unwrap()
+            .iter()
+            .any(|o| matches!(o, ManagerOp::RemoveWorkers(_))));
+        assert_eq!(m.log().of_kind(&EventKind::RemoveWorker).len(), 1);
+    }
+
+    #[test]
+    fn queue_unbalance_rebalances() {
+        let (mut m, acts) = farm_manager(vec![farm_snap(0.5, 0.5, 4, 25.0)]);
+        m.contract_slot().post(Contract::throughput_range(0.3, 0.7));
+        m.control_cycle(0.0);
+        assert!(acts
+            .lock()
+            .unwrap()
+            .iter()
+            .any(|o| matches!(o, ManagerOp::BalanceLoad)));
+        assert_eq!(m.log().of_kind(&EventKind::Rebalance).len(), 1);
+    }
+
+    #[test]
+    fn end_of_stream_reported_once() {
+        let mut eos = farm_snap(0.0, 0.0, 2, 0.0);
+        eos.end_of_stream = true;
+        let parent = Mailbox::new();
+        let (mut m, _) = farm_manager(vec![eos.clone(), eos]);
+        m = m.with_parent(parent.clone());
+        m.contract_slot().post(Contract::BestEffort);
+        m.control_cycle(0.0);
+        m.control_cycle(1.0);
+        let eos_reports: Vec<_> = parent
+            .drain()
+            .into_iter()
+            .filter(|r| r.kind == ViolationKind::EndOfStream)
+            .collect();
+        assert_eq!(eos_reports.len(), 1);
+        assert_eq!(m.log().of_kind(&EventKind::EndStream).len(), 1);
+    }
+
+    #[test]
+    fn pipeline_inc_rate_posts_contract_to_source() {
+        let log = EventLog::new();
+        let mut am_a = AutonomicManager::new(
+            ManagerConfig::pipeline("AM_A"),
+            Box::new(NullAbc::default()),
+            log.clone(),
+        );
+        let source_slot = ContractSlot::new();
+        am_a.add_child(ChildLink {
+            name: "AM_P".into(),
+            slot: source_slot.clone(),
+            is_source: true,
+        });
+        // A child reported starvation.
+        am_a.mailbox().push(ViolationReport {
+            from: "AM_F".into(),
+            kind: ViolationKind::NotEnoughTasks,
+            at: 0.0,
+        });
+        am_a.control_cycle(0.0);
+        let posted = source_slot.take().expect("incRate contract posted");
+        let (floor, _) = posted.output_rate_bounds().unwrap();
+        assert!(floor > 0.0);
+        assert_eq!(log.of_kind(&EventKind::IncRate).len(), 1);
+        assert_eq!(am_a.state(), AmState::Active);
+    }
+
+    #[test]
+    fn pipeline_stops_reacting_after_end_stream() {
+        let mut am_a = AutonomicManager::new(
+            ManagerConfig::pipeline("AM_A"),
+            Box::new(NullAbc::default()),
+            EventLog::new(),
+        );
+        let source_slot = ContractSlot::new();
+        am_a.add_child(ChildLink {
+            name: "AM_P".into(),
+            slot: source_slot.clone(),
+            is_source: true,
+        });
+        am_a.mailbox().push(ViolationReport {
+            from: "AM_F".into(),
+            kind: ViolationKind::EndOfStream,
+            at: 0.0,
+        });
+        am_a.control_cycle(0.0);
+        am_a.mailbox().push(ViolationReport {
+            from: "AM_F".into(),
+            kind: ViolationKind::NotEnoughTasks,
+            at: 1.0,
+        });
+        am_a.control_cycle(1.0);
+        assert!(source_slot.take().is_none(), "no incRate after endStream");
+        assert!(am_a.log().of_kind(&EventKind::IncRate).is_empty());
+    }
+
+    #[test]
+    fn pipeline_dec_rate_on_too_much() {
+        let mut am_a = AutonomicManager::new(
+            ManagerConfig::pipeline("AM_A"),
+            Box::new(NullAbc::default()),
+            EventLog::new(),
+        );
+        let source_slot = ContractSlot::new();
+        am_a.add_child(ChildLink {
+            name: "AM_P".into(),
+            slot: source_slot.clone(),
+            is_source: true,
+        });
+        am_a.mailbox().push(ViolationReport {
+            from: "AM_F".into(),
+            kind: ViolationKind::TooMuchTasks,
+            at: 0.0,
+        });
+        am_a.control_cycle(0.0);
+        let posted = source_slot.take().unwrap();
+        let (_, ceil) = posted.output_rate_bounds().unwrap();
+        // decRate shrank the target below the initial 0.2·1.2 ceiling.
+        assert!(ceil < 0.2 * 1.2);
+        assert_eq!(am_a.log().of_kind(&EventKind::DecRate).len(), 1);
+    }
+
+    #[test]
+    fn pipeline_forwards_contract_to_stages_on_adoption() {
+        let mut am_a = AutonomicManager::new(
+            ManagerConfig::pipeline("AM_A"),
+            Box::new(NullAbc::default()),
+            EventLog::new(),
+        );
+        let prod = ContractSlot::new();
+        let farm = ContractSlot::new();
+        let cons = ContractSlot::new();
+        am_a.add_child(ChildLink {
+            name: "AM_P".into(),
+            slot: prod.clone(),
+            is_source: true,
+        });
+        am_a.add_child(ChildLink {
+            name: "AM_F".into(),
+            slot: farm.clone(),
+            is_source: false,
+        });
+        am_a.add_child(ChildLink {
+            name: "AM_C".into(),
+            slot: cons.clone(),
+            is_source: false,
+        });
+        am_a.contract_slot().post(Contract::throughput_range(0.3, 0.7));
+        am_a.control_cycle(0.0);
+        assert_eq!(farm.take(), Some(Contract::throughput_range(0.3, 0.7)));
+        assert_eq!(cons.take(), Some(Contract::throughput_range(0.3, 0.7)));
+        // The source gets a rate contract at the initial source rate.
+        let p = prod.take().unwrap();
+        assert!(p.output_rate_bounds().is_some());
+    }
+
+    #[test]
+    fn producer_scales_rate_within_contract() {
+        let mut snap = SensorSnapshot::empty(0.0);
+        snap.departure_rate = 0.1;
+        let abc = MockAbc::new(vec![snap]);
+        let acts = Arc::clone(&abc.actuations);
+        let mut m = AutonomicManager::new(
+            ManagerConfig::producer("AM_P"),
+            Box::new(abc),
+            EventLog::new(),
+        );
+        m.contract_slot().post(Contract::output_rate(0.5));
+        m.control_cycle(0.0);
+        let recorded = acts.lock().unwrap();
+        assert!(recorded
+            .iter()
+            .any(|o| matches!(o, ManagerOp::ScaleRate(f) if *f > 1.0)));
+    }
+
+    #[test]
+    fn sequential_manager_is_quiet() {
+        let mut m = AutonomicManager::new(
+            ManagerConfig::sequential("AM_C"),
+            Box::new(NullAbc::default()),
+            EventLog::new(),
+        );
+        m.contract_slot().post(Contract::throughput_range(0.3, 0.7));
+        let ops = m.control_cycle(0.0);
+        assert!(ops.is_empty());
+        // It still logs contract-check events (contrLow at zero rate).
+        assert_eq!(m.log().of_kind(&EventKind::ContrLow).len(), 1);
+        assert_eq!(m.state(), AmState::Active);
+    }
+
+    #[test]
+    fn farm_propagates_best_effort_to_worker_children() {
+        let (mut m, _) = farm_manager(vec![farm_snap(0.5, 0.5, 2, 0.0)]);
+        let w0 = ContractSlot::new();
+        m.add_child(ChildLink {
+            name: "AM_W0".into(),
+            slot: w0.clone(),
+            is_source: false,
+        });
+        m.contract_slot().post(Contract::throughput_range(0.3, 0.7));
+        m.control_cycle(0.0);
+        assert_eq!(w0.take(), Some(Contract::BestEffort));
+    }
+
+    #[test]
+    fn rule_error_surfaces_as_violation() {
+        use bskel_rules::{Condition, Rule};
+        let parent = Mailbox::new();
+        let bad_rules: RuleSet = vec![Rule::new(
+            "needs-missing-bean",
+            Condition::flag("noSuchBean"),
+            vec![],
+        )]
+        .into_iter()
+        .collect();
+        let mut m = AutonomicManager::new(
+            ManagerConfig::sequential("AM_X"),
+            Box::new(NullAbc::default()),
+            EventLog::new(),
+        )
+        .with_rules(bad_rules)
+        .with_parent(parent.clone());
+        m.control_cycle(0.0);
+        assert!(parent
+            .drain()
+            .iter()
+            .any(|r| matches!(r.kind, ViolationKind::Unsatisfiable(_))));
+    }
+
+    #[test]
+    fn mailbox_and_slot_basics() {
+        let mb = Mailbox::new();
+        assert!(mb.is_empty());
+        mb.push(ViolationReport {
+            from: "x".into(),
+            kind: ViolationKind::NotEnoughTasks,
+            at: 0.0,
+        });
+        assert_eq!(mb.len(), 1);
+        assert_eq!(mb.drain().len(), 1);
+        assert!(mb.is_empty());
+
+        let slot = ContractSlot::new();
+        assert!(slot.take().is_none());
+        slot.post(Contract::BestEffort);
+        slot.post(Contract::min_throughput(1.0));
+        assert_eq!(slot.take(), Some(Contract::min_throughput(1.0)));
+        assert!(slot.take().is_none());
+    }
+
+    #[test]
+    fn in_contract_farm_logs_nothing_and_stays_active() {
+        let (mut m, acts) = farm_manager(vec![farm_snap(0.5, 0.5, 3, 0.0)]);
+        m.contract_slot().post(Contract::throughput_range(0.3, 0.7));
+        m.control_cycle(0.0);
+        assert!(acts.lock().unwrap().is_empty());
+        assert_eq!(m.state(), AmState::Active);
+        assert!(m.log().of_kind(&EventKind::ContrLow).is_empty());
+    }
+}

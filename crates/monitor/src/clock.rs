@@ -1,0 +1,170 @@
+//! Time sources for monitoring.
+//!
+//! All monitoring code is written against the [`Clock`] trait so that the
+//! same estimators serve both the threaded skeleton runtime (wall-clock
+//! time) and the discrete-event simulator (virtual time). Time is a plain
+//! `f64` number of seconds since an arbitrary per-run origin; the paper's
+//! quantities of interest (task/s rates, SLA thresholds) are all expressed
+//! in seconds, and double precision comfortably covers the microsecond
+//! resolution and multi-hour spans the experiments need.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Seconds since the clock's origin.
+pub type Time = f64;
+
+/// A monotonic time source.
+///
+/// Implementations must be cheap to query and monotonically non-decreasing.
+pub trait Clock: Send + Sync {
+    /// Current time, in seconds since this clock's origin.
+    fn now(&self) -> Time;
+}
+
+/// Wall-clock time relative to the instant the clock was created.
+#[derive(Debug, Clone)]
+pub struct RealClock {
+    origin: Instant,
+}
+
+impl RealClock {
+    /// Creates a clock whose origin is "now".
+    pub fn new() -> Self {
+        Self {
+            origin: Instant::now(),
+        }
+    }
+}
+
+impl Default for RealClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clock for RealClock {
+    fn now(&self) -> Time {
+        self.origin.elapsed().as_secs_f64()
+    }
+}
+
+/// A manually-advanced clock for tests and the discrete-event simulator.
+///
+/// Cloning a `ManualClock` yields a handle onto the *same* underlying time
+/// value, so a simulator kernel can advance time while estimators observe it.
+#[derive(Debug, Clone, Default)]
+pub struct ManualClock {
+    // f64 bits stored in an atomic so the clock is Sync without locking.
+    bits: Arc<AtomicU64>,
+}
+
+impl ManualClock {
+    /// Creates a manual clock at time 0.0.
+    pub fn new() -> Self {
+        Self::at(0.0)
+    }
+
+    /// Creates a manual clock at an arbitrary starting time.
+    pub fn at(t: Time) -> Self {
+        let c = Self {
+            bits: Arc::new(AtomicU64::new(0)),
+        };
+        c.set(t);
+        c
+    }
+
+    /// Sets the current time. Panics in debug builds if time would go
+    /// backwards, which would violate the [`Clock`] contract.
+    pub fn set(&self, t: Time) {
+        debug_assert!(t.is_finite(), "clock time must be finite");
+        debug_assert!(
+            t >= self.now() || self.bits.load(Ordering::Relaxed) == 0,
+            "ManualClock must not go backwards (now={}, requested={})",
+            self.now(),
+            t
+        );
+        self.bits.store(t.to_bits(), Ordering::Release);
+    }
+
+    /// Advances the clock by `dt` seconds and returns the new time.
+    pub fn advance(&self, dt: Time) -> Time {
+        let t = self.now() + dt;
+        self.set(t);
+        t
+    }
+}
+
+impl Clock for ManualClock {
+    fn now(&self) -> Time {
+        f64::from_bits(self.bits.load(Ordering::Acquire))
+    }
+}
+
+impl<C: Clock + ?Sized> Clock for Arc<C> {
+    fn now(&self) -> Time {
+        (**self).now()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn real_clock_is_monotonic() {
+        let c = RealClock::new();
+        let a = c.now();
+        let b = c.now();
+        assert!(b >= a);
+        assert!(a >= 0.0);
+    }
+
+    #[test]
+    fn manual_clock_starts_at_zero() {
+        let c = ManualClock::new();
+        assert_eq!(c.now(), 0.0);
+    }
+
+    #[test]
+    fn manual_clock_set_and_advance() {
+        let c = ManualClock::new();
+        c.set(1.5);
+        assert_eq!(c.now(), 1.5);
+        let t = c.advance(0.25);
+        assert_eq!(t, 1.75);
+        assert_eq!(c.now(), 1.75);
+    }
+
+    #[test]
+    fn manual_clock_clones_share_time() {
+        let c = ManualClock::new();
+        let d = c.clone();
+        c.set(9.0);
+        assert_eq!(d.now(), 9.0);
+        d.advance(1.0);
+        assert_eq!(c.now(), 10.0);
+    }
+
+    #[test]
+    fn manual_clock_at_origin() {
+        let c = ManualClock::at(42.0);
+        assert_eq!(c.now(), 42.0);
+    }
+
+    #[test]
+    fn arc_clock_delegates() {
+        let c: Arc<dyn Clock> = Arc::new(ManualClock::at(3.0));
+        assert_eq!(c.now(), 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must not go backwards")]
+    #[cfg(debug_assertions)]
+    fn manual_clock_rejects_backwards_time() {
+        let c = ManualClock::new();
+        c.set(5.0);
+        c.set(4.0);
+    }
+}

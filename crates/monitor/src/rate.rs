@@ -1,0 +1,306 @@
+//! Rate estimation.
+//!
+//! The autonomic managers of the paper reason almost exclusively about
+//! *rates*: the `arrivalRate` (input pressure) and `departureRate`
+//! (delivered throughput) beans tested by every rule in Fig. 5, and the SLA
+//! contracts themselves ("0.6 tasks/s", "0.3–0.7 tasks/s"). Two estimators
+//! are provided:
+//!
+//! * [`RateEstimator`] — an exact sliding-window estimator over event
+//!   timestamps. Matches how the GCM prototype's ABC computed inter-arrival
+//!   rates; robust for the low rates (≪ 1 kHz) of the paper's experiments.
+//! * [`Ewma`] — an exponentially-weighted moving average over arbitrary
+//!   samples, used to smooth noisy sensors before they reach the rule
+//!   engine (avoiding rule flapping around thresholds).
+
+use crate::clock::Time;
+use std::collections::VecDeque;
+
+/// Sliding-window event-rate estimator.
+///
+/// Records event timestamps and reports `events-in-window / window` at query
+/// time. The window slides with the *query* time, so a stalled stream decays
+/// to zero rate — essential for detecting the paper's `notEnough` (input
+/// starvation) condition.
+#[derive(Debug, Clone)]
+pub struct RateEstimator {
+    window: Time,
+    /// Event timestamps within `window` of the most recent `record`/`rate`.
+    events: VecDeque<Time>,
+    /// Total events ever recorded (survives pruning).
+    total: u64,
+    /// Timestamp of the most recent event, if any.
+    last_event: Option<Time>,
+}
+
+impl RateEstimator {
+    /// Creates an estimator with the given window length in seconds.
+    ///
+    /// # Panics
+    /// Panics if `window` is not strictly positive and finite.
+    pub fn new(window: Time) -> Self {
+        assert!(
+            window.is_finite() && window > 0.0,
+            "rate window must be positive and finite, got {window}"
+        );
+        Self {
+            window,
+            events: VecDeque::new(),
+            total: 0,
+            last_event: None,
+        }
+    }
+
+    /// The window length, in seconds.
+    pub fn window(&self) -> Time {
+        self.window
+    }
+
+    /// Records one event at time `t`.
+    ///
+    /// Out-of-order timestamps (within the window) are tolerated; pruning
+    /// only relies on the front of the deque being oldest, so `t` values are
+    /// inserted in arrival order.
+    pub fn record(&mut self, t: Time) {
+        self.total += 1;
+        self.last_event = Some(match self.last_event {
+            Some(prev) => prev.max(t),
+            None => t,
+        });
+        self.events.push_back(t);
+        self.prune(t);
+    }
+
+    /// Records `n` simultaneous events at time `t` (batch completion).
+    pub fn record_n(&mut self, t: Time, n: u64) {
+        for _ in 0..n {
+            self.record(t);
+        }
+    }
+
+    /// Estimated rate in events/second at query time `now`.
+    pub fn rate(&mut self, now: Time) -> f64 {
+        self.prune(now);
+        self.events.len() as f64 / self.window
+    }
+
+    /// Mean inter-arrival time over the current window, if at least two
+    /// events are present.
+    pub fn mean_interarrival(&mut self, now: Time) -> Option<f64> {
+        self.prune(now);
+        if self.events.len() < 2 {
+            return None;
+        }
+        let first = *self.events.front().expect("len >= 2");
+        let last = *self.events.back().expect("len >= 2");
+        let span = last - first;
+        if span <= 0.0 {
+            return None;
+        }
+        Some(span / (self.events.len() - 1) as f64)
+    }
+
+    /// Seconds since the last recorded event, or `None` if no event yet.
+    pub fn idle_for(&self, now: Time) -> Option<f64> {
+        self.last_event.map(|t| (now - t).max(0.0))
+    }
+
+    /// Total events ever recorded.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Number of events currently inside the window (as of the last call).
+    pub fn in_window(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Drops all state, as after a reconfiguration blackout (the paper's
+    /// Fig. 4 shows no sensor data during worker addition; resetting avoids
+    /// the stale pre-reconfiguration rate biasing the first post-blackout
+    /// reading).
+    pub fn reset(&mut self) {
+        self.events.clear();
+        self.last_event = None;
+    }
+
+    fn prune(&mut self, now: Time) {
+        let horizon = now - self.window;
+        while let Some(&front) = self.events.front() {
+            if front <= horizon {
+                self.events.pop_front();
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+/// Exponentially-weighted moving average.
+///
+/// `alpha` is the weight of a *new* sample: `ewma' = alpha*x + (1-alpha)*ewma`.
+#[derive(Debug, Clone, Copy)]
+pub struct Ewma {
+    alpha: f64,
+    value: Option<f64>,
+}
+
+impl Ewma {
+    /// Creates an EWMA with smoothing factor `alpha` in `(0, 1]`.
+    ///
+    /// # Panics
+    /// Panics if `alpha` is outside `(0, 1]`.
+    pub fn new(alpha: f64) -> Self {
+        assert!(
+            alpha > 0.0 && alpha <= 1.0,
+            "EWMA alpha must be in (0,1], got {alpha}"
+        );
+        Self { alpha, value: None }
+    }
+
+    /// Feeds a sample and returns the updated average.
+    pub fn update(&mut self, x: f64) -> f64 {
+        let v = match self.value {
+            None => x,
+            Some(prev) => self.alpha * x + (1.0 - self.alpha) * prev,
+        };
+        self.value = Some(v);
+        v
+    }
+
+    /// Current average, or `None` before the first sample.
+    pub fn get(&self) -> Option<f64> {
+        self.value
+    }
+
+    /// Current average, or `default` before the first sample.
+    pub fn get_or(&self, default: f64) -> f64 {
+        self.value.unwrap_or(default)
+    }
+
+    /// Clears the average.
+    pub fn reset(&mut self) {
+        self.value = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn steady_stream_rate() {
+        // 10 events/s for 5 s over a 2 s window => rate 10.
+        let mut r = RateEstimator::new(2.0);
+        let mut t = 0.0;
+        while t < 5.0 {
+            r.record(t);
+            t += 0.1;
+        }
+        // Window (3.0, 5.0] holds the 19 events at 3.1..4.9 => 9.5 ev/s;
+        // the half-event bias is inherent to edge effects of a finite window.
+        let rate = r.rate(5.0);
+        assert!((rate - 10.0).abs() <= 0.5 + 1e-9, "rate was {rate}");
+    }
+
+    #[test]
+    fn rate_decays_when_stream_stalls() {
+        let mut r = RateEstimator::new(1.0);
+        for i in 0..10 {
+            r.record(i as f64 * 0.1);
+        }
+        assert!(r.rate(1.0) > 5.0);
+        assert_eq!(r.rate(10.0), 0.0, "all events fell out of the window");
+    }
+
+    #[test]
+    fn empty_estimator_reports_zero() {
+        let mut r = RateEstimator::new(1.0);
+        assert_eq!(r.rate(100.0), 0.0);
+        assert_eq!(r.mean_interarrival(100.0), None);
+        assert_eq!(r.idle_for(100.0), None);
+        assert_eq!(r.total(), 0);
+    }
+
+    #[test]
+    fn mean_interarrival_of_regular_stream() {
+        let mut r = RateEstimator::new(10.0);
+        for i in 0..5 {
+            r.record(i as f64 * 0.5);
+        }
+        let mia = r.mean_interarrival(2.0).unwrap();
+        assert!((mia - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn idle_for_tracks_last_event() {
+        let mut r = RateEstimator::new(1.0);
+        r.record(3.0);
+        assert!((r.idle_for(5.0).unwrap() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn record_n_counts_batch() {
+        let mut r = RateEstimator::new(1.0);
+        r.record_n(0.5, 4);
+        assert_eq!(r.total(), 4);
+        assert!((r.rate(0.5) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reset_clears_window_but_not_total() {
+        let mut r = RateEstimator::new(1.0);
+        r.record(0.1);
+        r.record(0.2);
+        r.reset();
+        assert_eq!(r.rate(0.2), 0.0);
+        assert_eq!(r.total(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "rate window must be positive")]
+    fn zero_window_rejected() {
+        RateEstimator::new(0.0);
+    }
+
+    #[test]
+    fn ewma_first_sample_passes_through() {
+        let mut e = Ewma::new(0.3);
+        assert_eq!(e.get(), None);
+        assert_eq!(e.update(4.0), 4.0);
+        assert_eq!(e.get(), Some(4.0));
+    }
+
+    #[test]
+    fn ewma_converges_to_constant_input() {
+        let mut e = Ewma::new(0.5);
+        for _ in 0..50 {
+            e.update(2.0);
+        }
+        assert!((e.get().unwrap() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ewma_smooths_step() {
+        let mut e = Ewma::new(0.25);
+        e.update(0.0);
+        let v = e.update(1.0);
+        assert!((v - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ewma_get_or_default() {
+        let mut e = Ewma::new(0.5);
+        assert_eq!(e.get_or(7.0), 7.0);
+        e.update(1.0);
+        assert_eq!(e.get_or(7.0), 1.0);
+        e.reset();
+        assert_eq!(e.get_or(7.0), 7.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be in")]
+    fn ewma_rejects_bad_alpha() {
+        Ewma::new(0.0);
+    }
+}

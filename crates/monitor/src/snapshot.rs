@@ -1,0 +1,191 @@
+//! Sensor snapshots — the bean vector an ABC hands to the rule engine.
+//!
+//! The paper's autonomic control loop begins with a *monitor* phase in which
+//! the Autonomic Behaviour Controller (ABC) samples the computation and
+//! materialises a set of named *beans* (`ArrivalRateBean`,
+//! `DepartureRateBean`, `NumWorkerBean`, `QueueVarianceBean`, …) over which
+//! the JBoss-style rules are written. [`SensorSnapshot`] is our typed
+//! equivalent: a plain value object produced once per control period,
+//! convertible into the `(name, value)` pairs a rule engine's working memory
+//! consumes.
+
+use crate::clock::Time;
+
+/// Canonical bean names shared between ABCs, rule files and tests.
+///
+/// Keeping these in one place means a rule file written against the
+/// simulator drives the threaded runtime unchanged.
+pub mod beans {
+    /// Input-pressure rate (tasks/s arriving at the skeleton).
+    pub const ARRIVAL_RATE: &str = "arrivalRate";
+    /// Delivered throughput (tasks/s leaving the skeleton).
+    pub const DEPARTURE_RATE: &str = "departureRate";
+    /// Current parallelism degree (number of workers).
+    pub const NUM_WORKERS: &str = "numWorkers";
+    /// Population variance of per-worker queue lengths.
+    pub const QUEUE_VARIANCE: &str = "queueVariance";
+    /// Total tasks queued inside the skeleton (all workers + emitter).
+    pub const QUEUED_TASKS: &str = "queuedTasks";
+    /// Mean observed per-task service time (seconds).
+    pub const SERVICE_TIME: &str = "serviceTime";
+    /// 1.0 once the end-of-stream marker has been observed on the input.
+    pub const END_OF_STREAM: &str = "endOfStream";
+    /// Seconds since the last input task arrived.
+    pub const IDLE_FOR: &str = "idleFor";
+    /// 1.0 while a reconfiguration is in progress (sensor blackout).
+    pub const RECONFIGURING: &str = "reconfiguring";
+}
+
+/// A point-in-time reading of every sensor a skeleton ABC exposes.
+///
+/// Extra substrate-specific beans (e.g. the simulator's per-node load) can
+/// be attached through [`SensorSnapshot::with_extra`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SensorSnapshot {
+    /// Monitoring timestamp (seconds since run origin).
+    pub at: Time,
+    /// Tasks/s arriving at the skeleton input.
+    pub arrival_rate: f64,
+    /// Tasks/s delivered on the skeleton output.
+    pub departure_rate: f64,
+    /// Current parallelism degree.
+    pub num_workers: u32,
+    /// Variance of per-worker queue lengths.
+    pub queue_variance: f64,
+    /// Total queued tasks.
+    pub queued_tasks: u64,
+    /// Mean per-task service time in seconds (0.0 if unknown).
+    pub service_time: f64,
+    /// Whether the end-of-stream marker has been observed.
+    pub end_of_stream: bool,
+    /// Seconds since the last input arrival (`f64::INFINITY` if none yet).
+    pub idle_for: f64,
+    /// Whether a reconfiguration is in progress (sensors are stale).
+    pub reconfiguring: bool,
+    /// Additional substrate-specific beans.
+    pub extra: Vec<(String, f64)>,
+}
+
+impl SensorSnapshot {
+    /// A snapshot with all sensors at rest, timestamped `at`.
+    pub fn empty(at: Time) -> Self {
+        Self {
+            at,
+            arrival_rate: 0.0,
+            departure_rate: 0.0,
+            num_workers: 0,
+            queue_variance: 0.0,
+            queued_tasks: 0,
+            service_time: 0.0,
+            end_of_stream: false,
+            idle_for: f64::INFINITY,
+            reconfiguring: false,
+            extra: Vec::new(),
+        }
+    }
+
+    /// Attaches an extra named bean (builder style).
+    pub fn with_extra(mut self, name: impl Into<String>, value: f64) -> Self {
+        self.extra.push((name.into(), value));
+        self
+    }
+
+    /// Flattens the snapshot to `(bean name, value)` pairs for a rule
+    /// engine's working memory. Booleans encode as 0.0/1.0.
+    pub fn to_beans(&self) -> Vec<(String, f64)> {
+        let mut out = Vec::with_capacity(9 + self.extra.len());
+        out.push((beans::ARRIVAL_RATE.to_owned(), self.arrival_rate));
+        out.push((beans::DEPARTURE_RATE.to_owned(), self.departure_rate));
+        out.push((beans::NUM_WORKERS.to_owned(), f64::from(self.num_workers)));
+        out.push((beans::QUEUE_VARIANCE.to_owned(), self.queue_variance));
+        out.push((beans::QUEUED_TASKS.to_owned(), self.queued_tasks as f64));
+        out.push((beans::SERVICE_TIME.to_owned(), self.service_time));
+        out.push((
+            beans::END_OF_STREAM.to_owned(),
+            if self.end_of_stream { 1.0 } else { 0.0 },
+        ));
+        out.push((beans::IDLE_FOR.to_owned(), self.idle_for));
+        out.push((
+            beans::RECONFIGURING.to_owned(),
+            if self.reconfiguring { 1.0 } else { 0.0 },
+        ));
+        out.extend(self.extra.iter().cloned());
+        out
+    }
+
+    /// Looks a bean up by name, including extras.
+    pub fn bean(&self, name: &str) -> Option<f64> {
+        self.to_beans()
+            .into_iter()
+            .find_map(|(n, v)| (n == name).then_some(v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_snapshot_defaults() {
+        let s = SensorSnapshot::empty(1.0);
+        assert_eq!(s.at, 1.0);
+        assert_eq!(s.arrival_rate, 0.0);
+        assert_eq!(s.num_workers, 0);
+        assert!(!s.end_of_stream);
+        assert!(s.idle_for.is_infinite());
+    }
+
+    #[test]
+    fn beans_roundtrip_core_fields() {
+        let mut s = SensorSnapshot::empty(0.0);
+        s.arrival_rate = 0.55;
+        s.departure_rate = 0.4;
+        s.num_workers = 3;
+        s.queue_variance = 2.25;
+        s.end_of_stream = true;
+        assert_eq!(s.bean(beans::ARRIVAL_RATE), Some(0.55));
+        assert_eq!(s.bean(beans::DEPARTURE_RATE), Some(0.4));
+        assert_eq!(s.bean(beans::NUM_WORKERS), Some(3.0));
+        assert_eq!(s.bean(beans::QUEUE_VARIANCE), Some(2.25));
+        assert_eq!(s.bean(beans::END_OF_STREAM), Some(1.0));
+        assert_eq!(s.bean("noSuchBean"), None);
+    }
+
+    #[test]
+    fn extra_beans_are_exposed() {
+        let s = SensorSnapshot::empty(0.0).with_extra("nodeLoad", 0.75);
+        assert_eq!(s.bean("nodeLoad"), Some(0.75));
+        assert!(s.to_beans().iter().any(|(n, v)| n == "nodeLoad" && *v == 0.75));
+    }
+
+    #[test]
+    fn bool_beans_encode_as_zero_one() {
+        let mut s = SensorSnapshot::empty(0.0);
+        assert_eq!(s.bean(beans::RECONFIGURING), Some(0.0));
+        s.reconfiguring = true;
+        assert_eq!(s.bean(beans::RECONFIGURING), Some(1.0));
+    }
+
+    #[test]
+    fn to_beans_emits_every_core_bean_once() {
+        let s = SensorSnapshot::empty(0.0);
+        let all = s.to_beans();
+        for name in [
+            beans::ARRIVAL_RATE,
+            beans::DEPARTURE_RATE,
+            beans::NUM_WORKERS,
+            beans::QUEUE_VARIANCE,
+            beans::QUEUED_TASKS,
+            beans::SERVICE_TIME,
+            beans::END_OF_STREAM,
+            beans::IDLE_FOR,
+            beans::RECONFIGURING,
+        ] {
+            assert_eq!(
+                all.iter().filter(|(n, _)| n == name).count(),
+                1,
+                "bean {name} missing or duplicated"
+            );
+        }
+    }
+}

@@ -1,0 +1,337 @@
+//! Online and windowed statistics.
+//!
+//! The `CheckLoadBalance` rule of the paper (Fig. 5) fires on a
+//! `QueueVarianceBean`: the dispersion of per-worker queue lengths in a
+//! farm. This module provides the [`queue_variance`] helper computing that
+//! bean, plus general online ([`Welford`]) and windowed ([`WindowStats`])
+//! accumulators used for service-time and rate smoothing.
+
+use std::collections::VecDeque;
+
+/// Numerically stable online mean/variance (Welford's algorithm).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Welford {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Welford {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Feeds one sample.
+    pub fn update(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance (0.0 with fewer than 2 samples).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+
+    /// Sample (unbiased) variance (0.0 with fewer than 2 samples).
+    pub fn sample_variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn stddev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest sample seen, or `None` when empty.
+    pub fn min(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.min)
+    }
+
+    /// Largest sample seen, or `None` when empty.
+    pub fn max(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.max)
+    }
+
+    /// Merges another accumulator into this one (Chan et al. parallel
+    /// combination), enabling per-worker accumulators to be folded into a
+    /// farm-level statistic without locking on the hot path.
+    pub fn merge(&mut self, other: &Welford) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = *other;
+            return;
+        }
+        let n_total = self.n + other.n;
+        let delta = other.mean - self.mean;
+        self.m2 += other.m2 + delta * delta * (self.n as f64 * other.n as f64) / n_total as f64;
+        self.mean += delta * other.n as f64 / n_total as f64;
+        self.n = n_total;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Mean/variance over the most recent `capacity` samples.
+#[derive(Debug, Clone)]
+pub struct WindowStats {
+    capacity: usize,
+    samples: VecDeque<f64>,
+}
+
+impl WindowStats {
+    /// Creates a window holding up to `capacity` samples.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "window capacity must be non-zero");
+        Self {
+            capacity,
+            samples: VecDeque::with_capacity(capacity),
+        }
+    }
+
+    /// Pushes a sample, evicting the oldest if the window is full.
+    pub fn push(&mut self, x: f64) {
+        if self.samples.len() == self.capacity {
+            self.samples.pop_front();
+        }
+        self.samples.push_back(x);
+    }
+
+    /// Number of samples currently held.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True when no samples are held.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Mean of the window (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().sum::<f64>() / self.samples.len() as f64
+    }
+
+    /// Population variance of the window.
+    pub fn variance(&self) -> f64 {
+        let n = self.samples.len();
+        if n < 2 {
+            return 0.0;
+        }
+        let mean = self.mean();
+        self.samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64
+    }
+
+    /// Most recent sample, if any.
+    pub fn last(&self) -> Option<f64> {
+        self.samples.back().copied()
+    }
+
+    /// Clears the window.
+    pub fn clear(&mut self) {
+        self.samples.clear();
+    }
+}
+
+/// Population variance of per-worker queue lengths — the paper's
+/// `QueueVarianceBean`.
+///
+/// An empty farm (no workers) has zero variance by definition: there is
+/// nothing to rebalance.
+pub fn queue_variance(queue_lengths: &[u64]) -> f64 {
+    let n = queue_lengths.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let mean = queue_lengths.iter().sum::<u64>() as f64 / n as f64;
+    queue_lengths
+        .iter()
+        .map(|&q| {
+            let d = q as f64 - mean;
+            d * d
+        })
+        .sum::<f64>()
+        / n as f64
+}
+
+/// Maximum absolute deviation of queue lengths from their mean.
+///
+/// An alternative unbalance metric exposed to rule authors; less sensitive
+/// to farm size than variance.
+pub fn queue_max_deviation(queue_lengths: &[u64]) -> f64 {
+    let n = queue_lengths.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let mean = queue_lengths.iter().sum::<u64>() as f64 / n as f64;
+    queue_lengths
+        .iter()
+        .map(|&q| (q as f64 - mean).abs())
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_variance(xs: &[f64]) -> f64 {
+        let n = xs.len() as f64;
+        let mean = xs.iter().sum::<f64>() / n;
+        xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n
+    }
+
+    #[test]
+    fn welford_matches_naive() {
+        let xs = [1.0, 4.0, 2.0, 8.0, 5.0, 7.0];
+        let mut w = Welford::new();
+        for &x in &xs {
+            w.update(x);
+        }
+        assert!((w.mean() - 4.5).abs() < 1e-12);
+        assert!((w.variance() - naive_variance(&xs)).abs() < 1e-12);
+        assert_eq!(w.min(), Some(1.0));
+        assert_eq!(w.max(), Some(8.0));
+        assert_eq!(w.count(), 6);
+    }
+
+    #[test]
+    fn welford_empty_and_singleton() {
+        let mut w = Welford::new();
+        assert_eq!(w.mean(), 0.0);
+        assert_eq!(w.variance(), 0.0);
+        assert_eq!(w.min(), None);
+        w.update(3.0);
+        assert_eq!(w.mean(), 3.0);
+        assert_eq!(w.variance(), 0.0);
+        assert_eq!(w.sample_variance(), 0.0);
+    }
+
+    #[test]
+    fn welford_merge_equals_sequential() {
+        let xs = [1.0, 2.0, 3.0, 10.0, 20.0];
+        let ys = [4.0, 5.0, 6.0];
+        let mut all = Welford::new();
+        for &x in xs.iter().chain(ys.iter()) {
+            all.update(x);
+        }
+        let mut a = Welford::new();
+        for &x in &xs {
+            a.update(x);
+        }
+        let mut b = Welford::new();
+        for &y in &ys {
+            b.update(y);
+        }
+        a.merge(&b);
+        assert!((a.mean() - all.mean()).abs() < 1e-12);
+        assert!((a.variance() - all.variance()).abs() < 1e-12);
+        assert_eq!(a.count(), all.count());
+        assert_eq!(a.min(), all.min());
+        assert_eq!(a.max(), all.max());
+    }
+
+    #[test]
+    fn welford_merge_with_empty_is_identity() {
+        let mut a = Welford::new();
+        a.update(1.0);
+        a.update(2.0);
+        let before = (a.mean(), a.variance(), a.count());
+        a.merge(&Welford::new());
+        assert_eq!((a.mean(), a.variance(), a.count()), before);
+
+        let mut empty = Welford::new();
+        empty.merge(&a);
+        assert!((empty.mean() - a.mean()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn window_stats_evicts_oldest() {
+        let mut w = WindowStats::new(3);
+        for x in [1.0, 2.0, 3.0, 4.0] {
+            w.push(x);
+        }
+        assert_eq!(w.len(), 3);
+        assert!((w.mean() - 3.0).abs() < 1e-12); // window is [2,3,4]
+        assert_eq!(w.last(), Some(4.0));
+    }
+
+    #[test]
+    fn window_stats_variance() {
+        let mut w = WindowStats::new(10);
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            w.push(x);
+        }
+        assert!((w.variance() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn window_stats_empty() {
+        let w = WindowStats::new(4);
+        assert!(w.is_empty());
+        assert_eq!(w.mean(), 0.0);
+        assert_eq!(w.variance(), 0.0);
+        assert_eq!(w.last(), None);
+    }
+
+    #[test]
+    fn queue_variance_balanced_is_zero() {
+        assert_eq!(queue_variance(&[5, 5, 5, 5]), 0.0);
+        assert_eq!(queue_variance(&[]), 0.0);
+        assert_eq!(queue_variance(&[9]), 0.0);
+    }
+
+    #[test]
+    fn queue_variance_unbalanced() {
+        // mean 5, deviations [-5, +5] => variance 25
+        assert!((queue_variance(&[0, 10]) - 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn queue_max_deviation_metric() {
+        assert_eq!(queue_max_deviation(&[4, 4, 4]), 0.0);
+        assert!((queue_max_deviation(&[0, 10]) - 5.0).abs() < 1e-12);
+        assert_eq!(queue_max_deviation(&[3]), 0.0);
+    }
+}

@@ -1,0 +1,327 @@
+//! The rule engine: fireable-rule selection, salience ordering, execution.
+//!
+//! Mirrors the control cycle of the paper's §4.1: *"At each invocation,
+//! 'fireable' rules are selected, prioritized and executed. Execution of a
+//! JBoss rule leads to the invocation of the actuator mechanisms in the
+//! action part of the rule."* The engine is deterministic: ties in salience
+//! break by definition order, making manager behaviour reproducible under
+//! the simulator's fixed seeds.
+
+use crate::ast::{EvalError, OpCall, Rule, RuleSet};
+use crate::wm::{ParamTable, WorkingMemory};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// One rule firing: the rule's name and the operations its actions produced.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Firing {
+    /// Name of the fired rule.
+    pub rule: String,
+    /// Salience the rule fired at.
+    pub salience: i32,
+    /// Operation calls produced by the rule's action list.
+    pub ops: Vec<OpCall>,
+}
+
+/// Engine errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// A rule condition failed to evaluate (unknown bean/parameter). The
+    /// offending rule name is carried for diagnosis.
+    Eval {
+        /// Rule whose condition failed.
+        rule: String,
+        /// Underlying evaluation error.
+        source: EvalError,
+    },
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Eval { rule, source } => {
+                write!(f, "rule `{rule}`: {source}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// A deterministic forward-chaining engine over a [`RuleSet`].
+///
+/// The engine is stateful only for *edge-triggered* rules, for which it
+/// remembers whether each rule's condition held in the previous cycle.
+#[derive(Debug, Clone)]
+pub struct RuleEngine {
+    rules: RuleSet,
+    /// Names of edge-triggered rules whose condition held last cycle.
+    active_edges: BTreeSet<String>,
+    cycles: u64,
+    firings: u64,
+}
+
+impl RuleEngine {
+    /// Creates an engine over the given rule program.
+    pub fn new(rules: RuleSet) -> Self {
+        Self {
+            rules,
+            active_edges: BTreeSet::new(),
+            cycles: 0,
+            firings: 0,
+        }
+    }
+
+    /// The rule program.
+    pub fn rules(&self) -> &RuleSet {
+        &self.rules
+    }
+
+    /// Replaces the rule program (e.g. after receiving a contract whose
+    /// concern needs a different policy set). Edge state is cleared.
+    pub fn load(&mut self, rules: RuleSet) {
+        self.rules = rules;
+        self.active_edges.clear();
+    }
+
+    /// Number of control cycles run so far.
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Number of rule firings so far.
+    pub fn firings(&self) -> u64 {
+        self.firings
+    }
+
+    /// Runs one control cycle: evaluates every rule against `wm`/`params`,
+    /// selects the fireable ones, orders them by salience (descending,
+    /// definition order within equal salience) and executes their actions.
+    ///
+    /// Returns the ordered list of firings. Execution here is *symbolic*:
+    /// actually invoking actuators is the caller's (the manager's) job, so
+    /// the engine never blocks the control loop.
+    pub fn cycle(
+        &mut self,
+        wm: &WorkingMemory,
+        params: &ParamTable,
+    ) -> Result<Vec<Firing>, EngineError> {
+        self.cycles += 1;
+
+        // Evaluate all conditions first so edge bookkeeping sees a
+        // consistent snapshot even if a later rule errors.
+        let mut truth = Vec::with_capacity(self.rules.len());
+        for rule in self.rules.rules() {
+            let held = rule.when.eval(wm, params).map_err(|source| EngineError::Eval {
+                rule: rule.name.clone(),
+                source,
+            })?;
+            truth.push(held);
+        }
+
+        let mut fireable: Vec<&Rule> = Vec::new();
+        for (rule, &held) in self.rules.rules().iter().zip(&truth) {
+            if held {
+                let suppressed = rule.edge_triggered && self.active_edges.contains(&rule.name);
+                if !suppressed {
+                    fireable.push(rule);
+                }
+            }
+        }
+
+        // Stable sort: salience descending, definition order preserved
+        // within equal salience (matches Drools' default conflict
+        // resolution closely enough for our single-pass managers).
+        fireable.sort_by_key(|r| std::cmp::Reverse(r.salience));
+
+        let firings: Vec<Firing> = fireable
+            .iter()
+            .map(|rule| Firing {
+                rule: rule.name.clone(),
+                salience: rule.salience,
+                ops: rule.execute(),
+            })
+            .collect();
+        self.firings += firings.len() as u64;
+
+        // Update edge state from this cycle's truth values.
+        for (rule, &held) in self.rules.rules().iter().zip(&truth) {
+            if rule.edge_triggered {
+                if held {
+                    self.active_edges.insert(rule.name.clone());
+                } else {
+                    self.active_edges.remove(&rule.name);
+                }
+            }
+        }
+
+        Ok(firings)
+    }
+
+    /// Like [`RuleEngine::cycle`] but flattening the firings into the bare
+    /// operation calls, in firing order.
+    pub fn cycle_ops(
+        &mut self,
+        wm: &WorkingMemory,
+        params: &ParamTable,
+    ) -> Result<Vec<OpCall>, EngineError> {
+        Ok(self
+            .cycle(wm, params)?
+            .into_iter()
+            .flat_map(|f| f.ops)
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{Action, Cmp, Condition};
+
+    fn engine(rules: Vec<Rule>) -> RuleEngine {
+        RuleEngine::new(rules.into_iter().collect())
+    }
+
+    fn fire(op: &str) -> Vec<Action> {
+        vec![Action::Fire(op.into())]
+    }
+
+    #[test]
+    fn fires_only_true_conditions() {
+        let mut e = engine(vec![
+            Rule::new("yes", Condition::bean_vs_const("x", Cmp::Gt, 1.0), fire("A")),
+            Rule::new("no", Condition::bean_vs_const("x", Cmp::Lt, 1.0), fire("B")),
+        ]);
+        let wm = WorkingMemory::from_beans([("x", 5.0)]);
+        let fs = e.cycle(&wm, &ParamTable::new()).unwrap();
+        assert_eq!(fs.len(), 1);
+        assert_eq!(fs[0].rule, "yes");
+        assert_eq!(fs[0].ops, vec![OpCall::new("A")]);
+    }
+
+    #[test]
+    fn salience_orders_firings() {
+        let mut e = engine(vec![
+            Rule::new("low", Condition::True, fire("L")).salience(1),
+            Rule::new("high", Condition::True, fire("H")).salience(10),
+            Rule::new("mid", Condition::True, fire("M")).salience(5),
+        ]);
+        let names: Vec<String> = e
+            .cycle(&WorkingMemory::new(), &ParamTable::new())
+            .unwrap()
+            .into_iter()
+            .map(|f| f.rule)
+            .collect();
+        assert_eq!(names, ["high", "mid", "low"]);
+    }
+
+    #[test]
+    fn equal_salience_keeps_definition_order() {
+        let mut e = engine(vec![
+            Rule::new("first", Condition::True, fire("1")),
+            Rule::new("second", Condition::True, fire("2")),
+            Rule::new("third", Condition::True, fire("3")),
+        ]);
+        let names: Vec<String> = e
+            .cycle(&WorkingMemory::new(), &ParamTable::new())
+            .unwrap()
+            .into_iter()
+            .map(|f| f.rule)
+            .collect();
+        assert_eq!(names, ["first", "second", "third"]);
+    }
+
+    #[test]
+    fn level_triggered_refires_every_cycle() {
+        let mut e = engine(vec![Rule::new("r", Condition::True, fire("A"))]);
+        let wm = WorkingMemory::new();
+        let p = ParamTable::new();
+        assert_eq!(e.cycle(&wm, &p).unwrap().len(), 1);
+        assert_eq!(e.cycle(&wm, &p).unwrap().len(), 1);
+        assert_eq!(e.firings(), 2);
+        assert_eq!(e.cycles(), 2);
+    }
+
+    #[test]
+    fn edge_triggered_fires_once_per_activation() {
+        let mut e = engine(vec![Rule::new(
+            "r",
+            Condition::flag("cond"),
+            fire("A"),
+        )
+        .edge_triggered()]);
+        let p = ParamTable::new();
+        let on = WorkingMemory::from_beans([("cond", 1.0)]);
+        let off = WorkingMemory::from_beans([("cond", 0.0)]);
+
+        assert_eq!(e.cycle(&on, &p).unwrap().len(), 1, "rising edge fires");
+        assert_eq!(e.cycle(&on, &p).unwrap().len(), 0, "held level suppressed");
+        assert_eq!(e.cycle(&off, &p).unwrap().len(), 0, "falling edge silent");
+        assert_eq!(e.cycle(&on, &p).unwrap().len(), 1, "re-arms after reset");
+    }
+
+    #[test]
+    fn eval_error_carries_rule_name() {
+        let mut e = engine(vec![Rule::new(
+            "needs-bean",
+            Condition::flag("missing"),
+            fire("A"),
+        )]);
+        let err = e.cycle(&WorkingMemory::new(), &ParamTable::new()).unwrap_err();
+        match err {
+            EngineError::Eval { rule, source } => {
+                assert_eq!(rule, "needs-bean");
+                assert_eq!(source, EvalError::UnknownBean("missing".into()));
+            }
+        }
+    }
+
+    #[test]
+    fn cycle_ops_flattens_in_order() {
+        let mut e = engine(vec![
+            Rule::new(
+                "r1",
+                Condition::True,
+                vec![
+                    Action::SetData("d".into()),
+                    Action::Fire("A".into()),
+                    Action::Fire("B".into()),
+                ],
+            )
+            .salience(1),
+            Rule::new("r2", Condition::True, fire("C")),
+        ]);
+        let ops = e.cycle_ops(&WorkingMemory::new(), &ParamTable::new()).unwrap();
+        assert_eq!(
+            ops,
+            vec![
+                OpCall::with_data("A", "d"),
+                OpCall::with_data("B", "d"),
+                OpCall::new("C"),
+            ]
+        );
+    }
+
+    #[test]
+    fn load_replaces_program_and_clears_edges() {
+        let mut e = engine(vec![Rule::new("r", Condition::flag("c"), fire("A")).edge_triggered()]);
+        let p = ParamTable::new();
+        let on = WorkingMemory::from_beans([("c", 1.0)]);
+        assert_eq!(e.cycle(&on, &p).unwrap().len(), 1);
+        assert_eq!(e.cycle(&on, &p).unwrap().len(), 0);
+
+        // Reloading the same program resets edge suppression.
+        let fresh: RuleSet =
+            vec![Rule::new("r", Condition::flag("c"), fire("A")).edge_triggered()]
+                .into_iter()
+                .collect();
+        e.load(fresh);
+        assert_eq!(e.cycle(&on, &p).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn empty_ruleset_cycles_cleanly() {
+        let mut e = RuleEngine::new(RuleSet::new());
+        assert!(e.cycle(&WorkingMemory::new(), &ParamTable::new()).unwrap().is_empty());
+    }
+}

@@ -1,0 +1,60 @@
+//! # bskel-rules — a precondition–action rule engine for autonomic managers
+//!
+//! The GCM reference implementation the paper builds on drives each
+//! autonomic manager's analyse/plan phases with the JBoss (Drools) rule
+//! engine: *precondition–action* rules whose preconditions are first-order
+//! formulas over the beans monitored by the ABC, and whose actions invoke
+//! ABC actuator services (paper §4.1, Fig. 5). This crate is a from-scratch
+//! Rust equivalent scoped to exactly what behavioural skeletons need:
+//!
+//! * a [`wm::WorkingMemory`] of named scalar beans (booleans encode 0/1),
+//!   refreshed from a sensor snapshot at each control-loop iteration;
+//! * a condition [`ast`] (comparisons, `&&`/`||`/`!`, parameters `$NAME`
+//!   standing for contract-derived thresholds such as
+//!   `FARM_LOW_PERF_LEVEL`);
+//! * an [`engine::RuleEngine`] implementing the paper's control cycle:
+//!   select *fireable* rules, order by salience, execute their actions
+//!   (with optional edge-triggering to avoid re-firing level conditions);
+//! * a [`parser`] for a Drools-like text syntax, so rule programs ship as
+//!   `.rules` files — the Fig. 5 farm rules are included verbatim
+//!   (modulo syntax) in [`stdlib`];
+//! * [`stdlib`] — the rule libraries used by the experiments: farm manager
+//!   rules (Fig. 5), producer rules, and pipeline-manager rules.
+//!
+//! The engine is deliberately substrate-free: actions are symbolic
+//! operation invocations (`fire(ADD_EXECUTOR)`); binding them to actuators
+//! is the manager's job (`bskel-core`).
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod ast;
+pub mod engine;
+pub mod parser;
+pub mod stdlib;
+pub mod wm;
+
+pub use ast::{Action, Cmp, Condition, Expr, OpCall, Rule, RuleSet};
+pub use engine::{EngineError, Firing, RuleEngine};
+pub use parser::{parse_rules, ParseError};
+pub use wm::{ParamTable, WorkingMemory};
+
+/// Canonical operation names fired by the standard rule libraries.
+///
+/// These mirror the `ManagerOperation` enumeration of the paper's GCM
+/// prototype (Fig. 5): the manager maps them onto typed
+/// `bskel_core::abc::ManagerOp` values.
+pub mod op {
+    /// Report a contract violation to the parent manager (or the user).
+    pub const RAISE_VIOLATION: &str = "RAISE_VIOLATION";
+    /// Add worker(s) to a functional-replication skeleton.
+    pub const ADD_EXECUTOR: &str = "ADD_EXECUTOR";
+    /// Remove worker(s) from a functional-replication skeleton.
+    pub const REMOVE_EXECUTOR: &str = "REMOVE_EXECUTOR";
+    /// Redistribute queued tasks evenly across workers.
+    pub const BALANCE_LOAD: &str = "BALANCE_LOAD";
+    /// Increase a producer stage's output rate (pipeline manager action).
+    pub const INC_RATE: &str = "INC_RATE";
+    /// Decrease a producer stage's output rate (pipeline manager action).
+    pub const DEC_RATE: &str = "DEC_RATE";
+}

@@ -1,0 +1,841 @@
+//! Parser for the `.rules` text syntax.
+//!
+//! Rule programs ship as text files, close to the JBoss syntax the paper
+//! shows in Fig. 5 but without Java class references (beans are plain
+//! names; `ManagersConstants.*` thresholds become `$PARAM` references bound
+//! by the active contract):
+//!
+//! ```text
+//! // AM_F farm manager, paper Fig. 5, rule 3
+//! rule "CheckRateLow" salience 5
+//! when
+//!     departureRate < $FARM_LOW_PERF_LEVEL &&
+//!     arrivalRate >= $FARM_LOW_PERF_LEVEL &&
+//!     numWorkers <= $FARM_MAX_NUM_WORKERS
+//! then
+//!     setData("farmAddWorkers");
+//!     fire(ADD_EXECUTOR);
+//!     fire(BALANCE_LOAD);
+//! end
+//! ```
+//!
+//! Grammar (EBNF):
+//!
+//! ```text
+//! program   := rule*
+//! rule      := "rule" STRING ("salience" INT)? ("once")?
+//!              "when" cond "then" action* "end"
+//! cond      := or
+//! or        := and ("||" and)*
+//! and       := unary ("&&" unary)*
+//! unary     := "!" unary | "(" cond ")" | "true" | "false" | cmp
+//! cmp       := operand OP operand
+//! operand   := NUMBER | "$" IDENT | IDENT
+//! action    := ("setData" "(" STRING ")" | ("fire"|"fireOperation") "(" IDENT ")") ";"?
+//! ```
+//!
+//! Line comments `//` and block comments `/* */` are supported.
+
+use crate::ast::{Action, Cmp, Condition, Expr, Rule, RuleSet};
+use std::fmt;
+
+/// A parse failure with 1-based line/column of the offending token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Human-readable description.
+    pub message: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// 1-based source column.
+    pub col: u32,
+}
+
+impl ParseError {
+    fn new(message: impl Into<String>, line: u32, col: u32) -> Self {
+        Self {
+            message: message.into(),
+            line,
+            col,
+        }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: {}", self.line, self.col, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Str(String),
+    Num(f64),
+    Param(String),
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    EqEq,
+    Ne,
+    AndAnd,
+    OrOr,
+    Bang,
+    LParen,
+    RParen,
+    Semi,
+    Eof,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "identifier `{s}`"),
+            Tok::Str(s) => write!(f, "string \"{s}\""),
+            Tok::Num(n) => write!(f, "number {n}"),
+            Tok::Param(p) => write!(f, "parameter ${p}"),
+            Tok::Lt => write!(f, "`<`"),
+            Tok::Le => write!(f, "`<=`"),
+            Tok::Gt => write!(f, "`>`"),
+            Tok::Ge => write!(f, "`>=`"),
+            Tok::EqEq => write!(f, "`==`"),
+            Tok::Ne => write!(f, "`!=`"),
+            Tok::AndAnd => write!(f, "`&&`"),
+            Tok::OrOr => write!(f, "`||`"),
+            Tok::Bang => write!(f, "`!`"),
+            Tok::LParen => write!(f, "`(`"),
+            Tok::RParen => write!(f, "`)`"),
+            Tok::Semi => write!(f, "`;`"),
+            Tok::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Spanned {
+    tok: Tok,
+    line: u32,
+    col: u32,
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Self {
+            src: src.as_bytes(),
+            pos: 0,
+            line: 1,
+            col: 1,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.src.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.peek()?;
+        self.pos += 1;
+        if c == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn err(&self, msg: impl Into<String>) -> ParseError {
+        ParseError::new(msg, self.line, self.col)
+    }
+
+    fn skip_trivia(&mut self) -> Result<(), ParseError> {
+        loop {
+            match self.peek() {
+                Some(c) if c.is_ascii_whitespace() => {
+                    self.bump();
+                }
+                Some(b'/') if self.peek2() == Some(b'/') => {
+                    while let Some(c) = self.peek() {
+                        if c == b'\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                Some(b'/') if self.peek2() == Some(b'*') => {
+                    let (line, col) = (self.line, self.col);
+                    self.bump();
+                    self.bump();
+                    loop {
+                        match self.peek() {
+                            Some(b'*') if self.peek2() == Some(b'/') => {
+                                self.bump();
+                                self.bump();
+                                break;
+                            }
+                            Some(_) => {
+                                self.bump();
+                            }
+                            None => {
+                                return Err(ParseError::new(
+                                    "unterminated block comment",
+                                    line,
+                                    col,
+                                ))
+                            }
+                        }
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    fn tokenize(mut self) -> Result<Vec<Spanned>, ParseError> {
+        let mut out = Vec::new();
+        loop {
+            self.skip_trivia()?;
+            let (line, col) = (self.line, self.col);
+            let Some(c) = self.peek() else {
+                out.push(Spanned {
+                    tok: Tok::Eof,
+                    line,
+                    col,
+                });
+                return Ok(out);
+            };
+            let tok = match c {
+                b'(' => {
+                    self.bump();
+                    Tok::LParen
+                }
+                b')' => {
+                    self.bump();
+                    Tok::RParen
+                }
+                b';' => {
+                    self.bump();
+                    Tok::Semi
+                }
+                b'<' => {
+                    self.bump();
+                    if self.peek() == Some(b'=') {
+                        self.bump();
+                        Tok::Le
+                    } else {
+                        Tok::Lt
+                    }
+                }
+                b'>' => {
+                    self.bump();
+                    if self.peek() == Some(b'=') {
+                        self.bump();
+                        Tok::Ge
+                    } else {
+                        Tok::Gt
+                    }
+                }
+                b'=' => {
+                    self.bump();
+                    if self.peek() == Some(b'=') {
+                        self.bump();
+                        Tok::EqEq
+                    } else {
+                        return Err(self.err("expected `==` (single `=` is not an operator)"));
+                    }
+                }
+                b'!' => {
+                    self.bump();
+                    if self.peek() == Some(b'=') {
+                        self.bump();
+                        Tok::Ne
+                    } else {
+                        Tok::Bang
+                    }
+                }
+                b'&' => {
+                    self.bump();
+                    if self.peek() == Some(b'&') {
+                        self.bump();
+                        Tok::AndAnd
+                    } else {
+                        return Err(self.err("expected `&&`"));
+                    }
+                }
+                b'|' => {
+                    self.bump();
+                    if self.peek() == Some(b'|') {
+                        self.bump();
+                        Tok::OrOr
+                    } else {
+                        return Err(self.err("expected `||`"));
+                    }
+                }
+                b'$' => {
+                    self.bump();
+                    let name = self.lex_ident_text();
+                    if name.is_empty() {
+                        return Err(self.err("expected parameter name after `$`"));
+                    }
+                    Tok::Param(name)
+                }
+                b'"' => {
+                    self.bump();
+                    let mut s = String::new();
+                    loop {
+                        match self.bump() {
+                            Some(b'"') => break,
+                            Some(b'\n') | None => {
+                                return Err(ParseError::new(
+                                    "unterminated string literal",
+                                    line,
+                                    col,
+                                ))
+                            }
+                            Some(ch) => s.push(ch as char),
+                        }
+                    }
+                    Tok::Str(s)
+                }
+                b'-' | b'0'..=b'9' => {
+                    let mut text = String::new();
+                    if c == b'-' {
+                        text.push('-');
+                        self.bump();
+                    }
+                    while let Some(d) = self.peek() {
+                        if d.is_ascii_digit() || d == b'.' {
+                            text.push(d as char);
+                            self.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                    let n: f64 = text
+                        .parse()
+                        .map_err(|_| ParseError::new(format!("bad number `{text}`"), line, col))?;
+                    Tok::Num(n)
+                }
+                c if c.is_ascii_alphabetic() || c == b'_' => {
+                    let name = self.lex_ident_text();
+                    Tok::Ident(name)
+                }
+                other => {
+                    return Err(self.err(format!(
+                        "unexpected character `{}`",
+                        other as char
+                    )))
+                }
+            };
+            out.push(Spanned { tok, line, col });
+        }
+    }
+
+    fn lex_ident_text(&mut self) -> String {
+        let mut s = String::new();
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphanumeric() || c == b'_' || c == b'.' {
+                s.push(c as char);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        s
+    }
+}
+
+struct Parser {
+    toks: Vec<Spanned>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Spanned {
+        &self.toks[self.pos.min(self.toks.len() - 1)]
+    }
+
+    fn bump(&mut self) -> Spanned {
+        let t = self.peek().clone();
+        if self.pos < self.toks.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err_here(&self, msg: impl Into<String>) -> ParseError {
+        let t = self.peek();
+        ParseError::new(msg, t.line, t.col)
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<(), ParseError> {
+        match &self.peek().tok {
+            Tok::Ident(s) if s == kw => {
+                self.bump();
+                Ok(())
+            }
+            other => Err(self.err_here(format!("expected keyword `{kw}`, found {other}"))),
+        }
+    }
+
+    fn at_kw(&self, kw: &str) -> bool {
+        matches!(&self.peek().tok, Tok::Ident(s) if s == kw)
+    }
+
+    fn parse_program(&mut self) -> Result<RuleSet, ParseError> {
+        let mut set = RuleSet::new();
+        while !matches!(self.peek().tok, Tok::Eof) {
+            let rule = self.parse_rule()?;
+            if set.get(&rule.name).is_some() {
+                return Err(self.err_here(format!("duplicate rule name `{}`", rule.name)));
+            }
+            set.push(rule);
+        }
+        Ok(set)
+    }
+
+    fn parse_rule(&mut self) -> Result<Rule, ParseError> {
+        self.expect_kw("rule")?;
+        let name = match self.bump().tok {
+            Tok::Str(s) => s,
+            other => return Err(self.err_here(format!("expected rule name string, found {other}"))),
+        };
+        let mut salience = 0;
+        let mut edge = false;
+        loop {
+            if self.at_kw("salience") {
+                self.bump();
+                match self.bump().tok {
+                    Tok::Num(n) => salience = n as i32,
+                    other => {
+                        return Err(
+                            self.err_here(format!("expected salience number, found {other}"))
+                        )
+                    }
+                }
+            } else if self.at_kw("once") {
+                self.bump();
+                edge = true;
+            } else {
+                break;
+            }
+        }
+        self.expect_kw("when")?;
+        let when = self.parse_or()?;
+        self.expect_kw("then")?;
+        let mut then = Vec::new();
+        while !self.at_kw("end") {
+            then.push(self.parse_action()?);
+        }
+        self.expect_kw("end")?;
+        let mut rule = Rule::new(name, when, then).salience(salience);
+        if edge {
+            rule = rule.edge_triggered();
+        }
+        Ok(rule)
+    }
+
+    fn parse_or(&mut self) -> Result<Condition, ParseError> {
+        let first = self.parse_and()?;
+        let mut parts = vec![first];
+        while matches!(self.peek().tok, Tok::OrOr) {
+            self.bump();
+            parts.push(self.parse_and()?);
+        }
+        Ok(if parts.len() == 1 {
+            parts.pop().expect("len == 1")
+        } else {
+            Condition::Or(parts)
+        })
+    }
+
+    fn parse_and(&mut self) -> Result<Condition, ParseError> {
+        let first = self.parse_unary()?;
+        let mut parts = vec![first];
+        while matches!(self.peek().tok, Tok::AndAnd) {
+            self.bump();
+            parts.push(self.parse_unary()?);
+        }
+        Ok(if parts.len() == 1 {
+            parts.pop().expect("len == 1")
+        } else {
+            Condition::And(parts)
+        })
+    }
+
+    fn parse_unary(&mut self) -> Result<Condition, ParseError> {
+        match &self.peek().tok {
+            Tok::Bang => {
+                self.bump();
+                Ok(Condition::Not(Box::new(self.parse_unary()?)))
+            }
+            Tok::LParen => {
+                self.bump();
+                let c = self.parse_or()?;
+                match self.bump().tok {
+                    Tok::RParen => Ok(c),
+                    other => Err(self.err_here(format!("expected `)`, found {other}"))),
+                }
+            }
+            Tok::Ident(s) if s == "true" => {
+                self.bump();
+                Ok(Condition::True)
+            }
+            Tok::Ident(s) if s == "false" => {
+                self.bump();
+                Ok(Condition::False)
+            }
+            _ => self.parse_cmp_or_flag(),
+        }
+    }
+
+    fn parse_cmp_or_flag(&mut self) -> Result<Condition, ParseError> {
+        let lhs = self.parse_operand()?;
+        let op = match self.peek().tok {
+            Tok::Lt => Cmp::Lt,
+            Tok::Le => Cmp::Le,
+            Tok::Gt => Cmp::Gt,
+            Tok::Ge => Cmp::Ge,
+            Tok::EqEq => Cmp::Eq,
+            Tok::Ne => Cmp::Ne,
+            // A bare bean name is a boolean flag test: `endOfStream` is
+            // sugar for `endOfStream != 0`.
+            _ => {
+                return match lhs {
+                    Expr::Bean(_) => Ok(Condition::Cmp {
+                        lhs,
+                        op: Cmp::Ne,
+                        rhs: Expr::Const(0.0),
+                    }),
+                    other => Err(self.err_here(format!(
+                        "expected comparison operator after `{other}`"
+                    ))),
+                };
+            }
+        };
+        self.bump();
+        let rhs = self.parse_operand()?;
+        Ok(Condition::Cmp { lhs, op, rhs })
+    }
+
+    fn parse_operand(&mut self) -> Result<Expr, ParseError> {
+        match self.bump().tok {
+            Tok::Num(n) => Ok(Expr::Const(n)),
+            Tok::Param(p) => Ok(Expr::Param(p)),
+            Tok::Ident(name) => Ok(Expr::Bean(name)),
+            other => Err(self.err_here(format!("expected bean, $param or number, found {other}"))),
+        }
+    }
+
+    fn parse_action(&mut self) -> Result<Action, ParseError> {
+        let name = match self.bump().tok {
+            Tok::Ident(s) => s,
+            other => return Err(self.err_here(format!("expected action, found {other}"))),
+        };
+        match self.bump().tok {
+            Tok::LParen => {}
+            other => return Err(self.err_here(format!("expected `(`, found {other}"))),
+        }
+        let action = match name.as_str() {
+            "setData" => match self.bump().tok {
+                Tok::Str(s) => Action::SetData(s),
+                Tok::Ident(s) => Action::SetData(s),
+                other => {
+                    return Err(self.err_here(format!("expected setData argument, found {other}")))
+                }
+            },
+            "fire" | "fireOperation" => match self.bump().tok {
+                Tok::Ident(s) => Action::Fire(s),
+                Tok::Str(s) => Action::Fire(s),
+                other => {
+                    return Err(self.err_here(format!("expected operation name, found {other}")))
+                }
+            },
+            other => {
+                return Err(self.err_here(format!(
+                    "unknown action `{other}` (expected setData, fire or fireOperation)"
+                )))
+            }
+        };
+        match self.bump().tok {
+            Tok::RParen => {}
+            other => return Err(self.err_here(format!("expected `)`, found {other}"))),
+        }
+        if matches!(self.peek().tok, Tok::Semi) {
+            self.bump();
+        }
+        Ok(action)
+    }
+}
+
+/// Parses a rule program from text.
+pub fn parse_rules(src: &str) -> Result<RuleSet, ParseError> {
+    let toks = Lexer::new(src).tokenize()?;
+    let mut p = Parser { toks, pos: 0 };
+    p.parse_program()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wm::{ParamTable, WorkingMemory};
+
+    #[test]
+    fn parses_minimal_rule() {
+        let set = parse_rules(
+            r#"
+            rule "r"
+            when true
+            then fire(X);
+            end
+            "#,
+        )
+        .unwrap();
+        assert_eq!(set.len(), 1);
+        let r = set.get("r").unwrap();
+        assert_eq!(r.when, Condition::True);
+        assert_eq!(r.then, vec![Action::Fire("X".into())]);
+        assert_eq!(r.salience, 0);
+        assert!(!r.edge_triggered);
+    }
+
+    #[test]
+    fn parses_salience_and_once() {
+        let set = parse_rules(
+            r#"
+            rule "r" salience 7 once
+            when true
+            then fire(X)
+            end
+            "#,
+        )
+        .unwrap();
+        let r = set.get("r").unwrap();
+        assert_eq!(r.salience, 7);
+        assert!(r.edge_triggered);
+    }
+
+    #[test]
+    fn parses_fig5_style_rule() {
+        let set = parse_rules(
+            r#"
+            rule "CheckRateLow"
+            when
+                departureRate < $FARM_LOW_PERF_LEVEL &&
+                arrivalRate >= $FARM_LOW_PERF_LEVEL &&
+                numWorkers <= $FARM_MAX_NUM_WORKERS
+            then
+                setData("farmAddWorkers");
+                fireOperation(ADD_EXECUTOR);
+                fireOperation(BALANCE_LOAD);
+            end
+            "#,
+        )
+        .unwrap();
+        let r = set.get("CheckRateLow").unwrap();
+        let mut beans = r.when.beans();
+        beans.sort_unstable();
+        assert_eq!(beans, ["arrivalRate", "departureRate", "numWorkers"]);
+        let mut params = r.when.params();
+        params.sort_unstable();
+        assert_eq!(
+            params,
+            ["FARM_LOW_PERF_LEVEL", "FARM_LOW_PERF_LEVEL", "FARM_MAX_NUM_WORKERS"]
+        );
+        let calls = r.execute();
+        assert_eq!(calls.len(), 2);
+        assert_eq!(calls[0].operation, "ADD_EXECUTOR");
+        assert_eq!(calls[0].data.as_deref(), Some("farmAddWorkers"));
+    }
+
+    #[test]
+    fn bare_bean_is_flag_sugar() {
+        let set = parse_rules(
+            r#"
+            rule "r"
+            when endOfStream && !reconfiguring
+            then fire(X)
+            end
+            "#,
+        )
+        .unwrap();
+        let r = set.get("r").unwrap();
+        let wm = WorkingMemory::from_beans([("endOfStream", 1.0), ("reconfiguring", 0.0)]);
+        assert_eq!(r.when.eval(&wm, &ParamTable::new()), Ok(true));
+        let wm2 = WorkingMemory::from_beans([("endOfStream", 1.0), ("reconfiguring", 1.0)]);
+        assert_eq!(r.when.eval(&wm2, &ParamTable::new()), Ok(false));
+    }
+
+    #[test]
+    fn or_and_precedence() {
+        // a && b || c parses as (a && b) || c
+        let set = parse_rules(
+            r#"
+            rule "r"
+            when a == 1 && b == 1 || c == 1
+            then fire(X)
+            end
+            "#,
+        )
+        .unwrap();
+        let r = set.get("r").unwrap();
+        let p = ParamTable::new();
+        let eval = |a: f64, b: f64, c: f64| {
+            let wm = WorkingMemory::from_beans([("a", a), ("b", b), ("c", c)]);
+            r.when.eval(&wm, &p).unwrap()
+        };
+        assert!(eval(1.0, 1.0, 0.0));
+        assert!(eval(0.0, 0.0, 1.0));
+        assert!(!eval(1.0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn parentheses_override_precedence() {
+        let set = parse_rules(
+            r#"
+            rule "r"
+            when a == 1 && (b == 1 || c == 1)
+            then fire(X)
+            end
+            "#,
+        )
+        .unwrap();
+        let r = set.get("r").unwrap();
+        let p = ParamTable::new();
+        let wm = WorkingMemory::from_beans([("a", 0.0), ("b", 0.0), ("c", 1.0)]);
+        assert_eq!(r.when.eval(&wm, &p), Ok(false));
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let set = parse_rules(
+            r#"
+            // leading comment
+            rule "r" /* inline */ salience 1
+            when true // trailing
+            then fire(X)
+            end
+            /* closing
+               block */
+            "#,
+        )
+        .unwrap();
+        assert_eq!(set.len(), 1);
+    }
+
+    #[test]
+    fn negative_numbers_parse() {
+        let set = parse_rules(
+            r#"
+            rule "r"
+            when x > -1.5
+            then fire(X)
+            end
+            "#,
+        )
+        .unwrap();
+        let r = set.get("r").unwrap();
+        let wm = WorkingMemory::from_beans([("x", 0.0)]);
+        assert_eq!(r.when.eval(&wm, &ParamTable::new()), Ok(true));
+    }
+
+    #[test]
+    fn multiple_rules_preserve_order() {
+        let set = parse_rules(
+            r#"
+            rule "a" when true then fire(A) end
+            rule "b" when true then fire(B) end
+            "#,
+        )
+        .unwrap();
+        let names: Vec<&str> = set.rules().iter().map(|r| r.name.as_str()).collect();
+        assert_eq!(names, ["a", "b"]);
+    }
+
+    #[test]
+    fn error_unterminated_string() {
+        let err = parse_rules("rule \"oops\nwhen true then end").unwrap_err();
+        assert!(err.message.contains("unterminated string"), "{err}");
+        assert_eq!(err.line, 1);
+    }
+
+    #[test]
+    fn error_duplicate_rule() {
+        let err = parse_rules(
+            r#"
+            rule "a" when true then end
+            rule "a" when true then end
+            "#,
+        )
+        .unwrap_err();
+        assert!(err.message.contains("duplicate"), "{err}");
+    }
+
+    #[test]
+    fn error_unknown_action() {
+        let err = parse_rules(
+            r#"
+            rule "a" when true then explode(NOW) end
+            "#,
+        )
+        .unwrap_err();
+        assert!(err.message.contains("unknown action"), "{err}");
+    }
+
+    #[test]
+    fn error_single_equals() {
+        let err = parse_rules("rule \"a\" when x = 1 then end").unwrap_err();
+        assert!(err.message.contains("=="), "{err}");
+    }
+
+    #[test]
+    fn error_reports_position() {
+        let err = parse_rules("rule \"a\"\nwhen x ?? 1 then end").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.col > 1);
+    }
+
+    #[test]
+    fn empty_program_is_empty_set() {
+        let set = parse_rules("  // nothing here\n").unwrap();
+        assert!(set.is_empty());
+    }
+
+    #[test]
+    fn engine_runs_parsed_program() {
+        use crate::engine::RuleEngine;
+        let set = parse_rules(
+            r#"
+            rule "hi" salience 2
+            when x > $T
+            then setData("d"); fire(OP_A)
+            end
+            rule "lo" salience 1
+            when x <= $T
+            then fire(OP_B)
+            end
+            "#,
+        )
+        .unwrap();
+        let mut e = RuleEngine::new(set);
+        let p = ParamTable::new().with("T", 5.0);
+        let wm = WorkingMemory::from_beans([("x", 9.0)]);
+        let ops = e.cycle_ops(&wm, &p).unwrap();
+        assert_eq!(ops.len(), 1);
+        assert_eq!(ops[0].operation, "OP_A");
+        assert_eq!(ops[0].data.as_deref(), Some("d"));
+    }
+}

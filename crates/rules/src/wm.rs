@@ -1,0 +1,230 @@
+//! Working memory and parameter tables.
+//!
+//! The *working memory* holds the beans sampled from the computation this
+//! control period (the dynamic part); the *parameter table* holds the
+//! thresholds derived from the currently-agreed contract (the
+//! `ManagersConstants` of the paper's Fig. 5 — quasi-static: they change
+//! only when a new contract arrives from the user or the parent manager).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Named scalar beans sampled once per control cycle.
+///
+/// Booleans are encoded 0.0 / 1.0; [`WorkingMemory::is_set`] applies the
+/// conventional "non-zero is true" reading.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct WorkingMemory {
+    beans: BTreeMap<String, f64>,
+}
+
+impl WorkingMemory {
+    /// Creates an empty working memory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a working memory from `(name, value)` pairs, e.g. the output
+    /// of `bskel_monitor::SensorSnapshot::to_beans`.
+    pub fn from_beans<I, S>(pairs: I) -> Self
+    where
+        I: IntoIterator<Item = (S, f64)>,
+        S: Into<String>,
+    {
+        let mut wm = Self::new();
+        for (name, value) in pairs {
+            wm.insert(name, value);
+        }
+        wm
+    }
+
+    /// Inserts or updates a bean.
+    pub fn insert(&mut self, name: impl Into<String>, value: f64) {
+        self.beans.insert(name.into(), value);
+    }
+
+    /// Inserts a boolean bean (encoded 0/1).
+    pub fn insert_flag(&mut self, name: impl Into<String>, value: bool) {
+        self.insert(name, if value { 1.0 } else { 0.0 });
+    }
+
+    /// Reads a bean.
+    pub fn get(&self, name: &str) -> Option<f64> {
+        self.beans.get(name).copied()
+    }
+
+    /// Reads a bean as a boolean (missing counts as false).
+    pub fn is_set(&self, name: &str) -> bool {
+        self.get(name).is_some_and(|v| v != 0.0)
+    }
+
+    /// Removes a bean, returning its previous value.
+    pub fn remove(&mut self, name: &str) -> Option<f64> {
+        self.beans.remove(name)
+    }
+
+    /// Number of beans held.
+    pub fn len(&self) -> usize {
+        self.beans.len()
+    }
+
+    /// True when no beans are held.
+    pub fn is_empty(&self) -> bool {
+        self.beans.is_empty()
+    }
+
+    /// Iterates over `(name, value)` pairs in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, f64)> {
+        self.beans.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+}
+
+impl fmt::Display for WorkingMemory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, (k, v)) in self.beans.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{k}={v}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl<S: Into<String>> FromIterator<(S, f64)> for WorkingMemory {
+    fn from_iter<I: IntoIterator<Item = (S, f64)>>(iter: I) -> Self {
+        Self::from_beans(iter)
+    }
+}
+
+/// Contract-derived rule parameters (`$NAME` references in rule text).
+///
+/// The paper's Fig. 5 rules compare beans against `ManagersConstants.*`
+/// thresholds; in `bskel` those thresholds are recomputed from the active
+/// contract whenever a manager receives a new one, so the same rule file
+/// serves any SLA.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ParamTable {
+    params: BTreeMap<String, f64>,
+}
+
+impl ParamTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets a parameter (builder style).
+    pub fn with(mut self, name: impl Into<String>, value: f64) -> Self {
+        self.set(name, value);
+        self
+    }
+
+    /// Sets a parameter.
+    pub fn set(&mut self, name: impl Into<String>, value: f64) {
+        self.params.insert(name.into(), value);
+    }
+
+    /// Reads a parameter.
+    pub fn get(&self, name: &str) -> Option<f64> {
+        self.params.get(name).copied()
+    }
+
+    /// Iterates over `(name, value)` pairs in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, f64)> {
+        self.params.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Number of parameters held.
+    pub fn len(&self) -> usize {
+        self.params.len()
+    }
+
+    /// True when no parameters are held.
+    pub fn is_empty(&self) -> bool {
+        self.params.is_empty()
+    }
+}
+
+impl<S: Into<String>> FromIterator<(S, f64)> for ParamTable {
+    fn from_iter<I: IntoIterator<Item = (S, f64)>>(iter: I) -> Self {
+        let mut t = Self::new();
+        for (k, v) in iter {
+            t.set(k, v);
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_roundtrip() {
+        let mut wm = WorkingMemory::new();
+        wm.insert("arrivalRate", 0.4);
+        assert_eq!(wm.get("arrivalRate"), Some(0.4));
+        assert_eq!(wm.get("departureRate"), None);
+        assert_eq!(wm.len(), 1);
+    }
+
+    #[test]
+    fn flags_and_is_set() {
+        let mut wm = WorkingMemory::new();
+        wm.insert_flag("endOfStream", true);
+        wm.insert_flag("reconfiguring", false);
+        assert!(wm.is_set("endOfStream"));
+        assert!(!wm.is_set("reconfiguring"));
+        assert!(!wm.is_set("absent"));
+    }
+
+    #[test]
+    fn from_beans_and_iter_sorted() {
+        let wm = WorkingMemory::from_beans([("b", 2.0), ("a", 1.0)]);
+        let names: Vec<_> = wm.iter().map(|(n, _)| n.to_owned()).collect();
+        assert_eq!(names, ["a", "b"]);
+    }
+
+    #[test]
+    fn insert_overwrites() {
+        let mut wm = WorkingMemory::new();
+        wm.insert("x", 1.0);
+        wm.insert("x", 2.0);
+        assert_eq!(wm.get("x"), Some(2.0));
+        assert_eq!(wm.len(), 1);
+    }
+
+    #[test]
+    fn remove_returns_value() {
+        let mut wm = WorkingMemory::from_beans([("x", 5.0)]);
+        assert_eq!(wm.remove("x"), Some(5.0));
+        assert!(wm.is_empty());
+        assert_eq!(wm.remove("x"), None);
+    }
+
+    #[test]
+    fn display_is_stable() {
+        let wm = WorkingMemory::from_beans([("b", 2.0), ("a", 1.0)]);
+        assert_eq!(wm.to_string(), "{a=1, b=2}");
+    }
+
+    #[test]
+    fn param_table_builder() {
+        let t = ParamTable::new()
+            .with("FARM_LOW_PERF_LEVEL", 0.3)
+            .with("FARM_HIGH_PERF_LEVEL", 0.7);
+        assert_eq!(t.get("FARM_LOW_PERF_LEVEL"), Some(0.3));
+        assert_eq!(t.get("MISSING"), None);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn collect_into_tables() {
+        let wm: WorkingMemory = [("k", 1.0)].into_iter().collect();
+        assert_eq!(wm.get("k"), Some(1.0));
+        let pt: ParamTable = [("P", 2.0)].into_iter().collect();
+        assert_eq!(pt.get("P"), Some(2.0));
+    }
+}

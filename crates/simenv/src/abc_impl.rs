@@ -1,0 +1,203 @@
+//! `SimAbc`: binding autonomic managers to the simulated application.
+//!
+//! One shared [`SimState`] serves every manager in a scenario; each
+//! manager's ABC is a `SimAbc` with a [`SimRole`] selecting which stage's
+//! sensors and actuators it exposes. The managers, rule programs and
+//! contracts are byte-for-byte the same ones that drive the threaded
+//! runtime — only this boundary differs, which is the paper's
+//! policy/mechanism separation made concrete.
+
+use crate::models::SimState;
+use bskel_core::abc::{Abc, AbcError, ActuationOutcome, ManagerOp};
+use bskel_monitor::{SensorSnapshot, Time};
+use std::sync::{Arc, Mutex};
+
+/// Which stage of the simulated application an ABC fronts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimRole {
+    /// The paced producer (rate actuators).
+    Producer,
+    /// The task farm (worker/balance actuators).
+    Farm,
+    /// The consumer (monitor only).
+    Consumer,
+    /// The whole pipeline, seen from the application manager: sensors are
+    /// the consumer-side throughput; no actuators (AM_A acts by sending
+    /// contracts to children, not through its ABC).
+    Application,
+}
+
+/// A simulated Autonomic Behaviour Controller.
+pub struct SimAbc {
+    state: Arc<Mutex<SimState>>,
+    role: SimRole,
+}
+
+impl SimAbc {
+    /// Creates an ABC over the shared state for the given role.
+    pub fn new(state: Arc<Mutex<SimState>>, role: SimRole) -> Self {
+        Self { state, role }
+    }
+}
+
+impl Abc for SimAbc {
+    fn sense(&mut self, now: Time) -> SensorSnapshot {
+        let mut st = self.state.lock().expect("sim state lock");
+        match self.role {
+            SimRole::Producer => st.producer_snapshot(now),
+            SimRole::Farm => st.farm_snapshot(now),
+            SimRole::Consumer => st.consumer_snapshot(now),
+            SimRole::Application => {
+                // The application manager watches end-to-end delivery.
+                let mut snap = st.consumer_snapshot(now);
+                snap.num_workers = st.live_workers() as u32;
+                snap
+            }
+        }
+    }
+
+    fn actuate(&mut self, op: &ManagerOp, _now: Time) -> Result<ActuationOutcome, AbcError> {
+        let mut st = self.state.lock().expect("sim state lock");
+        match (self.role, op) {
+            (SimRole::Farm, ManagerOp::AddWorkers(n)) => match st.add_workers(*n) {
+                Ok(_) => Ok(ActuationOutcome::Applied),
+                Err(reason) => Ok(ActuationOutcome::Refused { reason }),
+            },
+            (SimRole::Farm, ManagerOp::RemoveWorkers(n)) => match st.remove_workers(*n) {
+                Ok(_) => Ok(ActuationOutcome::Applied),
+                Err(reason) => Ok(ActuationOutcome::Refused { reason }),
+            },
+            (SimRole::Farm, ManagerOp::BalanceLoad) => Ok(if st.rebalance() {
+                ActuationOutcome::Applied
+            } else {
+                ActuationOutcome::NoOp
+            }),
+            (SimRole::Producer, ManagerOp::SetRate(r)) => {
+                st.set_rate(*r);
+                Ok(ActuationOutcome::Applied)
+            }
+            (SimRole::Producer, ManagerOp::ScaleRate(f)) => {
+                st.scale_rate(*f);
+                Ok(ActuationOutcome::Applied)
+            }
+            (SimRole::Farm, ManagerOp::Custom(name)) if name == "MIGRATE_SLOWEST" => {
+                Ok(if st.migrate_slowest() {
+                    ActuationOutcome::Applied
+                } else {
+                    ActuationOutcome::NoOp
+                })
+            }
+            // Anything else is not this role's to perform.
+            _ => Ok(ActuationOutcome::NoOp),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::{Ev, SecureMode};
+    use crate::net::SslCostModel;
+    use crate::node::{Node, NodeRegistry};
+    use crate::resources::ResourceManager;
+    use bskel_workloads::ServiceDist;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn shared_state() -> Arc<Mutex<SimState>> {
+        let mut nodes = NodeRegistry::new();
+        let ids: Vec<_> = (0..4)
+            .map(|i| nodes.add(Node::trusted(format!("n{i}"), "lab")))
+            .collect();
+        let mut s = SimState::new(
+            nodes,
+            ResourceManager::new(ids, 1.0),
+            SslCostModel::free(),
+            SecureMode::Never,
+            1.0,
+            10,
+            ServiceDist::det(0.5),
+            StdRng::seed_from_u64(5),
+            5.0,
+        );
+        s.spawn_worker_now().unwrap();
+        Arc::new(Mutex::new(s))
+    }
+
+    #[test]
+    fn farm_abc_adds_workers_through_pending_events() {
+        let state = shared_state();
+        let mut abc = SimAbc::new(Arc::clone(&state), SimRole::Farm);
+        assert_eq!(abc.sense(0.0).num_workers, 1);
+        assert_eq!(
+            abc.actuate(&ManagerOp::AddWorkers(2), 0.0).unwrap(),
+            ActuationOutcome::Applied
+        );
+        {
+            let mut st = state.lock().unwrap();
+            let pending = st.take_pending();
+            assert_eq!(pending.len(), 2);
+            for (t, ev) in pending {
+                st.handle(t, ev);
+            }
+        }
+        assert_eq!(abc.sense(2.0).num_workers, 3);
+    }
+
+    #[test]
+    fn farm_abc_refuses_when_pool_empty() {
+        let state = shared_state();
+        let mut abc = SimAbc::new(Arc::clone(&state), SimRole::Farm);
+        abc.actuate(&ManagerOp::AddWorkers(3), 0.0).unwrap();
+        match abc.actuate(&ManagerOp::AddWorkers(1), 0.0).unwrap() {
+            ActuationOutcome::Refused { reason } => assert!(reason.contains("recruitable")),
+            other => panic!("expected refusal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn producer_abc_rate_ops() {
+        let state = shared_state();
+        let mut abc = SimAbc::new(Arc::clone(&state), SimRole::Producer);
+        abc.actuate(&ManagerOp::ScaleRate(3.0), 0.0).unwrap();
+        assert_eq!(state.lock().unwrap().producer.rate, 3.0);
+        // Producer snapshots expose the configured rate as arrival.
+        assert_eq!(abc.sense(0.0).arrival_rate, 3.0);
+        // Worker ops are not the producer's.
+        assert_eq!(
+            abc.actuate(&ManagerOp::AddWorkers(1), 0.0).unwrap(),
+            ActuationOutcome::NoOp
+        );
+    }
+
+    #[test]
+    fn consumer_and_application_are_monitor_only() {
+        let state = shared_state();
+        // Drive a couple of tasks through.
+        {
+            let mut st = state.lock().unwrap();
+            let mut q = crate::des::EventQueue::new();
+            q.schedule(0.0, Ev::Emit);
+            while let Some((t, ev)) = q.pop() {
+                if t > 100.0 {
+                    break;
+                }
+                st.handle(t, ev);
+                for (at, e) in st.take_pending() {
+                    q.schedule(at, e);
+                }
+            }
+        }
+        let mut consumer = SimAbc::new(Arc::clone(&state), SimRole::Consumer);
+        let mut app = SimAbc::new(Arc::clone(&state), SimRole::Application);
+        let now = state.lock().unwrap().now;
+        assert!(consumer.sense(now).end_of_stream);
+        let app_snap = app.sense(now);
+        assert!(app_snap.end_of_stream);
+        assert_eq!(app_snap.num_workers, 1);
+        assert_eq!(
+            consumer.actuate(&ManagerOp::BalanceLoad, now).unwrap(),
+            ActuationOutcome::NoOp
+        );
+    }
+}

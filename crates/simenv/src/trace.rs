@@ -1,0 +1,186 @@
+//! Time-series recording for experiments.
+//!
+//! The paper's Figs. 3–4 plot several series over wall-clock time
+//! (throughput, input rate, cores in use, contract bounds). A [`Trace`]
+//! collects named `(t, value)` samples and renders them as CSV (one row
+//! per sample time, one column per series) or JSON for the experiment
+//! write-ups.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A named collection of time series.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Trace {
+    series: BTreeMap<String, Vec<(f64, f64)>>,
+}
+
+impl Trace {
+    /// An empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a sample to a series (created on first use).
+    pub fn push(&mut self, series: &str, t: f64, value: f64) {
+        self.series
+            .entry(series.to_owned())
+            .or_default()
+            .push((t, value));
+    }
+
+    /// Series names, sorted.
+    pub fn names(&self) -> Vec<&str> {
+        self.series.keys().map(String::as_str).collect()
+    }
+
+    /// A series' samples.
+    pub fn get(&self, series: &str) -> &[(f64, f64)] {
+        self.series.get(series).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// The last value of a series, if any.
+    pub fn last(&self, series: &str) -> Option<f64> {
+        self.get(series).last().map(|&(_, v)| v)
+    }
+
+    /// Maximum value of a series, if non-empty.
+    pub fn max(&self, series: &str) -> Option<f64> {
+        self.get(series)
+            .iter()
+            .map(|&(_, v)| v)
+            .fold(None, |acc, v| Some(acc.map_or(v, |a: f64| a.max(v))))
+    }
+
+    /// First time a series reaches `threshold` (>=), if ever.
+    pub fn first_reaching(&self, series: &str, threshold: f64) -> Option<f64> {
+        self.get(series)
+            .iter()
+            .find(|&&(_, v)| v >= threshold)
+            .map(|&(t, _)| t)
+    }
+
+    /// Mean of a series over `[from, to)`.
+    pub fn mean_over(&self, series: &str, from: f64, to: f64) -> Option<f64> {
+        let vals: Vec<f64> = self
+            .get(series)
+            .iter()
+            .filter(|&&(t, _)| t >= from && t < to)
+            .map(|&(_, v)| v)
+            .collect();
+        if vals.is_empty() {
+            None
+        } else {
+            Some(vals.iter().sum::<f64>() / vals.len() as f64)
+        }
+    }
+
+    /// Renders all series as CSV: `t,<s1>,<s2>,...` with one row per
+    /// distinct sample time; missing samples render empty.
+    pub fn to_csv(&self) -> String {
+        let names = self.names();
+        let mut times: Vec<u64> = self
+            .series
+            .values()
+            .flatten()
+            .map(|&(t, _)| t.to_bits())
+            .collect();
+        times.sort_unstable();
+        times.dedup();
+
+        let mut out = String::from("t");
+        for n in &names {
+            out.push(',');
+            out.push_str(n);
+        }
+        out.push('\n');
+        for bits in times {
+            let t = f64::from_bits(bits);
+            out.push_str(&format!("{t:.3}"));
+            for n in &names {
+                out.push(',');
+                if let Some(&(_, v)) = self
+                    .series[*n]
+                    .iter()
+                    .find(|&&(st, _)| st.to_bits() == bits)
+                {
+                    out.push_str(&format!("{v:.4}"));
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Serialises the trace to JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("trace serialises")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Trace {
+        let mut tr = Trace::new();
+        tr.push("throughput", 0.0, 0.1);
+        tr.push("throughput", 1.0, 0.4);
+        tr.push("throughput", 2.0, 0.65);
+        tr.push("workers", 0.0, 1.0);
+        tr.push("workers", 2.0, 3.0);
+        tr
+    }
+
+    #[test]
+    fn push_and_get() {
+        let tr = sample();
+        assert_eq!(tr.names(), ["throughput", "workers"]);
+        assert_eq!(tr.get("throughput").len(), 3);
+        assert_eq!(tr.last("workers"), Some(3.0));
+        assert!(tr.get("missing").is_empty());
+        assert_eq!(tr.last("missing"), None);
+    }
+
+    #[test]
+    fn first_reaching_threshold() {
+        let tr = sample();
+        assert_eq!(tr.first_reaching("throughput", 0.6), Some(2.0));
+        assert_eq!(tr.first_reaching("throughput", 0.9), None);
+    }
+
+    #[test]
+    fn mean_over_window() {
+        let tr = sample();
+        let m = tr.mean_over("throughput", 1.0, 3.0).unwrap();
+        assert!((m - 0.525).abs() < 1e-12);
+        assert_eq!(tr.mean_over("throughput", 10.0, 20.0), None);
+    }
+
+    #[test]
+    fn max_of_series() {
+        let tr = sample();
+        assert_eq!(tr.max("throughput"), Some(0.65));
+        assert_eq!(tr.max("missing"), None);
+    }
+
+    #[test]
+    fn csv_layout() {
+        let tr = sample();
+        let csv = tr.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "t,throughput,workers");
+        assert_eq!(lines.len(), 4); // header + 3 distinct times
+        assert!(lines[1].starts_with("0.000,0.1000,1.0000"), "{}", lines[1]);
+        // t=1.0 has no workers sample: trailing empty cell.
+        assert!(lines[2].ends_with(','), "{}", lines[2]);
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let tr = sample();
+        let json = tr.to_json();
+        let back: Trace = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, tr);
+    }
+}

@@ -1,0 +1,896 @@
+//! The reconfigurable task farm.
+//!
+//! Structure (paper Fig. 2, left): an **emitter** (the S component)
+//! dispatches the input stream over per-worker queues; **workers** (W)
+//! compute; a **collector** (C) gathers results, optionally restoring
+//! stream order. The farm is *reconfigurable while running*: the manager's
+//! actuators add workers, retire workers (redistributing their queued
+//! tasks) and rebalance queues. Per-worker queues (rather than one shared
+//! queue) are deliberate: they make the paper's `queueVariance` bean and
+//! `BALANCE_LOAD` action meaningful.
+//!
+//! Concurrency design: task hand-off uses a parking_lot mutex+condvar pair
+//! per worker (no global lock on the dispatch path beyond the brief workers
+//! list lock), results flow over a crossbeam channel, and every counter on
+//! the hot path is a relaxed atomic.
+
+use crate::stream::{ReorderBuffer, StreamMsg};
+use bskel_monitor::{queue_variance, Clock, RateEstimator, RealClock, SensorSnapshot, Time, Welford};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::{Condvar, Mutex};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// How the emitter picks a worker for the next task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SchedPolicy {
+    /// Cycle through workers (the paper's unicast/round-robin policy).
+    #[default]
+    RoundRobin,
+    /// Send to the worker with the shortest queue (on-demand-like).
+    ShortestQueue,
+}
+
+/// How the collector orders results.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum GatherPolicy {
+    /// Deliver results in completion order (paper: gather).
+    #[default]
+    Unordered,
+    /// Restore the input stream's order (sequence-number reordering).
+    Ordered,
+}
+
+/// A worker thread's factory: called once per worker, on the worker's own
+/// thread, so per-worker state needs no synchronisation.
+pub type WorkerFactory<In, Out> =
+    Arc<dyn Fn() -> Box<dyn FnMut(In) -> Out + Send> + Send + Sync>;
+
+enum WorkerCmd<In> {
+    Task { seq: u64, item: In },
+    Stop,
+}
+
+enum CollectMsg<Out> {
+    Result { seq: u64, out: Out },
+    /// Emitter saw `End` after dispatching this many tasks.
+    Total(u64),
+}
+
+struct WorkerQueue<In> {
+    deque: Mutex<VecDeque<WorkerCmd<In>>>,
+    cv: Condvar,
+    /// Cached queue length so sensing and scheduling never take the deque
+    /// lock of every worker.
+    len: AtomicUsize,
+}
+
+impl<In> WorkerQueue<In> {
+    fn new() -> Self {
+        Self {
+            deque: Mutex::new(VecDeque::new()),
+            cv: Condvar::new(),
+            len: AtomicUsize::new(0),
+        }
+    }
+
+    fn push(&self, cmd: WorkerCmd<In>) {
+        let mut q = self.deque.lock();
+        q.push_back(cmd);
+        self.len.store(q.len(), Ordering::Relaxed);
+        drop(q);
+        self.cv.notify_one();
+    }
+
+    fn pop_blocking(&self) -> WorkerCmd<In> {
+        let mut q = self.deque.lock();
+        while q.is_empty() {
+            self.cv.wait(&mut q);
+        }
+        let cmd = q.pop_front().expect("queue non-empty");
+        self.len.store(q.len(), Ordering::Relaxed);
+        cmd
+    }
+
+    fn queued(&self) -> usize {
+        self.len.load(Ordering::Relaxed)
+    }
+}
+
+struct WorkerHandle<In> {
+    queue: Arc<WorkerQueue<In>>,
+    thread: JoinHandle<()>,
+}
+
+struct FarmMetrics {
+    clock: Arc<dyn Clock>,
+    arrivals: Mutex<RateEstimator>,
+    departures: Mutex<RateEstimator>,
+    service: Arc<Mutex<Welford>>,
+    end_of_stream: AtomicBool,
+    reconfiguring: AtomicBool,
+    /// Sensors stay blacked out until this time (f64 bits): after a
+    /// reconfiguration the rate estimators hold no full window of fresh
+    /// data, and acting on them would make the manager oscillate (add a
+    /// worker, read a stale/empty window, add again, …).
+    blackout_until_bits: AtomicUsize,
+    last_arrival_bits: AtomicUsize, // f64 time bits; usize==u64 on 64-bit
+}
+
+impl FarmMetrics {
+    fn now(&self) -> Time {
+        self.clock.now()
+    }
+
+    fn set_blackout_until(&self, t: Time) {
+        self.blackout_until_bits
+            .store(t.to_bits() as usize, Ordering::SeqCst);
+    }
+
+    fn in_blackout(&self, now: Time) -> bool {
+        now < f64::from_bits(self.blackout_until_bits.load(Ordering::SeqCst) as u64)
+    }
+}
+
+struct Shared<In, Out> {
+    name: String,
+    metrics: FarmMetrics,
+    workers: Mutex<Vec<WorkerHandle<In>>>,
+    retired: Mutex<Vec<JoinHandle<()>>>,
+    rr_cursor: AtomicUsize,
+    factory: WorkerFactory<In, Out>,
+    results_tx: Sender<CollectMsg<Out>>,
+    max_workers: u32,
+    reconfig_delay: f64,
+    rate_window: f64,
+}
+
+impl<In: Send + 'static, Out: Send + 'static> Shared<In, Out> {
+    fn spawn_worker(&self) -> WorkerHandle<In> {
+        let queue = Arc::new(WorkerQueue::new());
+        let q = Arc::clone(&queue);
+        let factory = Arc::clone(&self.factory);
+        let results = self.results_tx.clone();
+        let clock = Arc::clone(&self.metrics.clock);
+        let service = Arc::clone(&self.metrics.service);
+        let name = format!("{}-worker", self.name);
+        let thread = std::thread::Builder::new()
+            .name(name)
+            .spawn(move || {
+                let mut work = factory();
+                while let WorkerCmd::Task { seq, item } = q.pop_blocking() {
+                    let t0 = clock.now();
+                    let out = work(item);
+                    service.lock().update(clock.now() - t0);
+                    if results.send(CollectMsg::Result { seq, out }).is_err() {
+                        break; // collector gone: shutting down
+                    }
+                }
+            })
+            .expect("spawn worker thread");
+        WorkerHandle { queue, thread }
+    }
+
+    fn add_workers(&self, n: u32) -> Result<u32, String> {
+        let current = self.workers.lock().len() as u32;
+        if current + n > self.max_workers {
+            return Err(format!(
+                "worker limit reached ({current}+{n} > {})",
+                self.max_workers
+            ));
+        }
+        self.metrics.reconfiguring.store(true, Ordering::SeqCst);
+        if self.reconfig_delay > 0.0 {
+            // Models node recruitment + component deployment latency; the
+            // manager observes `reconfiguring` and skips its cycles — the
+            // paper's Fig. 4 sensor blackout.
+            std::thread::sleep(std::time::Duration::from_secs_f64(self.reconfig_delay));
+        }
+        let mut workers = self.workers.lock();
+        for _ in 0..n {
+            workers.push(self.spawn_worker());
+        }
+        drop(workers);
+        // Stale pre-reconfiguration windows would bias the next readings:
+        // reset the output estimator and keep the sensors blacked out until
+        // a full window of post-reconfiguration data exists.
+        self.metrics.departures.lock().reset();
+        self.metrics
+            .set_blackout_until(self.metrics.now() + self.rate_window);
+        self.metrics.reconfiguring.store(false, Ordering::SeqCst);
+        Ok(n)
+    }
+
+    fn remove_workers(&self, n: u32) -> Result<u32, String> {
+        let mut workers = self.workers.lock();
+        if workers.len() as u32 <= n {
+            return Err(format!(
+                "cannot remove {n} of {} workers (at least one must remain)",
+                workers.len()
+            ));
+        }
+        let mut removed = 0;
+        for _ in 0..n {
+            let handle = workers.pop().expect("guarded above");
+            // Redistribute the victim's queued tasks to the survivors.
+            let stolen: Vec<WorkerCmd<In>> = {
+                let mut q = handle.queue.deque.lock();
+                let cmds = q.drain(..).collect();
+                handle.queue.len.store(0, Ordering::Relaxed);
+                cmds
+            };
+            for (i, cmd) in stolen.into_iter().enumerate() {
+                match cmd {
+                    WorkerCmd::Task { seq, item } => {
+                        let target = &workers[i % workers.len()];
+                        target.queue.push(WorkerCmd::Task { seq, item });
+                    }
+                    WorkerCmd::Stop => {}
+                }
+            }
+            handle.queue.push(WorkerCmd::Stop);
+            // Joining may block for up to one in-flight task's service
+            // time; retire instead and join at shutdown.
+            self.retired.lock().push(handle.thread);
+            removed += 1;
+        }
+        drop(workers);
+        // Same estimator-freshness argument as worker addition.
+        self.metrics.departures.lock().reset();
+        self.metrics
+            .set_blackout_until(self.metrics.now() + self.rate_window);
+        Ok(removed)
+    }
+
+    /// Evens queue lengths; returns true if any task moved.
+    fn rebalance(&self) -> bool {
+        let workers = self.workers.lock();
+        if workers.len() < 2 {
+            return false;
+        }
+        let lens: Vec<usize> = workers.iter().map(|w| w.queue.queued()).collect();
+        let max = *lens.iter().max().expect("non-empty");
+        let min = *lens.iter().min().expect("non-empty");
+        if max - min <= 1 {
+            return false;
+        }
+        // Drain everything, redistribute round-robin. Tasks keep their
+        // sequence tags, so ordered gathering is unaffected.
+        let mut all: Vec<WorkerCmd<In>> = Vec::new();
+        for w in workers.iter() {
+            let mut q = w.queue.deque.lock();
+            all.extend(q.drain(..));
+            w.queue.len.store(0, Ordering::Relaxed);
+        }
+        let mut moved = false;
+        for (i, cmd) in all.into_iter().enumerate() {
+            match cmd {
+                WorkerCmd::Task { seq, item } => {
+                    workers[i % workers.len()]
+                        .queue
+                        .push(WorkerCmd::Task { seq, item });
+                    moved = true;
+                }
+                WorkerCmd::Stop => {}
+            }
+        }
+        moved
+    }
+
+    fn queue_lengths(&self) -> Vec<u64> {
+        self.workers
+            .lock()
+            .iter()
+            .map(|w| w.queue.queued() as u64)
+            .collect()
+    }
+
+    fn sense(&self, now: Time) -> SensorSnapshot {
+        let lens = self.queue_lengths();
+        let mut snap = SensorSnapshot::empty(now);
+        snap.arrival_rate = self.metrics.arrivals.lock().rate(now);
+        snap.departure_rate = self.metrics.departures.lock().rate(now);
+        snap.num_workers = lens.len() as u32;
+        snap.queue_variance = queue_variance(&lens);
+        snap.queued_tasks = lens.iter().sum();
+        snap.service_time = self.metrics.service.lock().mean();
+        snap.end_of_stream = self.metrics.end_of_stream.load(Ordering::SeqCst);
+        snap.reconfiguring =
+            self.metrics.reconfiguring.load(Ordering::SeqCst) || self.metrics.in_blackout(now);
+        let bits = self.metrics.last_arrival_bits.load(Ordering::Relaxed) as u64;
+        if bits != 0 {
+            snap.idle_for = (now - f64::from_bits(bits)).max(0.0);
+        }
+        snap
+    }
+}
+
+/// Substrate-side control surface the ABC binds to (object-safe so the ABC
+/// is not generic over the farm's item types).
+pub trait FarmControl: Send + Sync {
+    /// Current sensor snapshot.
+    fn sense(&self, now: Time) -> SensorSnapshot;
+    /// Adds workers; returns how many were added.
+    fn add_workers(&self, n: u32) -> Result<u32, String>;
+    /// Removes workers; returns how many were removed.
+    fn remove_workers(&self, n: u32) -> Result<u32, String>;
+    /// Rebalances queues; true if any task moved.
+    fn rebalance(&self) -> bool;
+    /// Current parallelism degree.
+    fn num_workers(&self) -> usize;
+}
+
+impl<In: Send + 'static, Out: Send + 'static> FarmControl for Shared<In, Out> {
+    fn sense(&self, now: Time) -> SensorSnapshot {
+        Shared::sense(self, now)
+    }
+
+    fn add_workers(&self, n: u32) -> Result<u32, String> {
+        Shared::add_workers(self, n)
+    }
+
+    fn remove_workers(&self, n: u32) -> Result<u32, String> {
+        Shared::remove_workers(self, n)
+    }
+
+    fn rebalance(&self) -> bool {
+        Shared::rebalance(self)
+    }
+
+    fn num_workers(&self) -> usize {
+        self.workers.lock().len()
+    }
+}
+
+/// Builder for a [`Farm`].
+pub struct FarmBuilder<In, Out> {
+    name: String,
+    factory: WorkerFactory<In, Out>,
+    initial_workers: u32,
+    sched: SchedPolicy,
+    gather: GatherPolicy,
+    clock: Arc<dyn Clock>,
+    max_workers: u32,
+    reconfig_delay: f64,
+    rate_window: f64,
+}
+
+impl<In: Send + 'static, Out: Send + 'static> FarmBuilder<In, Out> {
+    /// Creates a builder over a worker factory.
+    pub fn new<F, W>(factory: F) -> Self
+    where
+        F: Fn() -> W + Send + Sync + 'static,
+        W: FnMut(In) -> Out + Send + 'static,
+    {
+        Self {
+            name: "farm".into(),
+            factory: Arc::new(move || Box::new(factory()) as Box<dyn FnMut(In) -> Out + Send>),
+            initial_workers: 1,
+            sched: SchedPolicy::default(),
+            gather: GatherPolicy::default(),
+            clock: Arc::new(RealClock::new()),
+            max_workers: 1024,
+            reconfig_delay: 0.0,
+            rate_window: 2.0,
+        }
+    }
+
+    /// Convenience: a stateless worker function cloned per worker.
+    pub fn from_fn<F>(f: F) -> Self
+    where
+        F: Fn(In) -> Out + Send + Sync + Clone + 'static,
+    {
+        Self::new(move || {
+            let f = f.clone();
+            move |x| f(x)
+        })
+    }
+
+    /// Skeleton name (thread names, diagnostics).
+    pub fn name(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+
+    /// Initial parallelism degree (≥ 1).
+    pub fn initial_workers(mut self, n: u32) -> Self {
+        self.initial_workers = n.max(1);
+        self
+    }
+
+    /// Emitter scheduling policy.
+    pub fn sched(mut self, p: SchedPolicy) -> Self {
+        self.sched = p;
+        self
+    }
+
+    /// Collector gathering policy.
+    pub fn gather(mut self, p: GatherPolicy) -> Self {
+        self.gather = p;
+        self
+    }
+
+    /// Time source for metrics (tests inject a `ManualClock`).
+    pub fn clock(mut self, clock: Arc<dyn Clock>) -> Self {
+        self.clock = clock;
+        self
+    }
+
+    /// Maximum parallelism degree the substrate will accept.
+    pub fn max_workers(mut self, n: u32) -> Self {
+        self.max_workers = n.max(1);
+        self
+    }
+
+    /// Artificial worker-deployment delay in seconds (models recruitment
+    /// latency; produces the Fig. 4 sensor blackout).
+    pub fn reconfig_delay(mut self, secs: f64) -> Self {
+        self.reconfig_delay = secs.max(0.0);
+        self
+    }
+
+    /// Window length of the rate estimators, seconds.
+    pub fn rate_window(mut self, secs: f64) -> Self {
+        self.rate_window = secs;
+        self
+    }
+
+    /// Builds and starts the farm.
+    pub fn build(self) -> Farm<In, Out> {
+        let (input_tx, input_rx) = unbounded::<StreamMsg<In>>();
+        let (results_tx, results_rx) = unbounded::<CollectMsg<Out>>();
+        let (output_tx, output_rx) = unbounded::<StreamMsg<Out>>();
+
+        let shared = Arc::new(Shared {
+            name: self.name.clone(),
+            metrics: FarmMetrics {
+                clock: Arc::clone(&self.clock),
+                arrivals: Mutex::new(RateEstimator::new(self.rate_window)),
+                departures: Mutex::new(RateEstimator::new(self.rate_window)),
+                service: Arc::new(Mutex::new(Welford::new())),
+                end_of_stream: AtomicBool::new(false),
+                reconfiguring: AtomicBool::new(false),
+                blackout_until_bits: AtomicUsize::new(0),
+                last_arrival_bits: AtomicUsize::new(0),
+            },
+            workers: Mutex::new(Vec::new()),
+            retired: Mutex::new(Vec::new()),
+            rr_cursor: AtomicUsize::new(0),
+            factory: self.factory,
+            results_tx: results_tx.clone(),
+            max_workers: self.max_workers,
+            reconfig_delay: self.reconfig_delay,
+            rate_window: self.rate_window,
+        });
+
+        {
+            let mut workers = shared.workers.lock();
+            for _ in 0..self.initial_workers {
+                workers.push(shared.spawn_worker());
+            }
+        }
+
+        // Emitter.
+        let emitter = {
+            let shared = Arc::clone(&shared);
+            let sched = self.sched;
+            std::thread::Builder::new()
+                .name(format!("{}-emitter", self.name))
+                .spawn(move || {
+                    let mut dispatched = 0u64;
+                    for msg in input_rx.iter() {
+                        match msg {
+                            StreamMsg::Item { seq, payload } => {
+                                let now = shared.metrics.now();
+                                shared.metrics.arrivals.lock().record(now);
+                                shared
+                                    .metrics
+                                    .last_arrival_bits
+                                    .store(now.to_bits() as usize, Ordering::Relaxed);
+                                let workers = shared.workers.lock();
+                                debug_assert!(!workers.is_empty(), "farm has no workers");
+                                let idx = match sched {
+                                    SchedPolicy::RoundRobin => {
+                                        shared.rr_cursor.fetch_add(1, Ordering::Relaxed)
+                                            % workers.len()
+                                    }
+                                    SchedPolicy::ShortestQueue => workers
+                                        .iter()
+                                        .enumerate()
+                                        .min_by_key(|(_, w)| w.queue.queued())
+                                        .map(|(i, _)| i)
+                                        .expect("non-empty"),
+                                };
+                                workers[idx].queue.push(WorkerCmd::Task { seq, item: payload });
+                                dispatched += 1;
+                            }
+                            StreamMsg::End => {
+                                shared
+                                    .metrics
+                                    .end_of_stream
+                                    .store(true, Ordering::SeqCst);
+                                let _ = shared.results_tx.send(CollectMsg::Total(dispatched));
+                                break;
+                            }
+                        }
+                    }
+                })
+                .expect("spawn emitter thread")
+        };
+
+        // Collector.
+        let collector = {
+            let shared = Arc::clone(&shared);
+            let gather = self.gather;
+            std::thread::Builder::new()
+                .name(format!("{}-collector", self.name))
+                .spawn(move || {
+                    let mut reorder = ReorderBuffer::new();
+                    let mut done = 0u64;
+                    let mut expected: Option<u64> = None;
+                    for msg in results_rx.iter() {
+                        match msg {
+                            CollectMsg::Result { seq, out } => {
+                                let now = shared.metrics.now();
+                                shared.metrics.departures.lock().record(now);
+                                done += 1;
+                                match gather {
+                                    GatherPolicy::Unordered => {
+                                        let _ = output_tx.send(StreamMsg::item(seq, out));
+                                    }
+                                    GatherPolicy::Ordered => {
+                                        let base = reorder.next_seq();
+                                        for (k, item) in
+                                            reorder.push(seq, out).into_iter().enumerate()
+                                        {
+                                            let _ = output_tx
+                                                .send(StreamMsg::item(base + k as u64, item));
+                                        }
+                                    }
+                                }
+                            }
+                            CollectMsg::Total(n) => expected = Some(n),
+                        }
+                        if expected == Some(done) {
+                            let _ = output_tx.send(StreamMsg::End);
+                            break;
+                        }
+                    }
+                })
+                .expect("spawn collector thread")
+        };
+
+        Farm {
+            input: input_tx,
+            output: output_rx,
+            shared,
+            emitter: Some(emitter),
+            collector: Some(collector),
+        }
+    }
+}
+
+/// A running task farm.
+pub struct Farm<In, Out> {
+    input: Sender<StreamMsg<In>>,
+    output: Receiver<StreamMsg<Out>>,
+    shared: Arc<Shared<In, Out>>,
+    emitter: Option<JoinHandle<()>>,
+    collector: Option<JoinHandle<()>>,
+}
+
+impl<In: Send + 'static, Out: Send + 'static> Farm<In, Out> {
+    /// The input channel: send `StreamMsg::Item`s then `StreamMsg::End`.
+    pub fn input(&self) -> Sender<StreamMsg<In>> {
+        self.input.clone()
+    }
+
+    /// The output channel: items followed by `StreamMsg::End`.
+    pub fn output(&self) -> Receiver<StreamMsg<Out>> {
+        self.output.clone()
+    }
+
+    /// The control surface an ABC binds to.
+    pub fn control(&self) -> Arc<dyn FarmControl> {
+        Arc::clone(&self.shared) as Arc<dyn FarmControl>
+    }
+
+    /// Current parallelism degree.
+    pub fn num_workers(&self) -> usize {
+        self.shared.workers.lock().len()
+    }
+
+    /// Waits for the stream to complete (End observed on the output side
+    /// by the collector) and tears all threads down.
+    pub fn shutdown(mut self) {
+        self.join_all();
+    }
+
+    fn join_all(&mut self) {
+        if let Some(e) = self.emitter.take() {
+            let _ = e.join();
+        }
+        if let Some(c) = self.collector.take() {
+            let _ = c.join();
+        }
+        let handles: Vec<WorkerHandle<In>> =
+            std::mem::take(&mut *self.shared.workers.lock());
+        for h in &handles {
+            h.queue.push(WorkerCmd::Stop);
+        }
+        for h in handles {
+            let _ = h.thread.join();
+        }
+        for t in std::mem::take(&mut *self.shared.retired.lock()) {
+            let _ = t.join();
+        }
+    }
+}
+
+impl<In, Out> Drop for Farm<In, Out> {
+    fn drop(&mut self) {
+        // Best-effort shutdown: close the input so the emitter exits, then
+        // stop workers. Collector exits when results senders drop.
+        let handles: Vec<WorkerHandle<In>> =
+            std::mem::take(&mut *self.shared.workers.lock());
+        for h in &handles {
+            h.queue.push(WorkerCmd::Stop);
+        }
+        for h in handles {
+            let _ = h.thread.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain<O: Send + 'static>(rx: &Receiver<StreamMsg<O>>) -> Vec<(u64, O)> {
+        let mut out = Vec::new();
+        for msg in rx.iter() {
+            match msg {
+                StreamMsg::Item { seq, payload } => out.push((seq, payload)),
+                StreamMsg::End => break,
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn farm_processes_all_tasks() {
+        let farm = FarmBuilder::from_fn(|x: u64| x * 2)
+            .initial_workers(4)
+            .build();
+        let tx = farm.input();
+        for i in 0..100 {
+            tx.send(StreamMsg::item(i, i)).unwrap();
+        }
+        tx.send(StreamMsg::End).unwrap();
+        let mut results = drain(&farm.output());
+        results.sort_unstable();
+        assert_eq!(results.len(), 100);
+        for (i, (seq, val)) in results.iter().enumerate() {
+            assert_eq!(*seq, i as u64);
+            assert_eq!(*val, seq * 2);
+        }
+        farm.shutdown();
+    }
+
+    #[test]
+    fn ordered_gather_preserves_sequence() {
+        // Variable service time scrambles completion order; ordered gather
+        // must still deliver 0..n in order.
+        let farm = FarmBuilder::from_fn(|x: u64| {
+            std::thread::sleep(std::time::Duration::from_micros((x % 7) * 300));
+            x
+        })
+        .initial_workers(8)
+        .gather(GatherPolicy::Ordered)
+        .build();
+        let tx = farm.input();
+        for i in 0..200 {
+            tx.send(StreamMsg::item(i, i)).unwrap();
+        }
+        tx.send(StreamMsg::End).unwrap();
+        let results = drain(&farm.output());
+        let vals: Vec<u64> = results.iter().map(|(_, v)| *v).collect();
+        assert_eq!(vals, (0..200).collect::<Vec<_>>());
+        farm.shutdown();
+    }
+
+    #[test]
+    fn add_workers_takes_effect() {
+        let farm = FarmBuilder::from_fn(|x: u64| x).initial_workers(1).build();
+        assert_eq!(farm.num_workers(), 1);
+        let ctl = farm.control();
+        assert_eq!(ctl.add_workers(3), Ok(3));
+        assert_eq!(farm.num_workers(), 4);
+        // New workers actually process tasks.
+        let tx = farm.input();
+        for i in 0..50 {
+            tx.send(StreamMsg::item(i, i)).unwrap();
+        }
+        tx.send(StreamMsg::End).unwrap();
+        assert_eq!(drain(&farm.output()).len(), 50);
+        farm.shutdown();
+    }
+
+    #[test]
+    fn add_workers_respects_cap() {
+        let farm = FarmBuilder::from_fn(|x: u64| x)
+            .initial_workers(2)
+            .max_workers(3)
+            .build();
+        let ctl = farm.control();
+        assert!(ctl.add_workers(2).is_err());
+        assert_eq!(ctl.add_workers(1), Ok(1));
+        assert_eq!(farm.num_workers(), 3);
+        let tx = farm.input();
+        tx.send(StreamMsg::End).unwrap();
+        farm.shutdown();
+    }
+
+    #[test]
+    fn remove_workers_redistributes_and_completes() {
+        // Slow workers with queued work: removing one must not lose tasks.
+        let farm = FarmBuilder::from_fn(|x: u64| {
+            std::thread::sleep(std::time::Duration::from_millis(1));
+            x
+        })
+        .initial_workers(4)
+        .build();
+        let tx = farm.input();
+        for i in 0..100 {
+            tx.send(StreamMsg::item(i, i)).unwrap();
+        }
+        let ctl = farm.control();
+        // Give the emitter a moment to spread the queue.
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        assert_eq!(ctl.remove_workers(2), Ok(2));
+        assert_eq!(farm.num_workers(), 2);
+        tx.send(StreamMsg::End).unwrap();
+        assert_eq!(drain(&farm.output()).len(), 100, "no task lost");
+        farm.shutdown();
+    }
+
+    #[test]
+    fn cannot_remove_last_worker() {
+        let farm = FarmBuilder::from_fn(|x: u64| x).initial_workers(1).build();
+        assert!(farm.control().remove_workers(1).is_err());
+        farm.input().send(StreamMsg::End).unwrap();
+        farm.shutdown();
+    }
+
+    #[test]
+    fn rebalance_moves_queued_tasks() {
+        // Block all workers on a first long task, queue everything on
+        // round-robin, then skew by stuffing one queue via shortest-queue
+        // impossibility — instead simply verify rebalance reports movement
+        // when queues are skewed by construction.
+        let farm = FarmBuilder::from_fn(|x: u64| {
+            if x == u64::MAX {
+                std::thread::sleep(std::time::Duration::from_millis(50));
+            }
+            x
+        })
+        .initial_workers(2)
+        .sched(SchedPolicy::RoundRobin)
+        .build();
+        let tx = farm.input();
+        // Two blockers occupy both workers...
+        tx.send(StreamMsg::item(0, u64::MAX)).unwrap();
+        tx.send(StreamMsg::item(1, u64::MAX)).unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        // ...then add a third worker and queue more tasks round-robin over
+        // all three; the new worker drains its share instantly while the
+        // blocked two accumulate — skew guaranteed.
+        let ctl = farm.control();
+        ctl.add_workers(1).unwrap();
+        for i in 2..30 {
+            tx.send(StreamMsg::item(i, i)).unwrap();
+        }
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        let snap = ctl.sense(0.0);
+        if snap.queue_variance > 0.0 {
+            assert!(ctl.rebalance(), "skewed queues should rebalance");
+        }
+        tx.send(StreamMsg::End).unwrap();
+        assert_eq!(drain(&farm.output()).len(), 30);
+        farm.shutdown();
+    }
+
+    #[test]
+    fn rebalance_on_balanced_queues_is_noop() {
+        let farm = FarmBuilder::from_fn(|x: u64| x).initial_workers(3).build();
+        assert!(!farm.control().rebalance());
+        farm.input().send(StreamMsg::End).unwrap();
+        farm.shutdown();
+    }
+
+    #[test]
+    fn sense_reports_structure_and_flags() {
+        let farm = FarmBuilder::from_fn(|x: u64| x).initial_workers(3).build();
+        let ctl = farm.control();
+        let snap = ctl.sense(0.0);
+        assert_eq!(snap.num_workers, 3);
+        assert!(!snap.end_of_stream);
+        let tx = farm.input();
+        tx.send(StreamMsg::End).unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        let snap = ctl.sense(1.0);
+        assert!(snap.end_of_stream);
+        farm.shutdown();
+    }
+
+    #[test]
+    fn throughput_sensing_sees_departures() {
+        let farm = FarmBuilder::from_fn(|x: u64| x)
+            .initial_workers(2)
+            .rate_window(5.0)
+            .build();
+        let tx = farm.input();
+        for i in 0..200 {
+            tx.send(StreamMsg::item(i, i)).unwrap();
+        }
+        tx.send(StreamMsg::End).unwrap();
+        let results = drain(&farm.output());
+        assert_eq!(results.len(), 200);
+        let ctl = farm.control();
+        let now = std::time::Instant::now().elapsed().as_secs_f64(); // ~0; use clock-free check
+        let snap = ctl.sense(now);
+        assert!(snap.departure_rate > 0.0, "departures recorded");
+        farm.shutdown();
+    }
+
+    #[test]
+    fn shortest_queue_policy_runs() {
+        let farm = FarmBuilder::from_fn(|x: u64| x)
+            .initial_workers(3)
+            .sched(SchedPolicy::ShortestQueue)
+            .build();
+        let tx = farm.input();
+        for i in 0..60 {
+            tx.send(StreamMsg::item(i, i)).unwrap();
+        }
+        tx.send(StreamMsg::End).unwrap();
+        assert_eq!(drain(&farm.output()).len(), 60);
+        farm.shutdown();
+    }
+
+    #[test]
+    fn stateful_workers_keep_per_worker_state() {
+        // Each worker counts its own tasks; totals must equal the stream
+        // length (factory state is per worker-thread, no sharing).
+        let farm = FarmBuilder::new(|| {
+            let mut count = 0u64;
+            move |_: u64| {
+                count += 1;
+                count
+            }
+        })
+        .initial_workers(4)
+        .build();
+        let tx = farm.input();
+        for i in 0..100 {
+            tx.send(StreamMsg::item(i, i)).unwrap();
+        }
+        tx.send(StreamMsg::End).unwrap();
+        let results = drain(&farm.output());
+        assert_eq!(results.len(), 100);
+        // Max per-worker counter can't exceed the stream length and the
+        // sum of the final counters equals 100; spot-check bounds.
+        assert!(results.iter().all(|(_, c)| *c >= 1 && *c <= 100));
+        farm.shutdown();
+    }
+
+    #[test]
+    fn empty_stream_completes() {
+        let farm = FarmBuilder::from_fn(|x: u64| x).initial_workers(2).build();
+        farm.input().send(StreamMsg::End).unwrap();
+        assert!(drain(&farm.output()).is_empty());
+        farm.shutdown();
+    }
+}

@@ -1,0 +1,48 @@
+//! # bskel-skel — the threaded algorithmic-skeleton runtime
+//!
+//! This crate is the *execution* substrate of `bskel`: native-thread
+//! implementations of the parallelism-exploitation patterns the paper's
+//! behavioural skeletons wrap —
+//!
+//! * a reconfigurable **task farm** ([`farm`]): an emitter dispatching a
+//!   stream of tasks over per-worker queues (round-robin or
+//!   shortest-queue, the paper's scatter/unicast policies), worker threads,
+//!   and a collector gathering results (ordered or unordered — the
+//!   paper's gather policies). Workers can be **added, removed and
+//!   rebalanced at run time**, which is what the farm manager's
+//!   `ADD_EXECUTOR` / `REMOVE_EXECUTOR` / `BALANCE_LOAD` actuators do;
+//! * a **pipeline** ([`pipeline`]): a paced source, processing stages
+//!   (sequential or farm), and a sink, connected by bounded channels;
+//! * a **paced source** ([`limiter`]): the token-bucket rate limiter the
+//!   `incRate`/`decRate` contracts actuate;
+//! * **ABC bindings** ([`abc_impl`]): `FarmAbc`, `SourceAbc` and `StageAbc`
+//!   implement `bskel_core::abc::Abc`, exposing the runtime's sensors and
+//!   actuators to autonomic managers;
+//! * a **manager driver** ([`runtime`]): threads running each manager's
+//!   control loop at its configured period.
+//!
+//! Design notes (following the crate's HPC guides): task hand-off uses
+//! crossbeam channels and parking_lot mutex/condvar pairs; per-worker
+//! metrics are relaxed atomics in cache-padded cells
+//! (`bskel_monitor::Counter`); the only locks on the hot path are the
+//! per-worker deque locks, never a global one.
+
+#![warn(missing_docs)]
+
+pub mod abc_impl;
+pub mod farm;
+pub mod gcm_sync;
+pub mod limiter;
+pub mod map;
+pub mod pipeline;
+pub mod runtime;
+pub mod seq;
+pub mod stream;
+
+pub use abc_impl::{FarmAbc, MapAbc, SourceAbc, StageAbc};
+pub use farm::{Farm, FarmBuilder, GatherPolicy, SchedPolicy};
+pub use gcm_sync::GcmMirroredFarm;
+pub use limiter::PacedSource;
+pub use map::{BroadcastFarm, MapFarm, MapReduceFarm};
+pub use pipeline::{Pipeline, PipelineBuilder};
+pub use stream::StreamMsg;

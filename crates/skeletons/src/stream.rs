@@ -1,0 +1,167 @@
+//! The stream protocol and gather-side reordering.
+//!
+//! Skeleton stages exchange [`StreamMsg`]s: sequence-numbered items
+//! followed by an `End` marker. Sequence numbers are assigned once, at the
+//! stream source, and travel with the items so that a farm's collector can
+//! restore emission order when the user asked for ordered gathering
+//! (a farm with out-of-order completion otherwise permutes the stream).
+
+use std::collections::BTreeMap;
+
+/// A message on a skeleton stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StreamMsg<T> {
+    /// A stream element.
+    Item {
+        /// Position in the original stream (assigned at the source).
+        seq: u64,
+        /// The payload.
+        payload: T,
+    },
+    /// End of stream: no further items will follow.
+    End,
+}
+
+impl<T> StreamMsg<T> {
+    /// Builds an item message.
+    pub fn item(seq: u64, payload: T) -> Self {
+        StreamMsg::Item { seq, payload }
+    }
+
+    /// True for the end-of-stream marker.
+    pub fn is_end(&self) -> bool {
+        matches!(self, StreamMsg::End)
+    }
+
+    /// Maps the payload, preserving sequence numbers.
+    pub fn map<U>(self, f: impl FnOnce(T) -> U) -> StreamMsg<U> {
+        match self {
+            StreamMsg::Item { seq, payload } => StreamMsg::Item {
+                seq,
+                payload: f(payload),
+            },
+            StreamMsg::End => StreamMsg::End,
+        }
+    }
+}
+
+/// Restores stream order at a farm's collector.
+///
+/// Results arrive tagged with their source sequence number in completion
+/// order; [`ReorderBuffer::push`] returns the (possibly empty) run of
+/// items that became deliverable, in order.
+#[derive(Debug)]
+pub struct ReorderBuffer<T> {
+    next: u64,
+    pending: BTreeMap<u64, T>,
+}
+
+impl<T> Default for ReorderBuffer<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> ReorderBuffer<T> {
+    /// An empty buffer expecting sequence number 0 first.
+    pub fn new() -> Self {
+        Self {
+            next: 0,
+            pending: BTreeMap::new(),
+        }
+    }
+
+    /// Inserts a completed item; returns every item now deliverable in
+    /// order.
+    ///
+    /// # Panics
+    /// Panics on duplicate or already-delivered sequence numbers — both
+    /// indicate a scheduler bug upstream.
+    pub fn push(&mut self, seq: u64, item: T) -> Vec<T> {
+        assert!(
+            seq >= self.next,
+            "sequence {seq} already delivered (next = {})",
+            self.next
+        );
+        let displaced = self.pending.insert(seq, item);
+        assert!(displaced.is_none(), "duplicate sequence {seq}");
+        let mut out = Vec::new();
+        while let Some(item) = self.pending.remove(&self.next) {
+            out.push(item);
+            self.next += 1;
+        }
+        out
+    }
+
+    /// Number of items waiting for their predecessors.
+    pub fn pending(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// The sequence number the buffer will deliver next.
+    pub fn next_seq(&self) -> u64 {
+        self.next
+    }
+
+    /// True when nothing is held back.
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn in_order_passthrough() {
+        let mut rb = ReorderBuffer::new();
+        assert_eq!(rb.push(0, "a"), vec!["a"]);
+        assert_eq!(rb.push(1, "b"), vec!["b"]);
+        assert!(rb.is_empty());
+    }
+
+    #[test]
+    fn out_of_order_held_back_then_released() {
+        let mut rb = ReorderBuffer::new();
+        assert!(rb.push(2, "c").is_empty());
+        assert!(rb.push(1, "b").is_empty());
+        assert_eq!(rb.pending(), 2);
+        assert_eq!(rb.push(0, "a"), vec!["a", "b", "c"]);
+        assert_eq!(rb.pending(), 0);
+        assert_eq!(rb.next_seq(), 3);
+    }
+
+    #[test]
+    fn interleaved_runs() {
+        let mut rb = ReorderBuffer::new();
+        assert_eq!(rb.push(0, 0), vec![0]);
+        assert!(rb.push(3, 3).is_empty());
+        assert_eq!(rb.push(1, 1), vec![1]);
+        assert_eq!(rb.push(2, 2), vec![2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate sequence")]
+    fn duplicate_rejected() {
+        let mut rb = ReorderBuffer::new();
+        rb.push(5, "x");
+        rb.push(5, "y");
+    }
+
+    #[test]
+    #[should_panic(expected = "already delivered")]
+    fn replay_rejected() {
+        let mut rb = ReorderBuffer::new();
+        rb.push(0, "x");
+        rb.push(0, "y");
+    }
+
+    #[test]
+    fn msg_map_preserves_seq() {
+        let m = StreamMsg::item(7, 3).map(|x| x * 2);
+        assert_eq!(m, StreamMsg::item(7, 6));
+        assert!(StreamMsg::<i32>::End.is_end());
+        assert!(!m.is_end());
+    }
+}

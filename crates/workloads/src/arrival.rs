@@ -1,0 +1,232 @@
+//! Arrival processes: when does the next task reach the skeleton input?
+
+use rand::Rng;
+
+/// A stream arrival process. [`ArrivalProcess::next_interval`] returns the
+/// time until the next arrival, given the current time — time-varying
+/// processes (ramps, on/off) need it.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArrivalProcess {
+    /// Constant bit rate: one task every `1/rate` seconds.
+    Cbr {
+        /// Arrival rate, tasks/s.
+        rate: f64,
+    },
+    /// Poisson arrivals: exponentially distributed inter-arrival times.
+    Poisson {
+        /// Mean arrival rate, tasks/s.
+        rate: f64,
+    },
+    /// Linear ramp from `from` to `to` tasks/s over `duration` seconds
+    /// (constant at `to` afterwards).
+    Ramp {
+        /// Initial rate, tasks/s.
+        from: f64,
+        /// Final rate, tasks/s.
+        to: f64,
+        /// Ramp duration, seconds.
+        duration: f64,
+    },
+    /// Bursty on/off source: `on_rate` for `on_for` seconds, silent for
+    /// `off_for` seconds, repeating.
+    OnOff {
+        /// Rate while on, tasks/s.
+        on_rate: f64,
+        /// On-phase length, seconds.
+        on_for: f64,
+        /// Off-phase length, seconds.
+        off_for: f64,
+    },
+}
+
+impl ArrivalProcess {
+    /// Constant-rate builder.
+    pub fn cbr(rate: f64) -> Self {
+        assert!(rate > 0.0, "arrival rate must be positive");
+        ArrivalProcess::Cbr { rate }
+    }
+
+    /// Poisson builder.
+    pub fn poisson(rate: f64) -> Self {
+        assert!(rate > 0.0, "arrival rate must be positive");
+        ArrivalProcess::Poisson { rate }
+    }
+
+    /// The instantaneous rate at time `now`, tasks/s.
+    pub fn rate_at(&self, now: f64) -> f64 {
+        match self {
+            ArrivalProcess::Cbr { rate } | ArrivalProcess::Poisson { rate } => *rate,
+            ArrivalProcess::Ramp { from, to, duration } => {
+                if now >= *duration {
+                    *to
+                } else {
+                    from + (to - from) * (now / duration)
+                }
+            }
+            ArrivalProcess::OnOff {
+                on_rate,
+                on_for,
+                off_for,
+            } => {
+                let phase = now.rem_euclid(on_for + off_for);
+                if phase < *on_for {
+                    *on_rate
+                } else {
+                    0.0
+                }
+            }
+        }
+    }
+
+    /// Seconds from `now` until the next arrival.
+    pub fn next_interval(&self, now: f64, rng: &mut impl Rng) -> f64 {
+        match self {
+            ArrivalProcess::Cbr { rate } => 1.0 / rate,
+            ArrivalProcess::Poisson { rate } => {
+                // Inverse-CDF sample of Exp(rate); guard the log(0) corner.
+                let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+                -u.ln() / rate
+            }
+            ArrivalProcess::Ramp { .. } => {
+                let r = self.rate_at(now).max(1e-9);
+                1.0 / r
+            }
+            ArrivalProcess::OnOff {
+                on_rate,
+                on_for,
+                off_for,
+            } => {
+                let period = on_for + off_for;
+                let phase = now.rem_euclid(period);
+                if phase < *on_for {
+                    let step = 1.0 / on_rate;
+                    if phase + step <= *on_for {
+                        step
+                    } else {
+                        // The next arrival falls into the off phase: skip
+                        // to the start of the next on phase.
+                        (period - phase) + 0.0
+                    }
+                } else {
+                    period - phase
+                }
+            }
+        }
+    }
+
+    /// Generates the first `n` arrival times starting at `start`.
+    pub fn times(&self, start: f64, n: usize, rng: &mut impl Rng) -> Vec<f64> {
+        let mut out = Vec::with_capacity(n);
+        let mut t = start;
+        for _ in 0..n {
+            t += self.next_interval(t, rng);
+            out.push(t);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn cbr_is_exactly_periodic() {
+        let p = ArrivalProcess::cbr(4.0);
+        let times = p.times(0.0, 8, &mut rng());
+        for (i, t) in times.iter().enumerate() {
+            assert!((t - 0.25 * (i + 1) as f64).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn poisson_mean_rate_converges() {
+        let p = ArrivalProcess::poisson(10.0);
+        let times = p.times(0.0, 20_000, &mut rng());
+        let span = times.last().unwrap() - times.first().unwrap();
+        let rate = (times.len() - 1) as f64 / span;
+        assert!((rate - 10.0).abs() < 0.5, "empirical rate {rate}");
+    }
+
+    #[test]
+    fn poisson_is_deterministic_per_seed() {
+        let p = ArrivalProcess::poisson(1.0);
+        let a = p.times(0.0, 50, &mut StdRng::seed_from_u64(7));
+        let b = p.times(0.0, 50, &mut StdRng::seed_from_u64(7));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn ramp_rate_profile() {
+        let p = ArrivalProcess::Ramp {
+            from: 1.0,
+            to: 5.0,
+            duration: 10.0,
+        };
+        assert_eq!(p.rate_at(0.0), 1.0);
+        assert_eq!(p.rate_at(5.0), 3.0);
+        assert_eq!(p.rate_at(10.0), 5.0);
+        assert_eq!(p.rate_at(100.0), 5.0);
+        // Intervals shrink as the rate rises.
+        let early = p.next_interval(0.0, &mut rng());
+        let late = p.next_interval(9.0, &mut rng());
+        assert!(late < early);
+    }
+
+    #[test]
+    fn onoff_goes_silent_in_off_phase() {
+        let p = ArrivalProcess::OnOff {
+            on_rate: 10.0,
+            on_for: 1.0,
+            off_for: 2.0,
+        };
+        assert_eq!(p.rate_at(0.5), 10.0);
+        assert_eq!(p.rate_at(1.5), 0.0);
+        assert_eq!(p.rate_at(3.5), 10.0);
+        // An arrival in the off phase waits for the next on phase.
+        let wait = p.next_interval(1.5, &mut rng());
+        assert!((wait - 1.5).abs() < 1e-9, "wait {wait}");
+    }
+
+    #[test]
+    fn onoff_burst_boundaries() {
+        let p = ArrivalProcess::OnOff {
+            on_rate: 2.0,
+            on_for: 1.0,
+            off_for: 1.0,
+        };
+        // At phase 0.6 the next step (0.5) would cross 1.0 => jump to 2.0.
+        let wait = p.next_interval(0.6, &mut rng());
+        assert!((wait - 1.4).abs() < 1e-9, "wait {wait}");
+    }
+
+    #[test]
+    fn times_are_strictly_increasing() {
+        for p in [
+            ArrivalProcess::cbr(3.0),
+            ArrivalProcess::poisson(3.0),
+            ArrivalProcess::Ramp {
+                from: 1.0,
+                to: 4.0,
+                duration: 3.0,
+            },
+        ] {
+            let times = p.times(0.0, 200, &mut rng());
+            for w in times.windows(2) {
+                assert!(w[1] > w[0]);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_rate_rejected() {
+        ArrivalProcess::cbr(0.0);
+    }
+}

@@ -1,0 +1,72 @@
+//! # bskel — behavioural skeletons with autonomic management
+//!
+//! `bskel` is a Rust reproduction of *"Autonomic management of
+//! non-functional concerns in distributed & parallel application
+//! programming"* (Aldinucci, Danelutto & Kilpatrick, IPDPS 2009).
+//!
+//! A **behavioural skeleton** is a pair ⟨parallelism-exploitation pattern,
+//! autonomic manager⟩: the pattern (task farm, pipeline, …) carries the
+//! functional structure of the computation, while the manager runs a
+//! monitor–analyse–plan–execute loop that keeps a user-supplied SLA
+//! ("contract") satisfied — tuning parallelism degree, rebalancing queues,
+//! throttling producers, and escalating violations it cannot handle to its
+//! parent manager in a hierarchy.
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! * [`core`] — contracts, autonomic managers, manager hierarchies, and the
+//!   multi-concern coordination protocol (the paper's contribution);
+//! * [`skel`] — the threaded skeleton runtime (reconfigurable farms,
+//!   pipelines) executing real computations on native threads;
+//! * [`sim`] — a deterministic discrete-event simulator of the distributed
+//!   environment (nodes, IP domains, SSL costs) driving the *same* managers;
+//! * [`rules`] — the precondition–action rule engine managers use for their
+//!   analysis/planning phases;
+//! * [`monitor`] — sensors: rate estimators, counters, queue statistics;
+//! * [`gcm`] — the Fractal/GCM-style component model the skeletons are
+//!   packaged in;
+//! * [`workloads`] — synthetic workload generators for the experiments.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use bskel::prelude::*;
+//!
+//! // A task-farm behavioural skeleton under a throughput contract,
+//! // executed on the deterministic simulator.
+//! let scenario = FarmScenario::builder()
+//!     .service_time(5.0)          // seconds per task per worker
+//!     .arrival_rate(1.0)          // offered load, tasks/s
+//!     .initial_workers(1)
+//!     .contract(Contract::min_throughput(0.6))
+//!     .horizon(300.0)
+//!     .build();
+//! let outcome = scenario.run(42);
+//! assert!(outcome.final_snapshot.departure_rate >= 0.6 * 0.9);
+//! ```
+//!
+//! See `examples/` for runnable programs and `crates/bench` for the
+//! experiment harness regenerating the paper's figures.
+
+pub use bskel_core as core;
+pub use bskel_gcm as gcm;
+pub use bskel_monitor as monitor;
+pub use bskel_rules as rules;
+pub use bskel_sim as sim;
+pub use bskel_skel as skel;
+pub use bskel_workloads as workloads;
+
+/// Convenience re-exports covering the common API surface.
+pub mod prelude {
+    pub use bskel_core::abc::{Abc, ActuationOutcome, ManagerOp};
+    pub use bskel_core::bs::BsExpr;
+    pub use bskel_core::contract::Contract;
+    pub use bskel_core::coord::{GeneralManager, Intent, Obligation, Review};
+    pub use bskel_core::events::{EventKind, EventRecord};
+    pub use bskel_core::manager::{AmState, AutonomicManager, ManagerConfig};
+    pub use bskel_monitor::{Clock, ManualClock, RealClock, SensorSnapshot};
+    pub use bskel_rules::{Rule, RuleEngine, RuleSet};
+    pub use bskel_sim::scenario::{FarmScenario, PipelineScenario};
+    pub use bskel_skel::farm::Farm;
+    pub use bskel_skel::pipeline::Pipeline;
+}

@@ -1,0 +1,141 @@
+//! Integration tests: multi-concern coordination (paper §3.2) across the
+//! coordination protocol, the simulated environment and the node registry.
+
+use bskel::core::concern::Concern;
+use bskel::core::coord::{
+    EnvView, GeneralManager, Intent, Obligation, PerformanceConcern, Review, SecurityConcern,
+};
+use bskel::core::events::EventLog;
+use bskel::sim::{Node, NodeRegistry};
+
+fn env_from_registry() -> EnvView {
+    let mut reg = NodeRegistry::new();
+    reg.add(Node::trusted("lab0", "lab"));
+    reg.add(Node::trusted("lab1", "lab"));
+    reg.add(Node::untrusted("rent0", "untrusted_ip_domain_A"));
+    reg.add(Node::untrusted("rent1", "untrusted_ip_domain_A").with_speed(0.05));
+    EnvView::new(reg.env_nodes())
+}
+
+#[test]
+fn paper_running_example_full_protocol() {
+    // §3.2: AM_perf intends a worker on a node in untrusted_ip_domain_A;
+    // AM_sec secures the channel before the worker is instantiated.
+    let log = EventLog::new();
+    let mut gm = GeneralManager::new(log.clone());
+    gm.register(Box::new(PerformanceConcern::default()));
+    gm.register(Box::new(SecurityConcern::new(["untrusted_ip_domain_A"])));
+
+    let mut env = env_from_registry();
+
+    // Trusted target: no obligations, channel stays plain (no overhead).
+    let d = gm.propose(&Intent::AddWorkerOn { node: "lab0".into() }, &mut env, 1.0);
+    assert!(d.committed && d.obligations.is_empty());
+    assert!(!env.is_secured("lab0"));
+
+    // Untrusted target: secured before commit.
+    let d = gm.propose(&Intent::AddWorkerOn { node: "rent0".into() }, &mut env, 2.0);
+    assert!(d.committed);
+    assert_eq!(
+        d.obligations,
+        vec![(
+            Concern::Security,
+            Obligation::SecureChannel { node: "rent0".into() }
+        )]
+    );
+    assert!(env.is_secured("rent0"));
+
+    // Second worker on the same node: the channel is already secure.
+    let d = gm.propose(&Intent::AddWorkerOn { node: "rent0".into() }, &mut env, 3.0);
+    assert!(d.committed && d.obligations.is_empty());
+
+    // Uselessly slow node: performance vetoes, security never prepares.
+    let d = gm.propose(&Intent::AddWorkerOn { node: "rent1".into() }, &mut env, 4.0);
+    assert!(!d.committed);
+    assert_eq!(d.vetoed_by, Some(Concern::Performance));
+    assert!(!env.is_secured("rent1"));
+
+    // The GM's protocol trail is complete.
+    let rendered = log.render();
+    for needle in ["intent:", "prepared:security", "commit:", "veto:performance"] {
+        assert!(rendered.contains(needle), "missing {needle} in:\n{rendered}");
+    }
+}
+
+#[test]
+fn boolean_concern_reviews_first_regardless_of_registration_order() {
+    for order in [true, false] {
+        let mut gm = GeneralManager::new(EventLog::new());
+        if order {
+            gm.register(Box::new(SecurityConcern::new(["d"])));
+            gm.register(Box::new(PerformanceConcern::default()));
+        } else {
+            gm.register(Box::new(PerformanceConcern::default()));
+            gm.register(Box::new(SecurityConcern::new(["d"])));
+        }
+        assert_eq!(
+            gm.concerns(),
+            vec![Concern::Security, Concern::Performance],
+            "registration order {order}"
+        );
+    }
+}
+
+#[test]
+fn custom_concern_manager_integrates() {
+    // A budget concern: vetoes once too many nodes are in use. Shows the
+    // protocol is open to new concerns, as the paper's MM design intends.
+    struct BudgetConcern {
+        max_nodes: usize,
+        used: usize,
+    }
+    impl bskel::core::coord::ConcernManager for BudgetConcern {
+        fn concern(&self) -> Concern {
+            Concern::Custom("budget".into())
+        }
+        fn review(&self, intent: &Intent, _env: &EnvView) -> Review {
+            match intent {
+                Intent::AddWorkerOn { .. } if self.used >= self.max_nodes => Review::Veto {
+                    reason: format!("budget exhausted ({} nodes)", self.max_nodes),
+                },
+                _ => Review::Approve,
+            }
+        }
+        fn prepare(
+            &mut self,
+            _intent: &Intent,
+            obligation: &Obligation,
+            _env: &mut EnvView,
+        ) -> Result<(), String> {
+            Err(format!("budget has no obligations, got {obligation:?}"))
+        }
+    }
+
+    let mut gm = GeneralManager::new(EventLog::new());
+    gm.register(Box::new(SecurityConcern::new(["untrusted_ip_domain_A"])));
+    gm.register(Box::new(BudgetConcern {
+        max_nodes: 0,
+        used: 0,
+    }));
+    let mut env = env_from_registry();
+    let d = gm.propose(&Intent::AddWorkerOn { node: "lab0".into() }, &mut env, 0.0);
+    assert!(!d.committed);
+    assert_eq!(d.vetoed_by, Some(Concern::Custom("budget".into())));
+}
+
+#[test]
+fn rate_intents_cross_concern() {
+    let mut gm = GeneralManager::new(EventLog::new());
+    gm.register(Box::new(PerformanceConcern {
+        min_node_speed: 0.1,
+        max_rate: Some(2.0),
+    }));
+    gm.register(Box::new(SecurityConcern::new(["untrusted_ip_domain_A"])));
+    let mut env = env_from_registry();
+    let d = gm.propose(&Intent::SetRate(10.0), &mut env, 0.0);
+    assert!(d.committed);
+    assert_eq!(
+        d.obligations,
+        vec![(Concern::Performance, Obligation::LimitRate { max: 2.0 })]
+    );
+}

@@ -1,0 +1,224 @@
+//! Property-based tests over the core invariants (proptest).
+//!
+//! Each property encodes something the rest of the system *relies on*:
+//! estimator bounds, statistics merge laws, the DES kernel's ordering, the
+//! reorder buffer's permutation-free delivery, contract-splitting
+//! soundness on the pipeline model, and task conservation in the
+//! simulator.
+
+use proptest::prelude::*;
+
+use bskel::core::bs::BsExpr;
+use bskel::core::contract::split::{pipeline_throughput, split};
+use bskel::core::contract::Contract;
+use bskel::monitor::{queue_variance, RateEstimator, Welford};
+use bskel::sim::EventQueue;
+use bskel::skel::stream::ReorderBuffer;
+
+proptest! {
+    /// A rate estimator never reports more events than it was fed, and a
+    /// query far past the last event reports zero.
+    #[test]
+    fn rate_estimator_bounds(
+        times in proptest::collection::vec(0.0f64..100.0, 1..200),
+        window in 0.1f64..10.0,
+    ) {
+        let mut sorted = times.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mut est = RateEstimator::new(window);
+        for &t in &sorted {
+            est.record(t);
+        }
+        let last = *sorted.last().unwrap();
+        let rate = est.rate(last);
+        prop_assert!(rate >= 0.0);
+        prop_assert!(rate <= sorted.len() as f64 / window + 1e-9);
+        prop_assert_eq!(est.total(), sorted.len() as u64);
+        // Far future: everything pruned.
+        prop_assert_eq!(est.rate(last + window * 2.0 + 1.0), 0.0);
+    }
+
+    /// Welford merge is equivalent to sequential accumulation.
+    #[test]
+    fn welford_merge_law(
+        xs in proptest::collection::vec(-1e6f64..1e6, 0..100),
+        ys in proptest::collection::vec(-1e6f64..1e6, 0..100),
+    ) {
+        let mut seq = Welford::new();
+        for &v in xs.iter().chain(ys.iter()) {
+            seq.update(v);
+        }
+        let mut a = Welford::new();
+        for &v in &xs {
+            a.update(v);
+        }
+        let mut b = Welford::new();
+        for &v in &ys {
+            b.update(v);
+        }
+        a.merge(&b);
+        prop_assert_eq!(a.count(), seq.count());
+        if seq.count() > 0 {
+            prop_assert!((a.mean() - seq.mean()).abs() <= 1e-6 * (1.0 + seq.mean().abs()));
+            prop_assert!(
+                (a.variance() - seq.variance()).abs()
+                    <= 1e-6 * (1.0 + seq.variance().abs())
+            );
+        }
+    }
+
+    /// Queue variance is zero iff all queues are equal, and invariant
+    /// under permutation.
+    #[test]
+    fn queue_variance_properties(mut lens in proptest::collection::vec(0u64..1000, 2..64)) {
+        let v = queue_variance(&lens);
+        prop_assert!(v >= 0.0);
+        let all_equal = lens.windows(2).all(|w| w[0] == w[1]);
+        prop_assert_eq!(v == 0.0, all_equal);
+        lens.reverse();
+        prop_assert!((queue_variance(&lens) - v).abs() < 1e-9);
+    }
+
+    /// The DES kernel pops events in non-decreasing time order, FIFO
+    /// within ties, and loses nothing.
+    #[test]
+    fn event_queue_ordering(times in proptest::collection::vec(0.0f64..1000.0, 1..300)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(t, i);
+        }
+        let mut popped = Vec::new();
+        let mut last_t = f64::NEG_INFINITY;
+        while let Some((t, i)) = q.pop() {
+            prop_assert!(t >= last_t, "time went backwards");
+            if let Some(&(pt, pi)) = popped.last() {
+                let pt: f64 = pt;
+                let pi: usize = pi;
+                if pt == t {
+                    prop_assert!(pi < i, "FIFO violated within a tie");
+                }
+            }
+            popped.push((t, i));
+            last_t = t;
+        }
+        prop_assert_eq!(popped.len(), times.len());
+        let mut ids: Vec<usize> = popped.iter().map(|&(_, i)| i).collect();
+        ids.sort_unstable();
+        prop_assert_eq!(ids, (0..times.len()).collect::<Vec<_>>());
+    }
+
+    /// A reorder buffer fed any permutation of 0..n delivers exactly
+    /// 0..n, in order.
+    #[test]
+    fn reorder_buffer_restores_any_permutation(perm in proptest::collection::vec(0u64..64, 1..64)) {
+        // Build a permutation of 0..len from the random vector.
+        let mut idx: Vec<u64> = (0..perm.len() as u64).collect();
+        idx.sort_by_key(|&i| (perm[i as usize], i));
+        let mut rb = ReorderBuffer::new();
+        let mut out = Vec::new();
+        for &seq in &idx {
+            out.extend(rb.push(seq, seq));
+        }
+        prop_assert!(rb.is_empty());
+        prop_assert_eq!(out, (0..perm.len() as u64).collect::<Vec<_>>());
+    }
+
+    /// P_spl soundness on the pipeline model: if every stage's throughput
+    /// lies inside the (identical) sub-contract stripe, the composed
+    /// pipeline throughput satisfies the parent contract.
+    #[test]
+    fn pipeline_split_soundness(
+        lo in 0.1f64..2.0,
+        width in 0.01f64..3.0,
+        fractions in proptest::collection::vec(0.0f64..1.0, 1..8),
+    ) {
+        let hi = lo + width;
+        let parent = Contract::throughput_range(lo, hi);
+        let stages: Vec<BsExpr> = (0..fractions.len())
+            .map(|i| BsExpr::seq(format!("s{i}")))
+            .collect();
+        let pipe = BsExpr::pipe("p", stages);
+        let subs = split(&parent, &pipe);
+        prop_assert_eq!(subs.len(), fractions.len());
+
+        // Pick any per-stage throughput inside each sub-contract stripe.
+        let mut throughputs = Vec::new();
+        for (sub, f) in subs.iter().zip(&fractions) {
+            let (slo, shi) = sub.contract.throughput_bounds().expect("perf goal");
+            prop_assert_eq!(slo, lo);
+            prop_assert_eq!(shi, hi);
+            throughputs.push(slo + f * (shi - slo));
+        }
+        let composed = pipeline_throughput(&throughputs);
+        prop_assert!(composed >= lo - 1e-12 && composed <= hi + 1e-12);
+    }
+
+    /// Par-degree splitting never hands out an empty or inverted range,
+    /// whatever the stage weights.
+    #[test]
+    fn par_degree_split_always_valid(
+        weights in proptest::collection::vec(0.01f64..100.0, 1..8),
+        min in 1u32..16,
+        extra in 0u32..48,
+    ) {
+        let max = min + extra;
+        let stages: Vec<BsExpr> = weights
+            .iter()
+            .enumerate()
+            .map(|(i, &w)| BsExpr::seq_weighted(format!("s{i}"), w))
+            .collect();
+        let pipe = BsExpr::pipe("p", stages);
+        for sub in split(&Contract::par_degree(min, max), &pipe) {
+            let (smin, smax) = sub.contract.par_degree_bounds().expect("bounds set");
+            prop_assert!(smin >= 1);
+            prop_assert!(smax >= smin);
+            prop_assert!(sub.contract.validate().is_ok());
+        }
+    }
+
+    /// `Contract::all` flattening is idempotent and preserves satisfaction
+    /// semantics.
+    #[test]
+    fn contract_all_flattening(
+        lo in 0.0f64..1.0,
+        width in 0.0f64..1.0,
+        rate in 0.0f64..3.0,
+        workers in 0u32..64,
+    ) {
+        let hi = lo + width;
+        let parts = vec![
+            Contract::throughput_range(lo, hi),
+            Contract::par_degree(1, 32),
+        ];
+        let flat = Contract::all(parts.clone());
+        let nested = Contract::all([Contract::all(parts.clone()), Contract::all([])]);
+        let mut snap = bskel::monitor::SensorSnapshot::empty(0.0);
+        snap.departure_rate = rate;
+        snap.num_workers = workers;
+        prop_assert_eq!(flat.satisfied_by(&snap), nested.satisfied_by(&snap));
+    }
+
+    /// Task conservation in the simulator: whatever the farm size, rates
+    /// and service times, every emitted task is eventually completed and
+    /// consumed exactly once.
+    #[test]
+    fn sim_conserves_tasks(
+        workers in 1u32..6,
+        rate in 0.5f64..20.0,
+        service in 0.01f64..2.0,
+        count in 1u64..80,
+        seed in 0u64..1000,
+    ) {
+        let outcome = bskel::sim::FarmScenario::builder()
+            .service_time(service)
+            .arrival_rate(rate)
+            .initial_workers(workers)
+            .count(count)
+            // Generous horizon: worst case count×service plus drain time.
+            .horizon(count as f64 * service + count as f64 / rate + 60.0)
+            .contract(Contract::BestEffort)
+            .build()
+            .run(seed);
+        prop_assert_eq!(outcome.tasks_done, count);
+    }
+}

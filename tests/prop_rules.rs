@@ -1,0 +1,203 @@
+//! Property-based tests of the rule language: render → parse round-trips,
+//! and engine semantics under random programs.
+
+use proptest::prelude::*;
+
+use bskel::rules::{
+    parse_rules, Action, Cmp, Condition, Expr, ParamTable, Rule, RuleEngine, RuleSet,
+    WorkingMemory,
+};
+
+fn ident() -> impl Strategy<Value = String> {
+    "[a-z][a-zA-Z0-9_]{0,10}".prop_filter("not a keyword", |s| {
+        !matches!(
+            s.as_str(),
+            "rule" | "when" | "then" | "end" | "salience" | "once" | "true" | "false"
+                | "fire" | "setData" | "fireOperation"
+        )
+    })
+}
+
+fn expr() -> impl Strategy<Value = Expr> {
+    prop_oneof![
+        ident().prop_map(Expr::Bean),
+        "[A-Z][A-Z0-9_]{0,8}".prop_map(Expr::Param),
+        // Finite, parseable literals (the lexer reads digits and dots).
+        (0u32..10_000).prop_map(|n| Expr::Const(f64::from(n) / 100.0)),
+    ]
+}
+
+fn cmp() -> impl Strategy<Value = Cmp> {
+    prop_oneof![
+        Just(Cmp::Lt),
+        Just(Cmp::Le),
+        Just(Cmp::Gt),
+        Just(Cmp::Ge),
+        Just(Cmp::Eq),
+        Just(Cmp::Ne),
+    ]
+}
+
+fn condition() -> impl Strategy<Value = Condition> {
+    let leaf = prop_oneof![
+        Just(Condition::True),
+        Just(Condition::False),
+        (expr(), cmp(), expr()).prop_map(|(l, op, r)| Condition::Cmp { lhs: l, op, rhs: r }),
+    ];
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 2..4).prop_map(Condition::And),
+            proptest::collection::vec(inner.clone(), 2..4).prop_map(Condition::Or),
+            inner.prop_map(|c| Condition::Not(Box::new(c))),
+        ]
+    })
+}
+
+fn action() -> impl Strategy<Value = Action> {
+    prop_oneof![
+        "[a-zA-Z][a-zA-Z0-9_]{0,12}".prop_map(Action::SetData),
+        "[A-Z][A-Z0-9_]{0,12}".prop_map(Action::Fire),
+    ]
+}
+
+fn rule() -> impl Strategy<Value = Rule> {
+    (
+        "[A-Za-z][A-Za-z0-9_]{0,14}",
+        -20i32..20,
+        any::<bool>(),
+        condition(),
+        proptest::collection::vec(action(), 0..5),
+    )
+        .prop_map(|(name, salience, edge, when, then)| {
+            let mut r = Rule::new(name, when, then).salience(salience);
+            if edge {
+                r = r.edge_triggered();
+            }
+            r
+        })
+}
+
+/// Renders a rule back to the `.rules` text syntax using the AST Display
+/// impls (the inverse of the parser, up to whitespace).
+fn render(rule: &Rule) -> String {
+    let mut out = format!("rule \"{}\" salience {}", rule.name, rule.salience);
+    if rule.edge_triggered {
+        out.push_str(" once");
+    }
+    out.push_str(&format!("\nwhen\n    {}\nthen\n", rule.when));
+    for action in &rule.then {
+        out.push_str(&format!("    {action};\n"));
+    }
+    out.push_str("end\n");
+    out
+}
+
+proptest! {
+    /// render ∘ parse = id on random rules.
+    #[test]
+    fn rule_roundtrip(r in rule()) {
+        let text = render(&r);
+        let parsed = parse_rules(&text)
+            .unwrap_or_else(|e| panic!("rendered rule failed to parse: {e}\n---\n{text}"));
+        prop_assert_eq!(parsed.len(), 1);
+        let back = parsed.get(&r.name).expect("same name");
+        prop_assert_eq!(back, &r);
+    }
+
+    /// A whole random program round-trips (unique names enforced).
+    #[test]
+    fn program_roundtrip(rules in proptest::collection::vec(rule(), 1..6)) {
+        let mut seen = std::collections::BTreeSet::new();
+        let unique: Vec<Rule> = rules
+            .into_iter()
+            .enumerate()
+            .map(|(i, mut r)| {
+                r.name = format!("r{i}_{}", r.name);
+                seen.insert(r.name.clone());
+                r
+            })
+            .collect();
+        let text: String = unique.iter().map(render).collect::<Vec<_>>().join("\n");
+        let parsed = parse_rules(&text).expect("program parses");
+        prop_assert_eq!(parsed.len(), unique.len());
+        for r in &unique {
+            prop_assert_eq!(parsed.get(&r.name).expect("present"), r);
+        }
+    }
+
+    /// Engine semantics: the set of fired rules equals exactly the rules
+    /// whose condition evaluates true (for level-triggered programs), and
+    /// firings are sorted by salience descending.
+    #[test]
+    fn engine_fires_exactly_true_conditions(
+        rules in proptest::collection::vec(rule(), 1..8),
+        bean_vals in proptest::collection::vec(0.0f64..10.0, 8),
+    ) {
+        // Level-triggered only, unique names, conditions restricted to the
+        // beans/params we will provide.
+        let beans: Vec<String> = (0..8).map(|i| format!("b{i}")).collect();
+        let mut wm = WorkingMemory::new();
+        for (name, &v) in beans.iter().zip(&bean_vals) {
+            wm.insert(name.clone(), v);
+        }
+        let params = ParamTable::new().with("P", 5.0);
+
+        let rewritten: Vec<Rule> = rules
+            .into_iter()
+            .enumerate()
+            .map(|(i, mut r)| {
+                r.name = format!("r{i}");
+                r.edge_triggered = false;
+                r.when = rewrite(&r.when, &beans);
+                r
+            })
+            .collect();
+        let expected: Vec<String> = {
+            let mut with_truth: Vec<(i32, usize, String)> = rewritten
+                .iter()
+                .enumerate()
+                .filter(|(_, r)| r.when.eval(&wm, &params).expect("closed condition"))
+                .map(|(i, r)| (r.salience, i, r.name.clone()))
+                .collect();
+            with_truth.sort_by_key(|&(s, i, _)| (std::cmp::Reverse(s), i));
+            with_truth.into_iter().map(|(_, _, n)| n).collect()
+        };
+
+        let set: RuleSet = rewritten.into_iter().collect();
+        let mut engine = RuleEngine::new(set);
+        let fired: Vec<String> = engine
+            .cycle(&wm, &params)
+            .expect("closed conditions evaluate")
+            .into_iter()
+            .map(|f| f.rule)
+            .collect();
+        prop_assert_eq!(fired, expected);
+    }
+}
+
+/// Rewrites a random condition so every bean/param reference resolves in
+/// the fixed test environment (b0..b7 / $P).
+fn rewrite(c: &Condition, beans: &[String]) -> Condition {
+    fn map_expr(e: &Expr, beans: &[String]) -> Expr {
+        match e {
+            Expr::Bean(name) => {
+                let i = name.len() % beans.len();
+                Expr::Bean(beans[i].clone())
+            }
+            Expr::Param(_) => Expr::Param("P".into()),
+            Expr::Const(v) => Expr::Const(*v),
+        }
+    }
+    match c {
+        Condition::True => Condition::True,
+        Condition::False => Condition::False,
+        Condition::Cmp { lhs, op, rhs } => Condition::Cmp {
+            lhs: map_expr(lhs, beans),
+            op: *op,
+            rhs: map_expr(rhs, beans),
+        },
+        Condition::And(cs) => Condition::And(cs.iter().map(|c| rewrite(c, beans)).collect()),
+        Condition::Or(cs) => Condition::Or(cs.iter().map(|c| rewrite(c, beans)).collect()),
+        Condition::Not(inner) => Condition::Not(Box::new(rewrite(inner, beans))),
+    }
+}

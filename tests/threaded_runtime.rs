@@ -1,0 +1,219 @@
+//! Integration tests: autonomic management of the *threaded* runtime.
+//!
+//! The same managers and rule programs the simulator tests exercise here
+//! drive real OS threads. Time is scaled so each test finishes in a few
+//! seconds; service is `thread::sleep`-based so the tests are robust to
+//! CI load. Assertions are kept on structural outcomes (workers added,
+//! tasks conserved, events present) rather than tight timing.
+
+use bskel::core::abc::Abc;
+use bskel::core::bs::BsExpr;
+use bskel::core::contract::Contract;
+use bskel::core::events::{EventKind, EventLog};
+use bskel::core::hierarchy;
+use bskel::core::manager::{AutonomicManager, ManagerConfig};
+use bskel::monitor::{Clock, RealClock};
+use bskel::skel::abc_impl::FarmAbc;
+use bskel::skel::farm::FarmBuilder;
+use bskel::skel::limiter::PacedSource;
+use bskel::skel::pipeline::PipelineBuilder;
+use bskel::skel::runtime::{HierarchyDriver, ManagerDriver};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn sleep_task(ms: u64) -> impl Fn(u64) -> u64 + Clone + Send + Sync + 'static {
+    move |x| {
+        std::thread::sleep(Duration::from_millis(ms));
+        x
+    }
+}
+
+#[test]
+fn manager_grows_live_farm_to_meet_contract() {
+    // 50 ms/task, arrival 60/s, contract 40/s => needs >= 2 workers; start
+    // with one and let AM_F grow it.
+    let clock: Arc<dyn Clock> = Arc::new(RealClock::new());
+    let farm = FarmBuilder::from_fn(sleep_task(50))
+        .initial_workers(1)
+        .max_workers(16)
+        .clock(Arc::clone(&clock))
+        .rate_window(0.5)
+        .build();
+    let source = PacedSource::new(60.0, 300, |s| s);
+    let source_handle = source.spawn(farm.input());
+
+    let log = EventLog::new();
+    let mut cfg = ManagerConfig::farm("AM_F");
+    cfg.control_period = 0.1;
+    let manager =
+        AutonomicManager::new(cfg, Box::new(FarmAbc::new(farm.control())), log.clone());
+    manager.contract_slot().post(Contract::min_throughput(40.0));
+    let driver = ManagerDriver::spawn(manager, Arc::clone(&clock));
+
+    let mut done = 0;
+    for msg in farm.output().iter() {
+        if msg.is_end() {
+            break;
+        }
+        done += 1;
+    }
+    driver.stop();
+    let final_workers = farm.control().num_workers();
+    farm.shutdown();
+    source_handle.join().unwrap();
+
+    assert_eq!(done, 300, "no task lost under reconfiguration");
+    assert!(final_workers >= 2, "farm grew (got {final_workers})");
+    assert!(!log.of_kind(&EventKind::AddWorker).is_empty());
+}
+
+#[test]
+fn hierarchical_pipeline_on_threads() {
+    // Threaded Fig. 4-lite: slow source (20/s) against a 30–70/s stripe;
+    // the hierarchy must raise the producer's rate and grow the farm.
+    let clock: Arc<dyn Clock> = Arc::new(RealClock::new());
+    let farm = FarmBuilder::from_fn(sleep_task(60))
+        .initial_workers(2)
+        .max_workers(16)
+        .clock(Arc::clone(&clock))
+        .rate_window(0.5)
+        .build();
+    let farm_ctl = farm.control();
+    let mut pipe = PipelineBuilder::source_with_clock(
+        "producer",
+        20.0,
+        400,
+        |s| s,
+        Arc::clone(&clock),
+        0.5,
+    )
+    .farm("filter", farm)
+    .sink("consumer", |_| {});
+
+    let expr = BsExpr::parse("pipe:app(seq:producer, farm:filter(seq:w), seq:consumer)").unwrap();
+    let log = EventLog::new();
+    let hierarchy = hierarchy::build(
+        &expr,
+        log.clone(),
+        &mut |node, _| -> Box<dyn Abc> {
+            pipe.take_abc(node.name())
+                .unwrap_or_else(|| Box::new(bskel::core::abc::NullAbc::default()))
+        },
+        &mut |_, mut cfg| {
+            cfg.control_period = 0.1;
+            cfg.add_batch = 1;
+            cfg.initial_source_rate = 20.0;
+            // Scaled-time stripe: the producer self-tunes fast.
+            cfg.rate_inc_factor = 1.3;
+            cfg
+        },
+    );
+    hierarchy.post_contract(Contract::throughput_range(30.0, 70.0));
+    let driver = HierarchyDriver::spawn(hierarchy, 0.1, Arc::clone(&clock));
+
+    let consumed = pipe.wait();
+    driver.stop();
+
+    assert_eq!(consumed, 400, "stream drained end-to-end");
+    // The pipeline manager compensated for starvation.
+    assert!(
+        !log.of_kind(&EventKind::IncRate).is_empty(),
+        "incRate events: {}",
+        log.render()
+    );
+    // And the farm grew beyond its initial 2 workers.
+    assert!(
+        farm_ctl.num_workers() > 2 || !log.of_kind(&EventKind::AddWorker).is_empty(),
+        "farm adapted; log:\n{}",
+        log.render()
+    );
+}
+
+#[test]
+fn live_farm_rebalance_and_shrink_under_overcapacity() {
+    // Over-provisioned farm against a range contract: the manager sheds
+    // workers (CheckRateHigh) down toward the contract ceiling.
+    let clock: Arc<dyn Clock> = Arc::new(RealClock::new());
+    let farm = FarmBuilder::from_fn(sleep_task(20))
+        .initial_workers(8)
+        .clock(Arc::clone(&clock))
+        .rate_window(0.5)
+        .build();
+    let source = PacedSource::new(100.0, 400, |s| s);
+    let source_handle = source.spawn(farm.input());
+
+    let log = EventLog::new();
+    let mut cfg = ManagerConfig::farm("AM_F");
+    cfg.control_period = 0.1;
+    let manager =
+        AutonomicManager::new(cfg, Box::new(FarmAbc::new(farm.control())), log.clone());
+    // Ceiling far below capacity (8 workers × 50/s = 400/s >> 90/s).
+    manager
+        .contract_slot()
+        .post(Contract::throughput_range(10.0, 90.0));
+    let driver = ManagerDriver::spawn(manager, Arc::clone(&clock));
+
+    let mut done = 0;
+    for msg in farm.output().iter() {
+        if msg.is_end() {
+            break;
+        }
+        done += 1;
+    }
+    driver.stop();
+    let final_workers = farm.control().num_workers();
+    farm.shutdown();
+    source_handle.join().unwrap();
+
+    assert_eq!(done, 400);
+    assert!(
+        final_workers < 8,
+        "manager shed overcapacity (still {final_workers})"
+    );
+    assert!(!log.of_kind(&EventKind::RemoveWorker).is_empty());
+}
+
+#[test]
+fn threaded_and_simulated_substrates_agree_on_shape() {
+    // The paper's separation claim, tested: the same policy over the two
+    // substrates lands on parallelism degrees within one worker of each
+    // other for the same (scaled) workload.
+    // Sim: 5 s service, 0.6 contract, needs 3 workers.
+    let sim = bskel::sim::FarmScenario::builder()
+        .service_time(5.0)
+        .arrival_rate(1.0)
+        .contract(Contract::min_throughput(0.6))
+        .horizon(200.0)
+        .build()
+        .run(3);
+    // Threads: 50 ms service, 60/s contract (same ρ), scaled 100×.
+    let clock: Arc<dyn Clock> = Arc::new(RealClock::new());
+    let farm = FarmBuilder::from_fn(sleep_task(50))
+        .initial_workers(1)
+        .clock(Arc::clone(&clock))
+        .rate_window(0.5)
+        .build();
+    let source = PacedSource::new(100.0, 400, |s| s);
+    let source_handle = source.spawn(farm.input());
+    let log = EventLog::new();
+    let mut cfg = ManagerConfig::farm("AM_F");
+    cfg.control_period = 0.1;
+    let manager = AutonomicManager::new(cfg, Box::new(FarmAbc::new(farm.control())), log);
+    manager.contract_slot().post(Contract::min_throughput(60.0));
+    let driver = ManagerDriver::spawn(manager, Arc::clone(&clock));
+    for msg in farm.output().iter() {
+        if msg.is_end() {
+            break;
+        }
+    }
+    driver.stop();
+    let threaded_workers = farm.control().num_workers() as i64;
+    farm.shutdown();
+    source_handle.join().unwrap();
+
+    let sim_workers = sim.final_snapshot.num_workers as i64;
+    assert!(
+        (threaded_workers - sim_workers).abs() <= 2,
+        "substrates disagree: sim={sim_workers}, threads={threaded_workers}"
+    );
+}
