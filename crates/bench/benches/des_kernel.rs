@@ -11,27 +11,23 @@ use bskel_sim::EventQueue;
 fn bench_kernel(c: &mut Criterion) {
     let mut group = c.benchmark_group("des_kernel");
     for n in [1_000usize, 10_000] {
-        group.bench_with_input(
-            BenchmarkId::new("schedule_then_drain", n),
-            &n,
-            |b, &n| {
-                b.iter(|| {
-                    let mut q = EventQueue::new();
-                    // Pseudo-random but deterministic times.
-                    let mut t = 0u64;
-                    for i in 0..n {
-                        t = t.wrapping_mul(6364136223846793005).wrapping_add(i as u64);
-                        let at = (t % 1_000_000) as f64 / 1000.0;
-                        q.schedule(at, i);
-                    }
-                    let mut sum = 0usize;
-                    while let Some((_, e)) = q.pop() {
-                        sum += e;
-                    }
-                    black_box(sum)
-                });
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("schedule_then_drain", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut q = EventQueue::new();
+                // Pseudo-random but deterministic times.
+                let mut t = 0u64;
+                for i in 0..n {
+                    t = t.wrapping_mul(6364136223846793005).wrapping_add(i as u64);
+                    let at = (t % 1_000_000) as f64 / 1000.0;
+                    q.schedule(at, i);
+                }
+                let mut sum = 0usize;
+                while let Some((_, e)) = q.pop() {
+                    sum += e;
+                }
+                black_box(sum)
+            });
+        });
     }
     group.bench_function("interleaved_schedule_pop", |b| {
         b.iter(|| {

@@ -1,12 +1,26 @@
-//! PERF — threaded-farm overhead vs a plain sequential loop.
+//! PERF — threaded-farm overhead vs a plain sequential loop, plus the
+//! lock-free hot-path comparison.
 //!
-//! The behavioural-skeleton pitch only holds if the skeleton machinery
-//! (emitter, per-worker deques, collector, metrics) costs little relative
-//! to real task work. We push a fixed stream through (a) a bare loop,
-//! (b) a 1-worker farm, (c) a 4-worker farm, on a task that does a fixed
-//! amount of arithmetic.
+//! Two modes:
+//!
+//! * **default** — the original criterion micro-benches: a fixed stream
+//!   through (a) a bare loop, (b) a 1-worker farm, (c) a 4-worker farm, on
+//!   a task doing a fixed amount of arithmetic;
+//! * **`--hot-path`** — before/after comparison of the dispatch hot path.
+//!   An embedded replica of the *seed* farm (per-task worker-table mutex,
+//!   per-task queue lock + notify, mutexed rate estimators, one shared
+//!   `Mutex<Welford>` service statistic) races the current farm (RCU
+//!   worker table, batched queue hand-off, lock-free sensors) at workers
+//!   {1, 2, 4, 8} on ~1 µs tasks. Results (tasks/sec + speedup) are
+//!   printed and written to `BENCH_farm_hot_path.json` at the workspace
+//!   root. Add `--quick` for a smoke-sized run.
+//!
+//! The replica keeps the seed's full thread structure (input channel →
+//! emitter thread → per-worker deques → collector thread → output
+//! channel), so the measured delta isolates the per-task locking and
+//! per-task messaging — not thread topology.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, Criterion};
 use std::hint::black_box;
 
 use bskel_skel::farm::FarmBuilder;
@@ -61,4 +75,227 @@ fn bench_farm(c: &mut Criterion) {
 }
 
 criterion_group!(benches, bench_farm);
-criterion_main!(benches);
+
+/// Replica of the seed farm's per-task-locked hot path, kept as the
+/// regression baseline for `--hot-path`.
+mod seed_replica {
+    use super::work;
+    use bskel_monitor::{Clock, RateEstimator, RealClock, Welford};
+    use crossbeam::channel::{unbounded, Sender};
+    use parking_lot::{Condvar, Mutex};
+    use std::collections::VecDeque;
+    use std::sync::Arc;
+    use std::time::Instant;
+
+    /// Seed-style per-worker deque: one lock + one notify per task.
+    struct Queue {
+        deque: Mutex<VecDeque<Option<(u64, u64)>>>,
+        cv: Condvar,
+    }
+
+    impl Queue {
+        fn new() -> Self {
+            Self {
+                deque: Mutex::new(VecDeque::new()),
+                cv: Condvar::new(),
+            }
+        }
+
+        fn push(&self, item: Option<(u64, u64)>) {
+            self.deque.lock().push_back(item);
+            self.cv.notify_one();
+        }
+
+        fn pop_blocking(&self) -> Option<(u64, u64)> {
+            let mut q = self.deque.lock();
+            while q.is_empty() {
+                self.cv.wait(&mut q);
+            }
+            q.pop_front().expect("non-empty")
+        }
+    }
+
+    struct Metrics {
+        clock: RealClock,
+        arrivals: Mutex<RateEstimator>,
+        departures: Mutex<RateEstimator>,
+        service: Mutex<Welford>,
+    }
+
+    /// Streams `tasks` ~1 µs tasks through the replica at `nworkers` and
+    /// returns delivered tasks/sec (timed from first send to last result).
+    pub fn run(nworkers: usize, tasks: u64) -> f64 {
+        let (in_tx, in_rx) = unbounded::<Option<(u64, u64)>>();
+        let (res_tx, res_rx) = unbounded::<(u64, u64)>();
+        let (out_tx, out_rx) = unbounded::<(u64, u64)>();
+
+        let metrics = Arc::new(Metrics {
+            clock: RealClock::new(),
+            arrivals: Mutex::new(RateEstimator::new(2.0)),
+            departures: Mutex::new(RateEstimator::new(2.0)),
+            service: Mutex::new(Welford::new()),
+        });
+
+        let queues: Vec<Arc<Queue>> = (0..nworkers).map(|_| Arc::new(Queue::new())).collect();
+        // The seed kept workers behind a mutex the emitter locked per task.
+        let workers = Arc::new(Mutex::new(queues.clone()));
+
+        let worker_threads: Vec<_> = queues
+            .iter()
+            .map(|q| {
+                let q = Arc::clone(q);
+                let res_tx: Sender<(u64, u64)> = res_tx.clone();
+                let metrics = Arc::clone(&metrics);
+                std::thread::spawn(move || {
+                    while let Some((seq, x)) = q.pop_blocking() {
+                        let t0 = metrics.clock.now();
+                        let y = work(x);
+                        let dt = metrics.clock.now() - t0;
+                        metrics.service.lock().update(dt);
+                        if res_tx.send((seq, y)).is_err() {
+                            break;
+                        }
+                    }
+                })
+            })
+            .collect();
+        drop(res_tx);
+
+        let emitter = {
+            let workers = Arc::clone(&workers);
+            let metrics = Arc::clone(&metrics);
+            std::thread::spawn(move || {
+                let mut rr = 0usize;
+                while let Ok(Some(task)) = in_rx.recv() {
+                    // The seed hot path: two mutexes + a queue lock per task.
+                    metrics.arrivals.lock().record(metrics.clock.now());
+                    let ws = workers.lock();
+                    ws[rr % ws.len()].push(Some(task));
+                    rr += 1;
+                }
+                for q in workers.lock().iter() {
+                    q.push(None);
+                }
+            })
+        };
+
+        let collector = {
+            let metrics = Arc::clone(&metrics);
+            std::thread::spawn(move || {
+                for result in res_rx.iter() {
+                    metrics.departures.lock().record(metrics.clock.now());
+                    if out_tx.send(result).is_err() {
+                        break;
+                    }
+                }
+            })
+        };
+
+        let start = Instant::now();
+        for i in 0..tasks {
+            in_tx.send(Some((i, i))).expect("emitter alive");
+        }
+        in_tx.send(None).expect("emitter alive");
+        let mut received = 0u64;
+        while received < tasks {
+            out_rx.recv().expect("collector alive");
+            received += 1;
+        }
+        let rate = tasks as f64 / start.elapsed().as_secs_f64();
+
+        emitter.join().expect("emitter");
+        for t in worker_threads {
+            t.join().expect("worker");
+        }
+        collector.join().expect("collector");
+        rate
+    }
+}
+
+/// Streams `tasks` through the current lock-free farm and returns
+/// delivered tasks/sec.
+fn run_lockfree(nworkers: u32, tasks: u64) -> f64 {
+    let farm = FarmBuilder::from_fn(work).initial_workers(nworkers).build();
+    let tx = farm.input();
+    let rx = farm.output();
+    let start = std::time::Instant::now();
+    for i in 0..tasks {
+        tx.send(StreamMsg::item(i, i)).expect("farm accepts input");
+    }
+    tx.send(StreamMsg::End).expect("farm accepts end");
+    let mut received = 0u64;
+    for msg in rx.iter() {
+        match msg {
+            StreamMsg::Item { .. } => received += 1,
+            StreamMsg::End => break,
+        }
+    }
+    let rate = tasks as f64 / start.elapsed().as_secs_f64();
+    assert_eq!(received, tasks, "farm delivered every task");
+    farm.shutdown();
+    rate
+}
+
+fn hot_path_compare(quick: bool) {
+    let tasks: u64 = if quick { 5_000 } else { 40_000 };
+    let runs = if quick { 2 } else { 3 };
+    let worker_counts = [1u32, 2, 4, 8];
+
+    println!("farm hot path: {tasks} tasks of ~1 µs, best of {runs} runs");
+    println!(
+        "{:>8} {:>18} {:>18} {:>9}",
+        "workers", "seed (tasks/s)", "lock-free (tasks/s)", "speedup"
+    );
+
+    let mut rows = Vec::new();
+    for &w in &worker_counts {
+        let baseline = (0..runs)
+            .map(|_| seed_replica::run(w as usize, tasks))
+            .fold(0.0f64, f64::max);
+        let lockfree = (0..runs)
+            .map(|_| run_lockfree(w, tasks))
+            .fold(0.0f64, f64::max);
+        let speedup = lockfree / baseline;
+        println!("{w:>8} {baseline:>18.0} {lockfree:>18.0} {speedup:>8.2}x");
+        rows.push((w, baseline, lockfree, speedup));
+    }
+
+    let json_rows: Vec<String> = rows
+        .iter()
+        .map(|(w, b, l, s)| {
+            format!(
+                "    {{\"workers\": {w}, \"seed_tasks_per_s\": {b:.1}, \
+                 \"lockfree_tasks_per_s\": {l:.1}, \"speedup\": {s:.3}}}"
+            )
+        })
+        .collect();
+    let speedup_at_8 = rows
+        .iter()
+        .find(|(w, ..)| *w == 8)
+        .map(|(_, _, _, s)| *s)
+        .unwrap_or(f64::NAN);
+    let json = format!(
+        "{{\n  \"bench\": \"farm_hot_path\",\n  \"task\": \"200 x wrapping_mul (~1us)\",\n  \
+         \"tasks_per_run\": {tasks},\n  \"runs\": {runs},\n  \"quick\": {quick},\n  \
+         \"results\": [\n{}\n  ],\n  \"speedup_at_8_workers\": {speedup_at_8:.3}\n}}\n",
+        json_rows.join(",\n")
+    );
+    // The bench binary's cwd is the package dir; anchor at the manifest to
+    // land the report at the workspace root.
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../BENCH_farm_hot_path.json"
+    );
+    std::fs::write(path, &json).expect("write BENCH_farm_hot_path.json");
+    println!("wrote {path}");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    if args.iter().any(|a| a == "--hot-path") {
+        hot_path_compare(quick);
+    } else {
+        benches();
+    }
+}

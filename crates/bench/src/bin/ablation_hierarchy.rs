@@ -35,7 +35,10 @@ fn main() {
         .build()
         .run(11);
     let hier_ttc = hier.trace.first_reaching("throughput", 0.3);
-    let hier_final = hier.trace.mean_over("throughput", 250.0, 300.0).unwrap_or(0.0);
+    let hier_final = hier
+        .trace
+        .mean_over("throughput", 250.0, 300.0)
+        .unwrap_or(0.0);
 
     // Flat: a lone farm manager; the producer is a fixed 0.2 task/s source
     // nobody can speed up.
@@ -49,7 +52,10 @@ fn main() {
         .build()
         .run(11);
     let flat_ttc = flat.trace.first_reaching("throughput", 0.3);
-    let flat_final = flat.trace.mean_over("throughput", 250.0, 300.0).unwrap_or(0.0);
+    let flat_final = flat
+        .trace
+        .mean_over("throughput", 250.0, 300.0)
+        .unwrap_or(0.0);
 
     println!("ABL1: hierarchical vs flat management under input starvation\n");
     println!(

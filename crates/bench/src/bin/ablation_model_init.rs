@@ -63,17 +63,18 @@ fn main() {
         table(
             "ABL4 shape checks",
             &[
-                (
-                    "model-init never slower".into(),
-                    all_faster.to_string()
-                ),
+                ("model-init never slower".into(), all_faster.to_string()),
                 (
                     "expected shape".into(),
                     "reactive cost grows ~linearly with target size; model-init is one jump".into()
                 ),
                 (
                     "verdict".into(),
-                    if all_faster { "PASS".into() } else { "FAIL".into() }
+                    if all_faster {
+                        "PASS".into()
+                    } else {
+                        "FAIL".into()
+                    }
                 ),
             ]
         )

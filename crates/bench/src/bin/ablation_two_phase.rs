@@ -78,10 +78,7 @@ fn main() {
                     "two-phase plaintext tasks".into(),
                     format!("{two_phase_viol} (expect 0)")
                 ),
-                (
-                    "naive leaks at every delay".into(),
-                    naive_leaks.to_string()
-                ),
+                ("naive leaks at every delay".into(), naive_leaks.to_string()),
                 (
                     "insecure window grows with delay".into(),
                     monotone.to_string()

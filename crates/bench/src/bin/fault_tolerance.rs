@@ -91,10 +91,7 @@ fn main() {
                     "tasks re-executed (ft run)".into(),
                     ft.reexecuted_tasks.to_string()
                 ),
-                (
-                    "first failure observed".into(),
-                    mmss(60.0)
-                ),
+                ("first failure observed".into(), mmss(60.0)),
                 (
                     "verdict".into(),
                     if none.final_snapshot.num_workers == 1

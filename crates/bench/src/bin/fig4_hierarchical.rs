@@ -98,13 +98,20 @@ fn main() {
                     "mid-run throughput".into(),
                     format!(
                         "{:.3} task/s",
-                        outcome.trace.mean_over("throughput", 150.0, 250.0).unwrap_or(0.0)
+                        outcome
+                            .trace
+                            .mean_over("throughput", 150.0, 250.0)
+                            .unwrap_or(0.0)
                     )
                 ),
                 ("tasks displayed".into(), outcome.consumed.to_string()),
                 (
                     "phase order".into(),
-                    if ordered { "PASS".into() } else { "FAIL".into() }
+                    if ordered {
+                        "PASS".into()
+                    } else {
+                        "FAIL".into()
+                    }
                 ),
             ]
         )

@@ -51,7 +51,10 @@ fn main() {
         table(
             "HOT1 summary",
             &[
-                ("hot spot window".into(), format!("{}–{}", mmss(120.0), mmss(240.0))),
+                (
+                    "hot spot window".into(),
+                    format!("{}–{}", mmss(120.0), mmss(240.0))
+                ),
                 (
                     "addWorker events inside the window".into(),
                     adds_in_hot_spot.to_string()
@@ -60,7 +63,10 @@ fn main() {
                     "throughput late in the hot spot".into(),
                     format!("{during:.3} task/s")
                 ),
-                ("throughput after recovery".into(), format!("{after:.3} task/s")),
+                (
+                    "throughput after recovery".into(),
+                    format!("{after:.3} task/s")
+                ),
                 ("peak workers".into(), format!("{workers_peak:.0}")),
                 (
                     "verdict".into(),

@@ -48,9 +48,8 @@ fn main() {
     println!("\nthroughput — migration-only:");
     print!("{}", ascii_series(&migrate.trace, "throughput", 25.0, 0.8));
 
-    let late = |o: &bskel_sim::FarmOutcome| {
-        o.trace.mean_over("throughput", 300.0, 400.0).unwrap_or(0.0)
-    };
+    let late =
+        |o: &bskel_sim::FarmOutcome| o.trace.mean_over("throughput", 300.0, 400.0).unwrap_or(0.0);
     let migrations = migrate
         .events
         .iter()
@@ -62,7 +61,10 @@ fn main() {
         table(
             "MIG1 summary (late-run throughput, t=300..400)",
             &[
-                ("no adaptation".into(), format!("{:.3} task/s (stuck at 1/4 speed)", late(&stuck))),
+                (
+                    "no adaptation".into(),
+                    format!("{:.3} task/s (stuck at 1/4 speed)", late(&stuck))
+                ),
                 (
                     "growth-only".into(),
                     format!(

@@ -76,10 +76,8 @@ fn main() {
             .map(|&(_, _, d, v)| (d, v))
             .expect("row exists")
     };
-    let all_trusted_gap =
-        get(0, "selective").0 as i64 - get(0, "never").0 as i64;
-    let all_untrusted_gap =
-        get(8, "selective").0 as i64 - get(8, "always").0 as i64;
+    let all_trusted_gap = get(0, "selective").0 as i64 - get(0, "never").0 as i64;
+    let all_untrusted_gap = get(8, "selective").0 as i64 - get(8, "always").0 as i64;
     let never_violates_on_mixed = get(4, "never").1 > 0;
     let selective_clean = [0usize, 2, 4, 6, 8]
         .iter()

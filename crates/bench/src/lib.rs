@@ -102,10 +102,7 @@ mod tests {
     fn table_aligns_keys() {
         let t = table(
             "demo",
-            &[
-                ("a".into(), "1".into()),
-                ("longer-key".into(), "2".into()),
-            ],
+            &[("a".into(), "1".into()), ("longer-key".into(), "2".into())],
         );
         assert!(t.contains("== demo =="));
         assert!(t.contains("longer-key  2"));

@@ -314,7 +314,11 @@ mod tests {
         assert_eq!(c.satisfied_by(&snap(0.5, 4)), Some(true));
         assert_eq!(c.satisfied_by(&snap(0.2, 4)), Some(false));
         assert_eq!(c.satisfied_by(&snap(0.8, 4)), Some(false));
-        assert_eq!(c.satisfied_by(&snap(0.3, 4)), Some(true), "bounds inclusive");
+        assert_eq!(
+            c.satisfied_by(&snap(0.3, 4)),
+            Some(true),
+            "bounds inclusive"
+        );
     }
 
     #[test]
@@ -340,7 +344,10 @@ mod tests {
         let c = Contract::secure_domains(["untrusted_ip_domain_A"]);
         assert_eq!(c.satisfied_by(&snap(1.0, 1)), None);
         assert_eq!(
-            c.secure_domain_set().unwrap().into_iter().collect::<Vec<_>>(),
+            c.secure_domain_set()
+                .unwrap()
+                .into_iter()
+                .collect::<Vec<_>>(),
             ["untrusted_ip_domain_A"]
         );
     }

@@ -43,10 +43,9 @@ fn split_farm(contract: &Contract, worker: &BsExpr) -> Vec<SubContract> {
     // Workers receive best-effort, conjoined with any security goal (a
     // boolean concern cannot be weakened by delegation).
     let base = match contract.secure_domain_set() {
-        Some(domains) if !domains.is_empty() => Contract::all([
-            Contract::BestEffort,
-            Contract::SecureDomains(domains),
-        ]),
+        Some(domains) if !domains.is_empty() => {
+            Contract::all([Contract::BestEffort, Contract::SecureDomains(domains)])
+        }
         _ => Contract::BestEffort,
     };
     vec![SubContract {

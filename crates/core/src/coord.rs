@@ -445,9 +445,7 @@ impl ConcernManager for PerformanceConcern {
                 }
             }
             Intent::SetRate(r) => match self.max_rate {
-                Some(max) if *r > max => {
-                    Review::ApproveWith(vec![Obligation::LimitRate { max }])
-                }
+                Some(max) if *r > max => Review::ApproveWith(vec![Obligation::LimitRate { max }]),
                 _ => Review::Approve,
             },
         }
@@ -645,7 +643,13 @@ mod tests {
     fn unknown_node_vetoed() {
         let mut gm = gm_with_both();
         let mut env = mixed_env();
-        let d = gm.propose(&Intent::AddWorkerOn { node: "ghost".into() }, &mut env, 0.0);
+        let d = gm.propose(
+            &Intent::AddWorkerOn {
+                node: "ghost".into(),
+            },
+            &mut env,
+            0.0,
+        );
         assert!(!d.committed);
         assert!(d.reason.unwrap().contains("unknown node"));
     }

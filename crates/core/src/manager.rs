@@ -570,9 +570,9 @@ impl AutonomicManager {
                             self.emit(now, EventKind::TooMuch, None);
                             ViolationKind::TooMuchTasks
                         }
-                        other => ViolationKind::Unsatisfiable(
-                            other.unwrap_or("unspecified").to_owned(),
-                        ),
+                        other => {
+                            ViolationKind::Unsatisfiable(other.unwrap_or("unspecified").to_owned())
+                        }
                     };
                     self.raise(now, kind);
                 }
@@ -853,7 +853,8 @@ mod tests {
         m.contract_slot().post(Contract::throughput_range(0.3, 0.7));
         m.control_cycle(0.0);
         assert_eq!(m.state(), AmState::Passive);
-        m.contract_slot().post(Contract::throughput_range(0.01, 0.7));
+        m.contract_slot()
+            .post(Contract::throughput_range(0.01, 0.7));
         m.control_cycle(1.0);
         assert_eq!(m.state(), AmState::Active);
     }
@@ -1041,7 +1042,8 @@ mod tests {
             slot: cons.clone(),
             is_source: false,
         });
-        am_a.contract_slot().post(Contract::throughput_range(0.3, 0.7));
+        am_a.contract_slot()
+            .post(Contract::throughput_range(0.3, 0.7));
         am_a.control_cycle(0.0);
         assert_eq!(farm.take(), Some(Contract::throughput_range(0.3, 0.7)));
         assert_eq!(cons.take(), Some(Contract::throughput_range(0.3, 0.7)));

@@ -79,7 +79,10 @@ impl fmt::Display for GcmError {
                 write!(f, "adding {child} under {parent} would create a cycle")
             }
             GcmError::MutationWhileStarted(id) => {
-                write!(f, "composite {id} is started; stop it before mutating content")
+                write!(
+                    f,
+                    "composite {id} is started; stop it before mutating content"
+                )
             }
             GcmError::UnknownInterface(id, name) => {
                 write!(f, "component {id} has no interface `{name}`")
@@ -96,18 +99,32 @@ impl fmt::Display for GcmError {
                 write!(f, "binding signature mismatch: `{a}` vs `{b}`")
             }
             GcmError::AlreadyBound(e) => {
-                write!(f, "interface `{}` on {} is already bound", e.interface, e.component)
+                write!(
+                    f,
+                    "interface `{}` on {} is already bound",
+                    e.interface, e.component
+                )
             }
             GcmError::NotBound(e) => {
-                write!(f, "interface `{}` on {} is not bound", e.interface, e.component)
+                write!(
+                    f,
+                    "interface `{}` on {} is not bound",
+                    e.interface, e.component
+                )
             }
             GcmError::NotInContent(composite, id) => {
-                write!(f, "component {id} is not in the content of composite {composite}")
+                write!(
+                    f,
+                    "component {id} is not in the content of composite {composite}"
+                )
             }
             GcmError::NotChild { parent, child } => {
                 write!(f, "component {child} is not a child of {parent}")
             }
-            GcmError::UnboundMandatory { component, interface } => write!(
+            GcmError::UnboundMandatory {
+                component,
+                interface,
+            } => write!(
                 f,
                 "cannot start: mandatory client interface `{interface}` of {component} is unbound"
             ),
@@ -378,12 +395,7 @@ impl Gcm {
                 to_decl.signature,
             ));
         }
-        if self
-            .node(composite)
-            .bindings
-            .iter()
-            .any(|b| b.from == from)
-        {
+        if self.node(composite).bindings.iter().any(|b| b.from == from) {
             return Err(GcmError::AlreadyBound(from));
         }
         self.node_mut(composite).bindings.push(Binding { from, to });
@@ -434,11 +446,10 @@ impl Gcm {
             for &child in &self.node(id).children {
                 for decl in &self.node(child).interfaces {
                     if decl.role == Role::Client && decl.mandatory {
-                        let ep_bound = self
-                            .node(id)
-                            .bindings
-                            .iter()
-                            .any(|b| b.from.component == child && b.from.interface == decl.name);
+                        let ep_bound =
+                            self.node(id).bindings.iter().any(|b| {
+                                b.from.component == child && b.from.interface == decl.name
+                            });
                         if !ep_bound {
                             return Err(GcmError::UnboundMandatory {
                                 component: child,
@@ -476,7 +487,14 @@ impl Gcm {
             ComponentKind::Composite if n.membrane.is_autonomic() => "bskel",
             ComponentKind::Composite => "comp",
         };
-        let _ = writeln!(out, "{}{} {} [{}]", "  ".repeat(depth), tag, n.name, n.state);
+        let _ = writeln!(
+            out,
+            "{}{} {} [{}]",
+            "  ".repeat(depth),
+            tag,
+            n.name,
+            n.state
+        );
         for &child in &n.children {
             self.render_into(child, depth + 1, out);
         }
@@ -494,21 +512,29 @@ mod tests {
         let farm = g.behavioural_skeleton("farm");
         let s = g.primitive("S");
         let c = g.primitive("C");
-        g.add_interface(s, InterfaceDecl::client("dispatch", "task")).unwrap();
-        g.add_interface(c, InterfaceDecl::server("collect", "result")).unwrap();
+        g.add_interface(s, InterfaceDecl::client("dispatch", "task"))
+            .unwrap();
+        g.add_interface(c, InterfaceDecl::server("collect", "result"))
+            .unwrap();
         g.add_child(farm, s).unwrap();
         g.add_child(farm, c).unwrap();
         let mut ws = Vec::new();
         for i in 0..workers {
             let w = g.primitive(format!("W{i}"));
-            g.add_interface(w, InterfaceDecl::server("in", "task")).unwrap();
-            g.add_interface(w, InterfaceDecl::client("out", "result")).unwrap();
+            g.add_interface(w, InterfaceDecl::server("in", "task"))
+                .unwrap();
+            g.add_interface(w, InterfaceDecl::client("out", "result"))
+                .unwrap();
             g.add_child(farm, w).unwrap();
             ws.push(w);
         }
         // S dispatches to W0 (representative binding); workers feed C.
-        g.bind(farm, Endpoint::new(s, "dispatch"), Endpoint::new(ws[0], "in"))
-            .unwrap();
+        g.bind(
+            farm,
+            Endpoint::new(s, "dispatch"),
+            Endpoint::new(ws[0], "in"),
+        )
+        .unwrap();
         for &w in &ws {
             g.bind(farm, Endpoint::new(w, "out"), Endpoint::new(c, "collect"))
                 .unwrap();
@@ -531,7 +557,8 @@ mod tests {
         let mut g = Gcm::new();
         let comp = g.composite("c");
         let a = g.primitive("a");
-        g.add_interface(a, InterfaceDecl::client("needs", "svc")).unwrap();
+        g.add_interface(a, InterfaceDecl::client("needs", "svc"))
+            .unwrap();
         g.add_child(comp, a).unwrap();
         let err = g.start(comp).unwrap_err();
         assert_eq!(
@@ -573,7 +600,10 @@ mod tests {
     #[test]
     fn remove_child_refuses_bound_children() {
         let (mut g, farm, _s, ws, c) = farm_fixture(2);
-        assert_eq!(g.remove_child(farm, ws[1]), Err(GcmError::StillBound(ws[1])));
+        assert_eq!(
+            g.remove_child(farm, ws[1]),
+            Err(GcmError::StillBound(ws[1]))
+        );
         g.unbind(farm, &Endpoint::new(ws[1], "out")).unwrap();
         g.remove_child(farm, ws[1]).unwrap();
         assert_eq!(g.children(farm).len(), 3);
@@ -588,14 +618,19 @@ mod tests {
         let comp = g.composite("c");
         let a = g.primitive("a");
         let b = g.primitive("b");
-        g.add_interface(a, InterfaceDecl::client("out", "task")).unwrap();
-        g.add_interface(b, InterfaceDecl::server("in", "pixel")).unwrap();
+        g.add_interface(a, InterfaceDecl::client("out", "task"))
+            .unwrap();
+        g.add_interface(b, InterfaceDecl::server("in", "pixel"))
+            .unwrap();
         g.add_child(comp, a).unwrap();
         g.add_child(comp, b).unwrap();
         let err = g
             .bind(comp, Endpoint::new(a, "out"), Endpoint::new(b, "in"))
             .unwrap_err();
-        assert_eq!(err, GcmError::SignatureMismatch("task".into(), "pixel".into()));
+        assert_eq!(
+            err,
+            GcmError::SignatureMismatch("task".into(), "pixel".into())
+        );
     }
 
     #[test]
@@ -604,8 +639,10 @@ mod tests {
         let comp = g.composite("c");
         let a = g.primitive("a");
         let b = g.primitive("b");
-        g.add_interface(a, InterfaceDecl::server("in", "t")).unwrap();
-        g.add_interface(b, InterfaceDecl::server("in", "t")).unwrap();
+        g.add_interface(a, InterfaceDecl::server("in", "t"))
+            .unwrap();
+        g.add_interface(b, InterfaceDecl::server("in", "t"))
+            .unwrap();
         g.add_child(comp, a).unwrap();
         g.add_child(comp, b).unwrap();
         let err = g
@@ -618,7 +655,11 @@ mod tests {
     fn double_bind_rejected() {
         let (mut g, farm, s, ws, _c) = farm_fixture(2);
         let err = g
-            .bind(farm, Endpoint::new(s, "dispatch"), Endpoint::new(ws[1], "in"))
+            .bind(
+                farm,
+                Endpoint::new(s, "dispatch"),
+                Endpoint::new(ws[1], "in"),
+            )
             .unwrap_err();
         assert_eq!(err, GcmError::AlreadyBound(Endpoint::new(s, "dispatch")));
     }
@@ -629,8 +670,10 @@ mod tests {
         let comp = g.composite("c");
         let a = g.primitive("a");
         let stranger = g.primitive("x");
-        g.add_interface(a, InterfaceDecl::client("out", "t")).unwrap();
-        g.add_interface(stranger, InterfaceDecl::server("in", "t")).unwrap();
+        g.add_interface(a, InterfaceDecl::client("out", "t"))
+            .unwrap();
+        g.add_interface(stranger, InterfaceDecl::server("in", "t"))
+            .unwrap();
         g.add_child(comp, a).unwrap();
         let err = g
             .bind(comp, Endpoint::new(a, "out"), Endpoint::new(stranger, "in"))
@@ -646,15 +689,23 @@ mod tests {
         let mut g = Gcm::new();
         let pipe = g.composite("pipe");
         let stage = g.primitive("stage");
-        g.add_interface(pipe, InterfaceDecl::server("in", "t")).unwrap();
-        g.add_interface(pipe, InterfaceDecl::client("out", "t").optional()).unwrap();
-        g.add_interface(stage, InterfaceDecl::server("in", "t")).unwrap();
-        g.add_interface(stage, InterfaceDecl::client("out", "t")).unwrap();
+        g.add_interface(pipe, InterfaceDecl::server("in", "t"))
+            .unwrap();
+        g.add_interface(pipe, InterfaceDecl::client("out", "t").optional())
+            .unwrap();
+        g.add_interface(stage, InterfaceDecl::server("in", "t"))
+            .unwrap();
+        g.add_interface(stage, InterfaceDecl::client("out", "t"))
+            .unwrap();
         g.add_child(pipe, stage).unwrap();
         g.bind(pipe, Endpoint::new(pipe, "in"), Endpoint::new(stage, "in"))
             .unwrap();
-        g.bind(pipe, Endpoint::new(stage, "out"), Endpoint::new(pipe, "out"))
-            .unwrap();
+        g.bind(
+            pipe,
+            Endpoint::new(stage, "out"),
+            Endpoint::new(pipe, "out"),
+        )
+        .unwrap();
         g.start(pipe).unwrap();
     }
 
@@ -666,9 +717,18 @@ mod tests {
         g.add_child(outer, inner).unwrap();
         assert_eq!(
             g.add_child(inner, outer),
-            Err(GcmError::WouldCycle { parent: inner, child: outer })
+            Err(GcmError::WouldCycle {
+                parent: inner,
+                child: outer
+            })
         );
-        assert_eq!(g.add_child(outer, outer), Err(GcmError::WouldCycle { parent: outer, child: outer }));
+        assert_eq!(
+            g.add_child(outer, outer),
+            Err(GcmError::WouldCycle {
+                parent: outer,
+                child: outer
+            })
+        );
         let p = g.primitive("p");
         g.add_child(inner, p).unwrap();
         assert_eq!(g.add_child(outer, p), Err(GcmError::HasParent(p)));
@@ -686,7 +746,8 @@ mod tests {
     fn duplicate_interface_rejected() {
         let mut g = Gcm::new();
         let p = g.primitive("p");
-        g.add_interface(p, InterfaceDecl::server("in", "t")).unwrap();
+        g.add_interface(p, InterfaceDecl::server("in", "t"))
+            .unwrap();
         assert_eq!(
             g.add_interface(p, InterfaceDecl::client("in", "t")),
             Err(GcmError::DuplicateInterface(p, "in".into()))

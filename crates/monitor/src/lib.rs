@@ -11,7 +11,12 @@
 //! * lock-free, cache-padded [`counter`]s for task/byte accounting on the
 //!   hot path of skeleton workers;
 //! * sliding-window and exponentially-weighted [`rate`] estimators for the
-//!   `arrivalRate` / `departureRate` beans the paper's Fig. 5 rules test;
+//!   `arrivalRate` / `departureRate` beans the paper's Fig. 5 rules test,
+//!   plus their lock-free shared-memory sibling ([`atomic_rate`]) used on
+//!   the skeleton hot path;
+//! * seqlock-published per-worker statistics cells
+//!   ([`stats::WelfordCell`] / [`stats::LocalStats`]) so service-time
+//!   sensing never takes a lock on the task path;
 //! * online [`stats`] (Welford mean/variance, queue-length dispersion)
 //!   backing the `queueVariance` bean used by the `CheckLoadBalance` rule;
 //! * the [`snapshot::SensorSnapshot`] record: the typed set of beans an
@@ -24,14 +29,16 @@
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod atomic_rate;
 pub mod clock;
 pub mod counter;
 pub mod rate;
 pub mod snapshot;
 pub mod stats;
 
+pub use atomic_rate::AtomicRateEstimator;
 pub use clock::{Clock, ManualClock, RealClock, Time};
 pub use counter::{Counter, Gauge};
 pub use rate::{Ewma, RateEstimator};
 pub use snapshot::{beans, SensorSnapshot};
-pub use stats::{queue_variance, Welford, WindowStats};
+pub use stats::{queue_variance, LocalStats, Welford, WelfordCell, WindowStats};

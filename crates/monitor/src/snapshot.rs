@@ -155,7 +155,10 @@ mod tests {
     fn extra_beans_are_exposed() {
         let s = SensorSnapshot::empty(0.0).with_extra("nodeLoad", 0.75);
         assert_eq!(s.bean("nodeLoad"), Some(0.75));
-        assert!(s.to_beans().iter().any(|(n, v)| n == "nodeLoad" && *v == 0.75));
+        assert!(s
+            .to_beans()
+            .iter()
+            .any(|(n, v)| n == "nodeLoad" && *v == 0.75));
     }
 
     #[test]

@@ -537,10 +537,7 @@ mod tests {
             Condition::Or(vec![t.clone(), f.clone()]).eval(&wm(), &params()),
             Ok(true)
         );
-        assert_eq!(
-            Condition::Not(Box::new(f)).eval(&wm(), &params()),
-            Ok(true)
-        );
+        assert_eq!(Condition::Not(Box::new(f)).eval(&wm(), &params()), Ok(true));
         assert_eq!(Condition::True.eval(&wm(), &params()), Ok(true));
         assert_eq!(Condition::False.eval(&wm(), &params()), Ok(false));
     }
@@ -549,10 +546,7 @@ mod tests {
     fn and_shortcircuits_before_error() {
         // The first conjunct is false, so the unknown bean in the second is
         // never evaluated — mirroring Drools' left-to-right evaluation.
-        let c = Condition::And(vec![
-            Condition::False,
-            Condition::flag("no-such-bean"),
-        ]);
+        let c = Condition::And(vec![Condition::False, Condition::flag("no-such-bean")]);
         assert_eq!(c.eval(&wm(), &params()), Ok(false));
     }
 
@@ -590,9 +584,15 @@ mod tests {
         );
         let calls = rule.execute();
         assert_eq!(calls.len(), 2);
-        assert_eq!(calls[0], OpCall::with_data("RAISE_VIOLATION", "notEnoughTasks"));
+        assert_eq!(
+            calls[0],
+            OpCall::with_data("RAISE_VIOLATION", "notEnoughTasks")
+        );
         // setData sticks for subsequent fires within the same rule.
-        assert_eq!(calls[1], OpCall::with_data("BALANCE_LOAD", "notEnoughTasks"));
+        assert_eq!(
+            calls[1],
+            OpCall::with_data("BALANCE_LOAD", "notEnoughTasks")
+        );
     }
 
     #[test]

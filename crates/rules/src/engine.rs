@@ -112,10 +112,13 @@ impl RuleEngine {
         // consistent snapshot even if a later rule errors.
         let mut truth = Vec::with_capacity(self.rules.len());
         for rule in self.rules.rules() {
-            let held = rule.when.eval(wm, params).map_err(|source| EngineError::Eval {
-                rule: rule.name.clone(),
-                source,
-            })?;
+            let held = rule
+                .when
+                .eval(wm, params)
+                .map_err(|source| EngineError::Eval {
+                    rule: rule.name.clone(),
+                    source,
+                })?;
             truth.push(held);
         }
 
@@ -189,7 +192,11 @@ mod tests {
     #[test]
     fn fires_only_true_conditions() {
         let mut e = engine(vec![
-            Rule::new("yes", Condition::bean_vs_const("x", Cmp::Gt, 1.0), fire("A")),
+            Rule::new(
+                "yes",
+                Condition::bean_vs_const("x", Cmp::Gt, 1.0),
+                fire("A"),
+            ),
             Rule::new("no", Condition::bean_vs_const("x", Cmp::Lt, 1.0), fire("B")),
         ]);
         let wm = WorkingMemory::from_beans([("x", 5.0)]);
@@ -244,12 +251,9 @@ mod tests {
 
     #[test]
     fn edge_triggered_fires_once_per_activation() {
-        let mut e = engine(vec![Rule::new(
-            "r",
-            Condition::flag("cond"),
-            fire("A"),
-        )
-        .edge_triggered()]);
+        let mut e = engine(vec![
+            Rule::new("r", Condition::flag("cond"), fire("A")).edge_triggered()
+        ]);
         let p = ParamTable::new();
         let on = WorkingMemory::from_beans([("cond", 1.0)]);
         let off = WorkingMemory::from_beans([("cond", 0.0)]);
@@ -267,7 +271,9 @@ mod tests {
             Condition::flag("missing"),
             fire("A"),
         )]);
-        let err = e.cycle(&WorkingMemory::new(), &ParamTable::new()).unwrap_err();
+        let err = e
+            .cycle(&WorkingMemory::new(), &ParamTable::new())
+            .unwrap_err();
         match err {
             EngineError::Eval { rule, source } => {
                 assert_eq!(rule, "needs-bean");
@@ -291,7 +297,9 @@ mod tests {
             .salience(1),
             Rule::new("r2", Condition::True, fire("C")),
         ]);
-        let ops = e.cycle_ops(&WorkingMemory::new(), &ParamTable::new()).unwrap();
+        let ops = e
+            .cycle_ops(&WorkingMemory::new(), &ParamTable::new())
+            .unwrap();
         assert_eq!(
             ops,
             vec![
@@ -304,17 +312,18 @@ mod tests {
 
     #[test]
     fn load_replaces_program_and_clears_edges() {
-        let mut e = engine(vec![Rule::new("r", Condition::flag("c"), fire("A")).edge_triggered()]);
+        let mut e = engine(vec![
+            Rule::new("r", Condition::flag("c"), fire("A")).edge_triggered()
+        ]);
         let p = ParamTable::new();
         let on = WorkingMemory::from_beans([("c", 1.0)]);
         assert_eq!(e.cycle(&on, &p).unwrap().len(), 1);
         assert_eq!(e.cycle(&on, &p).unwrap().len(), 0);
 
         // Reloading the same program resets edge suppression.
-        let fresh: RuleSet =
-            vec![Rule::new("r", Condition::flag("c"), fire("A")).edge_triggered()]
-                .into_iter()
-                .collect();
+        let fresh: RuleSet = vec![Rule::new("r", Condition::flag("c"), fire("A")).edge_triggered()]
+            .into_iter()
+            .collect();
         e.load(fresh);
         assert_eq!(e.cycle(&on, &p).unwrap().len(), 1);
     }
@@ -322,6 +331,9 @@ mod tests {
     #[test]
     fn empty_ruleset_cycles_cleanly() {
         let mut e = RuleEngine::new(RuleSet::new());
-        assert!(e.cycle(&WorkingMemory::new(), &ParamTable::new()).unwrap().is_empty());
+        assert!(e
+            .cycle(&WorkingMemory::new(), &ParamTable::new())
+            .unwrap()
+            .is_empty());
     }
 }

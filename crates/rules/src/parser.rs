@@ -333,12 +333,7 @@ impl<'a> Lexer<'a> {
                     let name = self.lex_ident_text();
                     Tok::Ident(name)
                 }
-                other => {
-                    return Err(self.err(format!(
-                        "unexpected character `{}`",
-                        other as char
-                    )))
-                }
+                other => return Err(self.err(format!("unexpected character `{}`", other as char))),
             };
             out.push(Spanned { tok, line, col });
         }
@@ -520,9 +515,9 @@ impl Parser {
                         op: Cmp::Ne,
                         rhs: Expr::Const(0.0),
                     }),
-                    other => Err(self.err_here(format!(
-                        "expected comparison operator after `{other}`"
-                    ))),
+                    other => {
+                        Err(self.err_here(format!("expected comparison operator after `{other}`")))
+                    }
                 };
             }
         };
@@ -653,7 +648,11 @@ mod tests {
         params.sort_unstable();
         assert_eq!(
             params,
-            ["FARM_LOW_PERF_LEVEL", "FARM_LOW_PERF_LEVEL", "FARM_MAX_NUM_WORKERS"]
+            [
+                "FARM_LOW_PERF_LEVEL",
+                "FARM_LOW_PERF_LEVEL",
+                "FARM_MAX_NUM_WORKERS"
+            ]
         );
         let calls = r.execute();
         assert_eq!(calls.len(), 2);

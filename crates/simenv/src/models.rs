@@ -332,7 +332,11 @@ impl SimState {
     /// their queued and in-service tasks are re-executed on survivors (or
     /// stranded until a replacement is installed).
     fn on_inject_failure(&mut self, count: u32) {
-        let victims: Vec<usize> = self.live_slot_indices().into_iter().take(count as usize).collect();
+        let victims: Vec<usize> = self
+            .live_slot_indices()
+            .into_iter()
+            .take(count as usize)
+            .collect();
         let mut recovered: Vec<u64> = Vec::new();
         for slot in victims {
             let w = self.slots[slot].take().expect("live victim");
@@ -402,7 +406,11 @@ impl SimState {
                 self.plaintext_to_untrusted += 1;
             }
         }
-        let idle = self.slots[slot].as_ref().expect("live").busy_until.is_none();
+        let idle = self.slots[slot]
+            .as_ref()
+            .expect("live")
+            .busy_until
+            .is_none();
         if idle {
             self.start_service(slot, seq);
         } else {
@@ -500,10 +508,7 @@ impl SimState {
     pub fn remove_workers(&mut self, n: u32) -> Result<u32, String> {
         let live = self.live_slot_indices();
         if live.len() as u32 <= n {
-            return Err(format!(
-                "cannot remove {n} of {} workers",
-                live.len()
-            ));
+            return Err(format!("cannot remove {n} of {} workers", live.len()));
         }
         let victims: Vec<usize> = live.iter().rev().take(n as usize).copied().collect();
         let mut orphaned: Vec<u64> = Vec::new();
@@ -528,11 +533,19 @@ impl SimState {
         // Like farm_arrival but without recording an arrival (the task
         // already arrived once).
         let slot = self.pick_slot();
-        let idle = self.slots[slot].as_ref().expect("live").busy_until.is_none();
+        let idle = self.slots[slot]
+            .as_ref()
+            .expect("live")
+            .busy_until
+            .is_none();
         if idle {
             self.start_service(slot, seq);
         } else {
-            self.slots[slot].as_mut().expect("live").queue.push_back(seq);
+            self.slots[slot]
+                .as_mut()
+                .expect("live")
+                .queue
+                .push_back(seq);
         }
     }
 
@@ -558,7 +571,11 @@ impl SimState {
         all.sort_unstable(); // keep deterministic, roughly FIFO by seq
         for (k, seq) in all.into_iter().enumerate() {
             let slot = live[k % live.len()];
-            self.slots[slot].as_mut().expect("live").queue.push_back(seq);
+            self.slots[slot]
+                .as_mut()
+                .expect("live")
+                .queue
+                .push_back(seq);
         }
         true
     }
@@ -683,8 +700,7 @@ impl SimState {
         let mut snap = SensorSnapshot::empty(now);
         snap.arrival_rate = self.consumer.departures.rate(now);
         snap.departure_rate = self.consumer.departures.rate(now);
-        snap.end_of_stream =
-            self.producer.done && self.consumer.consumed >= self.producer.count;
+        snap.end_of_stream = self.producer.done && self.consumer.consumed >= self.producer.count;
         snap
     }
 
@@ -859,24 +875,19 @@ mod tests {
     fn rebalance_levels_queues() {
         let mut s = state(2, 1e6, 22, 100.0);
         run_to_end(&mut s, 0.01); // all tasks queued ~instantly
-        // Shortest-queue dispatch keeps them level already; skew manually.
+                                  // Shortest-queue dispatch keeps them level already; skew manually.
         let live = s.live_slot_indices();
-        let moved: Vec<u64> = s.slots[live[0]]
-            .as_mut()
-            .unwrap()
-            .queue
-            .drain(..)
-            .collect();
-        s.slots[live[1]]
-            .as_mut()
-            .unwrap()
-            .queue
-            .extend(moved);
+        let moved: Vec<u64> = s.slots[live[0]].as_mut().unwrap().queue.drain(..).collect();
+        s.slots[live[1]].as_mut().unwrap().queue.extend(moved);
         let snap = s.farm_snapshot(0.01);
         assert!(snap.queue_variance > 1.0);
         assert!(s.rebalance());
         let snap = s.farm_snapshot(0.01);
-        assert!(snap.queue_variance <= 1.0, "variance {}", snap.queue_variance);
+        assert!(
+            snap.queue_variance <= 1.0,
+            "variance {}",
+            snap.queue_variance
+        );
         assert!(!s.rebalance(), "already balanced");
     }
 
@@ -987,10 +998,7 @@ mod tests {
         };
         let plain = mk(SecureMode::Never);
         let secured = mk(SecureMode::Always);
-        assert!(
-            secured > plain * 1.5,
-            "secured {secured} vs plain {plain}"
-        );
+        assert!(secured > plain * 1.5, "secured {secured} vs plain {plain}");
     }
 
     #[test]

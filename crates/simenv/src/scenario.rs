@@ -511,8 +511,8 @@ impl PipelineScenario {
             let speed = if i < self.slow_nodes { 0.5 } else { 1.0 };
             pool.push(nodes.add(Node::trusted(format!("n{i}"), "lab").with_speed(speed)));
         }
-        let resources = ResourceManager::new(pool, self.recruit_latency)
-            .with_policy(RecruitPolicy::InOrder);
+        let resources =
+            ResourceManager::new(pool, self.recruit_latency).with_policy(RecruitPolicy::InOrder);
         let mut state = SimState::new(
             nodes,
             resources,
@@ -745,7 +745,10 @@ mod tests {
         let outcome = FarmScenario::builder().build().run(42);
         let workers = outcome.trace.get("workers");
         for w in workers.windows(2) {
-            assert!(w[1].1 >= w[0].1, "workers never removed under minThroughput");
+            assert!(
+                w[1].1 >= w[0].1,
+                "workers never removed under minThroughput"
+            );
         }
         assert!(outcome.trace.max("workers").unwrap() >= 3.0);
     }
@@ -775,8 +778,12 @@ mod tests {
         assert!(add_worker.unwrap() > inc_rate.unwrap());
         // End of stream was observed and logged.
         assert!(
-            !outcome.events_of("AM_producer", &EventKind::EndStream).is_empty()
-                || !outcome.events_of("AM_filter", &EventKind::EndStream).is_empty(),
+            !outcome
+                .events_of("AM_producer", &EventKind::EndStream)
+                .is_empty()
+                || !outcome
+                    .events_of("AM_filter", &EventKind::EndStream)
+                    .is_empty(),
             "endStream observed"
         );
         // All tasks were displayed.
@@ -926,14 +933,18 @@ mod tests {
         let migrated_events = migrating
             .events
             .iter()
-            .filter(|e| {
-                matches!(&e.kind, EventKind::Other(s) if s == "MIGRATE_SLOWEST")
-            })
+            .filter(|e| matches!(&e.kind, EventKind::Other(s) if s == "MIGRATE_SLOWEST"))
             .count();
-        assert!(migrated_events >= 3, "all three workers moved ({migrated_events})");
+        assert!(
+            migrated_events >= 3,
+            "all three workers moved ({migrated_events})"
+        );
         // Late-run throughput: migrated farm runs at full speed, the stuck
         // one at 1/4.
-        let fast = migrating.trace.mean_over("throughput", 300.0, 400.0).unwrap();
+        let fast = migrating
+            .trace
+            .mean_over("throughput", 300.0, 400.0)
+            .unwrap();
         let slow = stuck.trace.mean_over("throughput", 300.0, 400.0).unwrap();
         assert!(
             fast > slow * 1.5,

@@ -99,8 +99,7 @@ impl Trace {
             out.push_str(&format!("{t:.3}"));
             for n in &names {
                 out.push(',');
-                if let Some(&(_, v)) = self
-                    .series[*n]
+                if let Some(&(_, v)) = self.series[*n]
                     .iter()
                     .find(|&&(st, _)| st.to_bits() == bits)
                 {

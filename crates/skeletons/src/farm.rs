@@ -9,19 +9,46 @@
 //! queue) are deliberate: they make the paper's `queueVariance` bean and
 //! `BALANCE_LOAD` action meaningful.
 //!
-//! Concurrency design: task hand-off uses a parking_lot mutex+condvar pair
-//! per worker (no global lock on the dispatch path beyond the brief workers
-//! list lock), results flow over a crossbeam channel, and every counter on
-//! the hot path is a relaxed atomic.
+//! Concurrency design — the steady-state task path acquires **no mutex**:
+//!
+//! * the emitter reads the worker set through an RCU [`crate::rcu`]
+//!   handle (one atomic load per batch; reconfiguration *publishes* a new
+//!   table instead of mutating a locked one);
+//! * task hand-off is batched ([`crate::queue::WorkerQueue`]): the
+//!   emitter drains up to [`DISPATCH_BATCH`] inputs per wake-up and pays
+//!   one per-worker queue lock per batch, workers pop in batches
+//!   symmetrically and return results as one message per batch;
+//! * every sensor on the task path is lock-free: windowed rates are
+//!   [`AtomicRateEstimator`]s, per-worker service times are worker-owned
+//!   [`bskel_monitor::LocalStats`] published through seqlock
+//!   [`WelfordCell`]s and merged only at [`FarmControl::sense`] time.
+//!
+//! Locks remain on the cold paths only: reconfiguration (add/remove/
+//! rebalance, serialised by the membership mutex), sensing, shutdown.
+//!
+//! Loss-freedom across reconfiguration: `remove_workers` publishes the
+//! shrunken table *before* closing a victim queue, and a closed queue
+//! hands pushed batches back ([`crate::queue`]), so an emitter caught
+//! with a stale table re-reads (the generation necessarily changed) and
+//! re-dispatches onto surviving workers.
 
+use crate::queue::{Task, WorkerQueue};
+use crate::rcu::{Published, ReadHandle};
 use crate::stream::{ReorderBuffer, StreamMsg};
-use bskel_monitor::{queue_variance, Clock, RateEstimator, RealClock, SensorSnapshot, Time, Welford};
-use crossbeam::channel::{unbounded, Receiver, Sender};
-use parking_lot::{Condvar, Mutex};
-use std::collections::VecDeque;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use bskel_monitor::{
+    queue_variance, AtomicRateEstimator, Clock, LocalStats, RealClock, SensorSnapshot, Time,
+    Welford, WelfordCell,
+};
+use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+
+/// Most inputs the emitter drains (and thus dispatches) per wake-up.
+const DISPATCH_BATCH: usize = 32;
+/// Most tasks a worker pops (and results it groups) per wake-up.
+const WORKER_BATCH: usize = 32;
 
 /// How the emitter picks a worker for the next task.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -45,78 +72,53 @@ pub enum GatherPolicy {
 
 /// A worker thread's factory: called once per worker, on the worker's own
 /// thread, so per-worker state needs no synchronisation.
-pub type WorkerFactory<In, Out> =
-    Arc<dyn Fn() -> Box<dyn FnMut(In) -> Out + Send> + Send + Sync>;
-
-enum WorkerCmd<In> {
-    Task { seq: u64, item: In },
-    Stop,
-}
+pub type WorkerFactory<In, Out> = Arc<dyn Fn() -> Box<dyn FnMut(In) -> Out + Send> + Send + Sync>;
 
 enum CollectMsg<Out> {
-    Result { seq: u64, out: Out },
+    /// One batch of results from a single worker wake-up.
+    Batch(Vec<(u64, Out)>),
     /// Emitter saw `End` after dispatching this many tasks.
     Total(u64),
 }
 
-struct WorkerQueue<In> {
-    deque: Mutex<VecDeque<WorkerCmd<In>>>,
-    cv: Condvar,
-    /// Cached queue length so sensing and scheduling never take the deque
-    /// lock of every worker.
-    len: AtomicUsize,
+/// The dispatchable face of one worker: its queue plus its published
+/// service-time cell. What the RCU table holds.
+struct WorkerSlot<In> {
+    queue: Arc<WorkerQueue<In>>,
+    service: Arc<WelfordCell>,
 }
 
-impl<In> WorkerQueue<In> {
-    fn new() -> Self {
+// Manual impl: `derive(Clone)` would demand `In: Clone`, but only the
+// `Arc`s are cloned.
+impl<In> Clone for WorkerSlot<In> {
+    fn clone(&self) -> Self {
         Self {
-            deque: Mutex::new(VecDeque::new()),
-            cv: Condvar::new(),
-            len: AtomicUsize::new(0),
+            queue: Arc::clone(&self.queue),
+            service: Arc::clone(&self.service),
         }
-    }
-
-    fn push(&self, cmd: WorkerCmd<In>) {
-        let mut q = self.deque.lock();
-        q.push_back(cmd);
-        self.len.store(q.len(), Ordering::Relaxed);
-        drop(q);
-        self.cv.notify_one();
-    }
-
-    fn pop_blocking(&self) -> WorkerCmd<In> {
-        let mut q = self.deque.lock();
-        while q.is_empty() {
-            self.cv.wait(&mut q);
-        }
-        let cmd = q.pop_front().expect("queue non-empty");
-        self.len.store(q.len(), Ordering::Relaxed);
-        cmd
-    }
-
-    fn queued(&self) -> usize {
-        self.len.load(Ordering::Relaxed)
     }
 }
+
+/// The immutable worker table a dispatch generation reads.
+type WorkerTable<In> = Vec<WorkerSlot<In>>;
 
 struct WorkerHandle<In> {
-    queue: Arc<WorkerQueue<In>>,
+    slot: WorkerSlot<In>,
     thread: JoinHandle<()>,
 }
 
 struct FarmMetrics {
     clock: Arc<dyn Clock>,
-    arrivals: Mutex<RateEstimator>,
-    departures: Mutex<RateEstimator>,
-    service: Arc<Mutex<Welford>>,
+    arrivals: AtomicRateEstimator,
+    departures: AtomicRateEstimator,
     end_of_stream: AtomicBool,
     reconfiguring: AtomicBool,
     /// Sensors stay blacked out until this time (f64 bits): after a
     /// reconfiguration the rate estimators hold no full window of fresh
     /// data, and acting on them would make the manager oscillate (add a
     /// worker, read a stale/empty window, add again, …).
-    blackout_until_bits: AtomicUsize,
-    last_arrival_bits: AtomicUsize, // f64 time bits; usize==u64 on 64-bit
+    blackout_until_bits: AtomicU64,
+    last_arrival_bits: AtomicU64, // f64 time bits
 }
 
 impl FarmMetrics {
@@ -126,19 +128,27 @@ impl FarmMetrics {
 
     fn set_blackout_until(&self, t: Time) {
         self.blackout_until_bits
-            .store(t.to_bits() as usize, Ordering::SeqCst);
+            .store(t.to_bits(), Ordering::SeqCst);
     }
 
     fn in_blackout(&self, now: Time) -> bool {
-        now < f64::from_bits(self.blackout_until_bits.load(Ordering::SeqCst) as u64)
+        now < f64::from_bits(self.blackout_until_bits.load(Ordering::SeqCst))
     }
 }
 
 struct Shared<In, Out> {
     name: String,
     metrics: FarmMetrics,
+    /// The RCU-published dispatch table: reconfigurations replace it
+    /// wholesale, the emitter reads it wait-free via a cached handle.
+    table: Arc<Published<WorkerTable<In>>>,
+    /// Membership (thread handles) and the reconfiguration serialisation
+    /// point. Never touched by the task path.
     workers: Mutex<Vec<WorkerHandle<In>>>,
     retired: Mutex<Vec<JoinHandle<()>>>,
+    /// Service cells of retired workers: their samples must keep counting
+    /// toward the farm-level service statistic.
+    retired_stats: Mutex<Vec<Arc<WelfordCell>>>,
     rr_cursor: AtomicUsize,
     factory: WorkerFactory<In, Out>,
     results_tx: Sender<CollectMsg<Out>>,
@@ -150,27 +160,46 @@ struct Shared<In, Out> {
 impl<In: Send + 'static, Out: Send + 'static> Shared<In, Out> {
     fn spawn_worker(&self) -> WorkerHandle<In> {
         let queue = Arc::new(WorkerQueue::new());
-        let q = Arc::clone(&queue);
+        let service = Arc::new(WelfordCell::new());
+        let slot = WorkerSlot {
+            queue: Arc::clone(&queue),
+            service: Arc::clone(&service),
+        };
         let factory = Arc::clone(&self.factory);
         let results = self.results_tx.clone();
         let clock = Arc::clone(&self.metrics.clock);
-        let service = Arc::clone(&self.metrics.service);
         let name = format!("{}-worker", self.name);
         let thread = std::thread::Builder::new()
             .name(name)
             .spawn(move || {
                 let mut work = factory();
-                while let WorkerCmd::Task { seq, item } = q.pop_blocking() {
-                    let t0 = clock.now();
-                    let out = work(item);
-                    service.lock().update(clock.now() - t0);
-                    if results.send(CollectMsg::Result { seq, out }).is_err() {
+                let mut stats = LocalStats::new(service);
+                let mut batch: Vec<Task<In>> = Vec::with_capacity(WORKER_BATCH);
+                let mut out: Vec<(u64, Out)> = Vec::with_capacity(WORKER_BATCH);
+                while queue.pop_batch(WORKER_BATCH, &mut batch) {
+                    for task in batch.drain(..) {
+                        let t0 = clock.now();
+                        let result = work(task.item);
+                        stats.update(clock.now() - t0);
+                        out.push((task.seq, result));
+                    }
+                    if results
+                        .send(CollectMsg::Batch(std::mem::take(&mut out)))
+                        .is_err()
+                    {
                         break; // collector gone: shutting down
                     }
                 }
             })
             .expect("spawn worker thread");
-        WorkerHandle { queue, thread }
+        WorkerHandle { slot, thread }
+    }
+
+    /// Re-derives and publishes the dispatch table from the membership
+    /// list. Caller holds the `workers` lock.
+    fn publish_table(&self, workers: &[WorkerHandle<In>]) {
+        self.table
+            .publish(workers.iter().map(|h| h.slot.clone()).collect());
     }
 
     fn add_workers(&self, n: u32) -> Result<u32, String> {
@@ -192,13 +221,14 @@ impl<In: Send + 'static, Out: Send + 'static> Shared<In, Out> {
         for _ in 0..n {
             workers.push(self.spawn_worker());
         }
+        self.publish_table(&workers);
         drop(workers);
         // Stale pre-reconfiguration windows would bias the next readings:
         // reset the output estimator and keep the sensors blacked out until
         // a full window of post-reconfiguration data exists.
-        self.metrics.departures.lock().reset();
-        self.metrics
-            .set_blackout_until(self.metrics.now() + self.rate_window);
+        let now = self.metrics.now();
+        self.metrics.departures.reset(now);
+        self.metrics.set_blackout_until(now + self.rate_window);
         self.metrics.reconfiguring.store(false, Ordering::SeqCst);
         Ok(n)
     }
@@ -211,36 +241,36 @@ impl<In: Send + 'static, Out: Send + 'static> Shared<In, Out> {
                 workers.len()
             ));
         }
+        let victims: Vec<WorkerHandle<In>> = {
+            let keep = workers.len() - n as usize;
+            workers.split_off(keep)
+        };
+        // Publish the shrunken table BEFORE closing any victim queue:
+        // an emitter whose push then bounces off a closed queue is
+        // guaranteed to observe a newer generation and re-dispatch onto
+        // survivors — the loss-freedom invariant.
+        self.publish_table(&workers);
         let mut removed = 0;
-        for _ in 0..n {
-            let handle = workers.pop().expect("guarded above");
-            // Redistribute the victim's queued tasks to the survivors.
-            let stolen: Vec<WorkerCmd<In>> = {
-                let mut q = handle.queue.deque.lock();
-                let cmds = q.drain(..).collect();
-                handle.queue.len.store(0, Ordering::Relaxed);
-                cmds
-            };
-            for (i, cmd) in stolen.into_iter().enumerate() {
-                match cmd {
-                    WorkerCmd::Task { seq, item } => {
-                        let target = &workers[i % workers.len()];
-                        target.queue.push(WorkerCmd::Task { seq, item });
-                    }
-                    WorkerCmd::Stop => {}
-                }
+        for victim in victims {
+            // Redistribute the victim's backlog to the survivors.
+            let mut stolen = victim.slot.queue.close();
+            for (i, task) in stolen.drain(..).enumerate() {
+                let target = &workers[i % workers.len()];
+                let mut one = vec![task];
+                let accepted = target.slot.queue.push_batch(&mut one);
+                debug_assert!(accepted, "survivor queues are open under the lock");
             }
-            handle.queue.push(WorkerCmd::Stop);
             // Joining may block for up to one in-flight task's service
             // time; retire instead and join at shutdown.
-            self.retired.lock().push(handle.thread);
+            self.retired.lock().push(victim.thread);
+            self.retired_stats.lock().push(victim.slot.service);
             removed += 1;
         }
         drop(workers);
         // Same estimator-freshness argument as worker addition.
-        self.metrics.departures.lock().reset();
-        self.metrics
-            .set_blackout_until(self.metrics.now() + self.rate_window);
+        let now = self.metrics.now();
+        self.metrics.departures.reset(now);
+        self.metrics.set_blackout_until(now + self.rate_window);
         Ok(removed)
     }
 
@@ -250,7 +280,7 @@ impl<In: Send + 'static, Out: Send + 'static> Shared<In, Out> {
         if workers.len() < 2 {
             return false;
         }
-        let lens: Vec<usize> = workers.iter().map(|w| w.queue.queued()).collect();
+        let lens: Vec<usize> = workers.iter().map(|w| w.slot.queue.len()).collect();
         let max = *lens.iter().max().expect("non-empty");
         let min = *lens.iter().min().expect("non-empty");
         if max - min <= 1 {
@@ -258,52 +288,109 @@ impl<In: Send + 'static, Out: Send + 'static> Shared<In, Out> {
         }
         // Drain everything, redistribute round-robin. Tasks keep their
         // sequence tags, so ordered gathering is unaffected.
-        let mut all: Vec<WorkerCmd<In>> = Vec::new();
+        let mut all: Vec<Task<In>> = Vec::new();
         for w in workers.iter() {
-            let mut q = w.queue.deque.lock();
-            all.extend(q.drain(..));
-            w.queue.len.store(0, Ordering::Relaxed);
+            all.extend(w.slot.queue.drain_open());
         }
-        let mut moved = false;
-        for (i, cmd) in all.into_iter().enumerate() {
-            match cmd {
-                WorkerCmd::Task { seq, item } => {
-                    workers[i % workers.len()]
-                        .queue
-                        .push(WorkerCmd::Task { seq, item });
-                    moved = true;
-                }
-                WorkerCmd::Stop => {}
-            }
+        let moved = !all.is_empty();
+        let share = all.len() / workers.len() + 1;
+        let mut per: Vec<Vec<Task<In>>> =
+            workers.iter().map(|_| Vec::with_capacity(share)).collect();
+        for (i, task) in all.into_iter().enumerate() {
+            per[i % workers.len()].push(task);
+        }
+        for (w, mut chunk) in workers.iter().zip(per) {
+            let accepted = w.slot.queue.push_batch(&mut chunk);
+            debug_assert!(accepted, "open under the membership lock");
         }
         moved
     }
 
-    fn queue_lengths(&self) -> Vec<u64> {
-        self.workers
-            .lock()
-            .iter()
-            .map(|w| w.queue.queued() as u64)
-            .collect()
-    }
-
     fn sense(&self, now: Time) -> SensorSnapshot {
-        let lens = self.queue_lengths();
+        let table = self.table.load();
+        let lens: Vec<u64> = table.iter().map(|s| s.queue.len() as u64).collect();
         let mut snap = SensorSnapshot::empty(now);
-        snap.arrival_rate = self.metrics.arrivals.lock().rate(now);
-        snap.departure_rate = self.metrics.departures.lock().rate(now);
+        snap.arrival_rate = self.metrics.arrivals.rate(now);
+        snap.departure_rate = self.metrics.departures.rate(now);
         snap.num_workers = lens.len() as u32;
         snap.queue_variance = queue_variance(&lens);
         snap.queued_tasks = lens.iter().sum();
-        snap.service_time = self.metrics.service.lock().mean();
+        // Merge the per-worker seqlock cells (plus retired workers') into
+        // the farm-level service statistic — the snapshot-time fold that
+        // lets the per-task path stay lock-free.
+        let mut service = Welford::new();
+        for slot in table.iter() {
+            service.merge(&slot.service.read());
+        }
+        for cell in self.retired_stats.lock().iter() {
+            service.merge(&cell.read());
+        }
+        snap.service_time = service.mean();
         snap.end_of_stream = self.metrics.end_of_stream.load(Ordering::SeqCst);
         snap.reconfiguring =
             self.metrics.reconfiguring.load(Ordering::SeqCst) || self.metrics.in_blackout(now);
-        let bits = self.metrics.last_arrival_bits.load(Ordering::Relaxed) as u64;
+        let bits = self.metrics.last_arrival_bits.load(Ordering::Relaxed);
         if bits != 0 {
             snap.idle_for = (now - f64::from_bits(bits)).max(0.0);
         }
         snap
+    }
+
+    /// Dispatches one drained input batch over the current worker table,
+    /// re-reading the table and re-dispatching any batch bounced off a
+    /// queue that closed under a stale table.
+    fn dispatch(
+        &self,
+        reader: &mut ReadHandle<WorkerTable<In>>,
+        sched: SchedPolicy,
+        items: &mut Vec<Task<In>>,
+    ) {
+        while !items.is_empty() {
+            let generation = self.table.generation();
+            let table = Arc::clone(reader.get());
+            if table.is_empty() {
+                // Tearing down (queues were closed without a successor
+                // table); parity with dropping a running farm.
+                items.clear();
+                return;
+            }
+            let n = table.len();
+            let mut per: Vec<Vec<Task<In>>> = (0..n).map(|_| Vec::new()).collect();
+            match sched {
+                SchedPolicy::RoundRobin => {
+                    for task in items.drain(..) {
+                        let i = self.rr_cursor.fetch_add(1, Ordering::Relaxed) % n;
+                        per[i].push(task);
+                    }
+                }
+                SchedPolicy::ShortestQueue => {
+                    // One length snapshot per batch, tracked through the
+                    // batch's own assignments.
+                    let mut lens: Vec<usize> = table.iter().map(|s| s.queue.len()).collect();
+                    for task in items.drain(..) {
+                        let i = (0..n).min_by_key(|&i| lens[i]).expect("non-empty");
+                        lens[i] += 1;
+                        per[i].push(task);
+                    }
+                }
+            }
+            for (i, chunk) in per.iter_mut().enumerate() {
+                if !table[i].queue.push_batch(chunk) {
+                    // Closed under us: hand back for re-dispatch.
+                    items.append(chunk);
+                }
+            }
+            if items.is_empty() {
+                return;
+            }
+            if self.table.generation() == generation {
+                // A queue closed with no newer table published — only
+                // shutdown does that. Nobody will collect these.
+                items.clear();
+                return;
+            }
+            // Generation moved: loop re-reads the fresh table.
+        }
     }
 }
 
@@ -340,7 +427,7 @@ impl<In: Send + 'static, Out: Send + 'static> FarmControl for Shared<In, Out> {
     }
 
     fn num_workers(&self) -> usize {
-        self.workers.lock().len()
+        self.table.load().len()
     }
 }
 
@@ -447,16 +534,17 @@ impl<In: Send + 'static, Out: Send + 'static> FarmBuilder<In, Out> {
             name: self.name.clone(),
             metrics: FarmMetrics {
                 clock: Arc::clone(&self.clock),
-                arrivals: Mutex::new(RateEstimator::new(self.rate_window)),
-                departures: Mutex::new(RateEstimator::new(self.rate_window)),
-                service: Arc::new(Mutex::new(Welford::new())),
+                arrivals: AtomicRateEstimator::new(self.rate_window),
+                departures: AtomicRateEstimator::new(self.rate_window),
                 end_of_stream: AtomicBool::new(false),
                 reconfiguring: AtomicBool::new(false),
-                blackout_until_bits: AtomicUsize::new(0),
-                last_arrival_bits: AtomicUsize::new(0),
+                blackout_until_bits: AtomicU64::new(0),
+                last_arrival_bits: AtomicU64::new(0),
             },
+            table: Arc::new(Published::new(Vec::new())),
             workers: Mutex::new(Vec::new()),
             retired: Mutex::new(Vec::new()),
+            retired_stats: Mutex::new(Vec::new()),
             rr_cursor: AtomicUsize::new(0),
             factory: self.factory,
             results_tx: results_tx.clone(),
@@ -470,57 +558,60 @@ impl<In: Send + 'static, Out: Send + 'static> FarmBuilder<In, Out> {
             for _ in 0..self.initial_workers {
                 workers.push(shared.spawn_worker());
             }
+            shared.publish_table(&workers);
         }
 
-        // Emitter.
+        // Emitter: drains input in batches, dispatches via the RCU table.
         let emitter = {
             let shared = Arc::clone(&shared);
             let sched = self.sched;
             std::thread::Builder::new()
                 .name(format!("{}-emitter", self.name))
                 .spawn(move || {
+                    let mut reader = ReadHandle::new(Arc::clone(&shared.table));
                     let mut dispatched = 0u64;
-                    for msg in input_rx.iter() {
-                        match msg {
-                            StreamMsg::Item { seq, payload } => {
-                                let now = shared.metrics.now();
-                                shared.metrics.arrivals.lock().record(now);
-                                shared
-                                    .metrics
-                                    .last_arrival_bits
-                                    .store(now.to_bits() as usize, Ordering::Relaxed);
-                                let workers = shared.workers.lock();
-                                debug_assert!(!workers.is_empty(), "farm has no workers");
-                                let idx = match sched {
-                                    SchedPolicy::RoundRobin => {
-                                        shared.rr_cursor.fetch_add(1, Ordering::Relaxed)
-                                            % workers.len()
-                                    }
-                                    SchedPolicy::ShortestQueue => workers
-                                        .iter()
-                                        .enumerate()
-                                        .min_by_key(|(_, w)| w.queue.queued())
-                                        .map(|(i, _)| i)
-                                        .expect("non-empty"),
-                                };
-                                workers[idx].queue.push(WorkerCmd::Task { seq, item: payload });
-                                dispatched += 1;
+                    let mut batch: Vec<Task<In>> = Vec::with_capacity(DISPATCH_BATCH);
+                    'stream: loop {
+                        // Block for the first message, then opportunistically
+                        // drain the channel up to the batch bound.
+                        let mut end = false;
+                        match input_rx.recv() {
+                            Ok(StreamMsg::Item { seq, payload }) => {
+                                batch.push(Task { seq, item: payload })
                             }
-                            StreamMsg::End => {
-                                shared
-                                    .metrics
-                                    .end_of_stream
-                                    .store(true, Ordering::SeqCst);
-                                let _ = shared.results_tx.send(CollectMsg::Total(dispatched));
-                                break;
+                            Ok(StreamMsg::End) => end = true,
+                            Err(_) => break 'stream, // all senders gone
+                        }
+                        while !end && batch.len() < DISPATCH_BATCH {
+                            match input_rx.try_recv() {
+                                Ok(StreamMsg::Item { seq, payload }) => {
+                                    batch.push(Task { seq, item: payload })
+                                }
+                                Ok(StreamMsg::End) => end = true,
+                                Err(TryRecvError::Empty) | Err(TryRecvError::Disconnected) => break,
                             }
+                        }
+                        if !batch.is_empty() {
+                            let now = shared.metrics.now();
+                            shared.metrics.arrivals.record_n(now, batch.len() as u64);
+                            shared
+                                .metrics
+                                .last_arrival_bits
+                                .store(now.to_bits(), Ordering::Relaxed);
+                            dispatched += batch.len() as u64;
+                            shared.dispatch(&mut reader, sched, &mut batch);
+                        }
+                        if end {
+                            shared.metrics.end_of_stream.store(true, Ordering::SeqCst);
+                            let _ = shared.results_tx.send(CollectMsg::Total(dispatched));
+                            break 'stream;
                         }
                     }
                 })
                 .expect("spawn emitter thread")
         };
 
-        // Collector.
+        // Collector: consumes per-worker result batches.
         let collector = {
             let shared = Arc::clone(&shared);
             let gather = self.gather;
@@ -532,21 +623,26 @@ impl<In: Send + 'static, Out: Send + 'static> FarmBuilder<In, Out> {
                     let mut expected: Option<u64> = None;
                     for msg in results_rx.iter() {
                         match msg {
-                            CollectMsg::Result { seq, out } => {
+                            CollectMsg::Batch(results) => {
                                 let now = shared.metrics.now();
-                                shared.metrics.departures.lock().record(now);
-                                done += 1;
-                                match gather {
-                                    GatherPolicy::Unordered => {
-                                        let _ = output_tx.send(StreamMsg::item(seq, out));
-                                    }
-                                    GatherPolicy::Ordered => {
-                                        let base = reorder.next_seq();
-                                        for (k, item) in
-                                            reorder.push(seq, out).into_iter().enumerate()
-                                        {
-                                            let _ = output_tx
-                                                .send(StreamMsg::item(base + k as u64, item));
+                                shared
+                                    .metrics
+                                    .departures
+                                    .record_n(now, results.len() as u64);
+                                done += results.len() as u64;
+                                for (seq, out) in results {
+                                    match gather {
+                                        GatherPolicy::Unordered => {
+                                            let _ = output_tx.send(StreamMsg::item(seq, out));
+                                        }
+                                        GatherPolicy::Ordered => {
+                                            let base = reorder.next_seq();
+                                            for (k, item) in
+                                                reorder.push(seq, out).into_iter().enumerate()
+                                            {
+                                                let _ = output_tx
+                                                    .send(StreamMsg::item(base + k as u64, item));
+                                            }
                                         }
                                     }
                                 }
@@ -599,7 +695,7 @@ impl<In: Send + 'static, Out: Send + 'static> Farm<In, Out> {
 
     /// Current parallelism degree.
     pub fn num_workers(&self) -> usize {
-        self.shared.workers.lock().len()
+        self.shared.table.load().len()
     }
 
     /// Waits for the stream to complete (End observed on the output side
@@ -615,11 +711,11 @@ impl<In: Send + 'static, Out: Send + 'static> Farm<In, Out> {
         if let Some(c) = self.collector.take() {
             let _ = c.join();
         }
-        let handles: Vec<WorkerHandle<In>> =
-            std::mem::take(&mut *self.shared.workers.lock());
+        let handles: Vec<WorkerHandle<In>> = std::mem::take(&mut *self.shared.workers.lock());
         for h in &handles {
-            h.queue.push(WorkerCmd::Stop);
+            h.slot.queue.close();
         }
+        self.shared.table.publish(Vec::new());
         for h in handles {
             let _ = h.thread.join();
         }
@@ -631,12 +727,12 @@ impl<In: Send + 'static, Out: Send + 'static> Farm<In, Out> {
 
 impl<In, Out> Drop for Farm<In, Out> {
     fn drop(&mut self) {
-        // Best-effort shutdown: close the input so the emitter exits, then
-        // stop workers. Collector exits when results senders drop.
-        let handles: Vec<WorkerHandle<In>> =
-            std::mem::take(&mut *self.shared.workers.lock());
+        // Best-effort shutdown: close the per-worker queues so workers
+        // exit (the emitter, if still running, drops unplaceable tasks).
+        // Collector exits when results senders drop.
+        let handles: Vec<WorkerHandle<In>> = std::mem::take(&mut *self.shared.workers.lock());
         for h in &handles {
-            h.queue.push(WorkerCmd::Stop);
+            h.slot.queue.close();
         }
         for h in handles {
             let _ = h.thread.join();
@@ -838,10 +934,35 @@ mod tests {
         tx.send(StreamMsg::End).unwrap();
         let results = drain(&farm.output());
         assert_eq!(results.len(), 200);
-        let ctl = farm.control();
-        let now = std::time::Instant::now().elapsed().as_secs_f64(); // ~0; use clock-free check
-        let snap = ctl.sense(now);
+        // The farm's RealClock started at build time, so all departures
+        // were recorded well inside the 5 s window ending "now" ~= 0+.
+        let snap = farm.control().sense(0.1);
         assert!(snap.departure_rate > 0.0, "departures recorded");
+        farm.shutdown();
+    }
+
+    #[test]
+    fn service_time_sensing_merges_worker_cells() {
+        // Workers sleep ~2 ms per task; the merged service-time statistic
+        // must land in that vicinity and count every task.
+        let farm = FarmBuilder::from_fn(|x: u64| {
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            x
+        })
+        .initial_workers(4)
+        .build();
+        let tx = farm.input();
+        for i in 0..40 {
+            tx.send(StreamMsg::item(i, i)).unwrap();
+        }
+        tx.send(StreamMsg::End).unwrap();
+        assert_eq!(drain(&farm.output()).len(), 40);
+        let snap = farm.control().sense(0.0);
+        assert!(
+            snap.service_time >= 0.001,
+            "merged mean service time reflects the sleep, got {}",
+            snap.service_time
+        );
         farm.shutdown();
     }
 
@@ -891,6 +1012,33 @@ mod tests {
         let farm = FarmBuilder::from_fn(|x: u64| x).initial_workers(2).build();
         farm.input().send(StreamMsg::End).unwrap();
         assert!(drain(&farm.output()).is_empty());
+        farm.shutdown();
+    }
+
+    #[test]
+    fn removal_mid_stream_with_slow_emitter_loses_nothing() {
+        // Interleave sends with removals so the emitter's cached table
+        // goes stale repeatedly; the bounce-and-redispatch path must keep
+        // the stream complete.
+        let farm = FarmBuilder::from_fn(|x: u64| x)
+            .initial_workers(6)
+            .gather(GatherPolicy::Ordered)
+            .build();
+        let ctl = farm.control();
+        let tx = farm.input();
+        for i in 0..300 {
+            tx.send(StreamMsg::item(i, i)).unwrap();
+            if i == 100 {
+                ctl.remove_workers(2).unwrap();
+            }
+            if i == 200 {
+                ctl.remove_workers(2).unwrap();
+            }
+        }
+        tx.send(StreamMsg::End).unwrap();
+        let vals: Vec<u64> = drain(&farm.output()).into_iter().map(|(_, v)| v).collect();
+        assert_eq!(vals, (0..300).collect::<Vec<_>>());
+        assert_eq!(farm.num_workers(), 2);
         farm.shutdown();
     }
 }

@@ -90,8 +90,7 @@ impl FarmControl for GcmMirroredFarm {
         let (gcm, fr) = &mut *m;
         gcm.stop(fr.farm);
         for _ in 0..got {
-            templates::remove_worker(gcm, fr)
-                .map_err(|e| format!("GCM mirror diverged: {e}"))?;
+            templates::remove_worker(gcm, fr).map_err(|e| format!("GCM mirror diverged: {e}"))?;
         }
         gcm.start(fr.farm)
             .map_err(|e| format!("GCM mirror failed to restart: {e}"))?;

@@ -21,11 +21,14 @@
 //! * a **manager driver** ([`runtime`]): threads running each manager's
 //!   control loop at its configured period.
 //!
-//! Design notes (following the crate's HPC guides): task hand-off uses
-//! crossbeam channels and parking_lot mutex/condvar pairs; per-worker
-//! metrics are relaxed atomics in cache-padded cells
-//! (`bskel_monitor::Counter`); the only locks on the hot path are the
-//! per-worker deque locks, never a global one.
+//! Design notes (following the crate's HPC guides): the steady-state task
+//! path acquires **no mutex** — the emitter reads the worker set through
+//! an RCU-published table ([`rcu`]) and hands tasks over in batches
+//! through per-worker queues ([`queue`]) at one lock acquisition per
+//! *batch*, not per task; every sensor it touches is lock-free
+//! (`bskel_monitor::AtomicRateEstimator`, seqlock-published
+//! `bskel_monitor::WelfordCell`s). Mutexes survive only on the cold
+//! paths: reconfiguration, sensing, shutdown.
 
 #![warn(missing_docs)]
 
@@ -35,6 +38,8 @@ pub mod gcm_sync;
 pub mod limiter;
 pub mod map;
 pub mod pipeline;
+pub mod queue;
+pub mod rcu;
 pub mod runtime;
 pub mod seq;
 pub mod stream;
@@ -45,4 +50,6 @@ pub use gcm_sync::GcmMirroredFarm;
 pub use limiter::PacedSource;
 pub use map::{BroadcastFarm, MapFarm, MapReduceFarm};
 pub use pipeline::{Pipeline, PipelineBuilder};
+pub use queue::{Task, WorkerQueue};
+pub use rcu::{Published, ReadHandle};
 pub use stream::StreamMsg;

@@ -133,10 +133,7 @@ impl<T: Send + 'static> PacedSource<T> {
                         }
                     }
                     let item = (self.generate)(seq);
-                    if tx
-                        .send(crate::stream::StreamMsg::item(seq, item))
-                        .is_err()
-                    {
+                    if tx.send(crate::stream::StreamMsg::item(seq, item)).is_err() {
                         return sent; // downstream hung up
                     }
                     if let Some(m) = &self.metrics {

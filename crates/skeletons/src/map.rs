@@ -23,8 +23,9 @@
 //! ordinary farm manager rules drive them unchanged (`departureRate`
 //! counts vectors, not elements).
 
+use crate::rcu::{Published, ReadHandle};
 use crate::stream::{ReorderBuffer, StreamMsg};
-use bskel_monitor::{Clock, RateEstimator, RealClock, SensorSnapshot, Time};
+use bskel_monitor::{AtomicRateEstimator, Clock, RealClock, SensorSnapshot, Time};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -47,13 +48,14 @@ pub fn chunk_ranges(len: usize, parts: usize) -> Vec<std::ops::Range<usize>> {
     out
 }
 
-enum WorkerJob<T> {
-    Chunk {
-        seq: u64,
-        chunk: usize,
-        data: Vec<T>,
-    },
-    Stop,
+/// One scattered piece of a stream item, in flight to a worker. Workers
+/// exit when their channel disconnects (every sender clone dropped) — no
+/// in-band stop sentinel, so a chunk sent through a stale worker-table
+/// snapshot during a concurrent removal is still processed, never lost.
+struct WorkerJob<T> {
+    seq: u64,
+    chunk: usize,
+    data: Vec<T>,
 }
 
 /// Chunks collected so far for one stream item: remaining count + slots.
@@ -73,14 +75,17 @@ enum Gathered<U> {
 }
 
 struct MapShared<T, U> {
-    workers: Mutex<Vec<Sender<WorkerJob<T>>>>,
-    retired: Mutex<Vec<JoinHandle<()>>>,
+    /// RCU-published worker senders: the emitter and the broadcast adapter
+    /// read snapshots wait-free; reconfiguration republishes.
+    workers: Arc<Published<Vec<Sender<WorkerJob<T>>>>>,
+    /// Serialises reconfigurations (the task path never takes it).
+    reconfig: Mutex<()>,
     threads: Mutex<Vec<JoinHandle<()>>>,
     gathered_tx: Sender<Gathered<U>>,
     map_element: Arc<dyn Fn(T) -> U + Send + Sync>,
     clock: Arc<dyn Clock>,
-    arrivals: Mutex<RateEstimator>,
-    departures: Mutex<RateEstimator>,
+    arrivals: AtomicRateEstimator,
+    departures: AtomicRateEstimator,
     end_of_stream: AtomicBool,
     max_workers: u32,
 }
@@ -93,7 +98,10 @@ impl<T: Send + 'static, U: Send + 'static> MapShared<T, U> {
         let handle = std::thread::Builder::new()
             .name("bskel-map-worker".into())
             .spawn(move || {
-                while let Ok(WorkerJob::Chunk { seq, chunk, data }) = rx.recv() {
+                // Exits when every sender clone (published table + any
+                // stale emitter snapshots) has been dropped, guaranteeing
+                // no chunk is left behind by a concurrent removal.
+                while let Ok(WorkerJob { seq, chunk, data }) = rx.recv() {
                     let mapped: Vec<U> = data.into_iter().map(|x| map(x)).collect();
                     if out
                         .send(Gathered::Chunk {
@@ -113,7 +121,8 @@ impl<T: Send + 'static, U: Send + 'static> MapShared<T, U> {
     }
 
     fn add_workers(&self, n: u32) -> Result<u32, String> {
-        let mut workers = self.workers.lock();
+        let _guard = self.reconfig.lock();
+        let mut workers: Vec<Sender<WorkerJob<T>>> = (*self.workers.load()).clone();
         if workers.len() as u32 + n > self.max_workers {
             return Err(format!(
                 "worker limit reached ({} + {n} > {})",
@@ -125,29 +134,29 @@ impl<T: Send + 'static, U: Send + 'static> MapShared<T, U> {
             let tx = self.spawn_worker();
             workers.push(tx);
         }
+        self.workers.publish(workers);
         Ok(n)
     }
 
     fn remove_workers(&self, n: u32) -> Result<u32, String> {
-        let mut workers = self.workers.lock();
+        let _guard = self.reconfig.lock();
+        let mut workers: Vec<Sender<WorkerJob<T>>> = (*self.workers.load()).clone();
         if workers.len() as u32 <= n {
-            return Err(format!(
-                "cannot remove {n} of {} workers",
-                workers.len()
-            ));
+            return Err(format!("cannot remove {n} of {} workers", workers.len()));
         }
-        for _ in 0..n {
-            let tx = workers.pop().expect("guarded");
-            let _ = tx.send(WorkerJob::Stop);
-        }
+        // Dropping the sender (rather than sending a stop sentinel)
+        // retires the worker: it drains whatever is still in flight from
+        // stale snapshots, then its channel disconnects and it exits.
+        workers.truncate(workers.len() - n as usize);
+        self.workers.publish(workers);
         Ok(n)
     }
 
     fn sense(&self, now: Time) -> SensorSnapshot {
         let mut snap = SensorSnapshot::empty(now);
-        snap.arrival_rate = self.arrivals.lock().rate(now);
-        snap.departure_rate = self.departures.lock().rate(now);
-        snap.num_workers = self.workers.lock().len() as u32;
+        snap.arrival_rate = self.arrivals.rate(now);
+        snap.departure_rate = self.departures.rate(now);
+        snap.num_workers = self.workers.load().len() as u32;
         snap.end_of_stream = self.end_of_stream.load(Ordering::SeqCst);
         snap
     }
@@ -180,7 +189,7 @@ impl<T: Send + 'static, U: Send + 'static> MapControl for MapShared<T, U> {
     }
 
     fn num_workers(&self) -> usize {
-        self.workers.lock().len()
+        self.workers.load().len()
     }
 }
 
@@ -211,14 +220,14 @@ impl<T: Send + 'static, U: Send + 'static, Out: Send + 'static> MapEngine<T, U, 
         let (output_tx, output_rx) = unbounded::<StreamMsg<Out>>();
 
         let shared = Arc::new(MapShared {
-            workers: Mutex::new(Vec::new()),
-            retired: Mutex::new(Vec::new()),
+            workers: Arc::new(Published::new(Vec::new())),
+            reconfig: Mutex::new(()),
             threads: Mutex::new(Vec::new()),
             gathered_tx: gathered_tx.clone(),
             map_element,
             clock,
-            arrivals: Mutex::new(RateEstimator::new(rate_window)),
-            departures: Mutex::new(RateEstimator::new(rate_window)),
+            arrivals: AtomicRateEstimator::new(rate_window),
+            departures: AtomicRateEstimator::new(rate_window),
             end_of_stream: AtomicBool::new(false),
             max_workers: max_workers.max(1),
         });
@@ -232,12 +241,13 @@ impl<T: Send + 'static, U: Send + 'static, Out: Send + 'static> MapEngine<T, U, 
             std::thread::Builder::new()
                 .name("bskel-map-emitter".into())
                 .spawn(move || {
+                    let mut reader = ReadHandle::new(Arc::clone(&shared.workers));
                     for msg in input_rx.iter() {
                         match msg {
                             StreamMsg::Item { seq, payload } => {
                                 let now = shared.clock.now();
-                                shared.arrivals.lock().record(now);
-                                let workers = shared.workers.lock();
+                                shared.arrivals.record(now);
+                                let workers = Arc::clone(reader.get());
                                 let parts = workers.len().min(payload.len()).max(1);
                                 let ranges = chunk_ranges(payload.len(), parts);
                                 if shared
@@ -256,13 +266,11 @@ impl<T: Send + 'static, U: Send + 'static, Out: Send + 'static> MapEngine<T, U, 
                                 }
                                 pieces.reverse();
                                 for (chunk, piece) in pieces.into_iter().enumerate() {
-                                    let _ = workers[chunk % workers.len()].send(
-                                        WorkerJob::Chunk {
-                                            seq,
-                                            chunk,
-                                            data: piece,
-                                        },
-                                    );
+                                    let _ = workers[chunk % workers.len()].send(WorkerJob {
+                                        seq,
+                                        chunk,
+                                        data: piece,
+                                    });
                                 }
                             }
                             StreamMsg::End => {
@@ -300,22 +308,20 @@ impl<T: Send + 'static, U: Send + 'static, Out: Send + 'static> MapEngine<T, U, 
                                 entry.0 -= 1;
                                 entry.1[chunk] = Some(data);
                                 if entry.0 == 0 {
-                                    let (_, slots) =
-                                        pending.remove(&seq).expect("entry exists");
+                                    let (_, slots) = pending.remove(&seq).expect("entry exists");
                                     let chunks: Vec<Vec<U>> = slots
                                         .into_iter()
                                         .map(|c| c.expect("all chunks arrived"))
                                         .collect();
                                     let out = collection(chunks);
                                     let now = shared.clock.now();
-                                    shared.departures.lock().record(now);
+                                    shared.departures.record(now);
                                     open -= 1;
                                     let base = reorder.next_seq();
-                                    for (k, item) in
-                                        reorder.push(seq, out).into_iter().enumerate()
+                                    for (k, item) in reorder.push(seq, out).into_iter().enumerate()
                                     {
-                                        let _ = output_tx
-                                            .send(StreamMsg::item(base + k as u64, item));
+                                        let _ =
+                                            output_tx.send(StreamMsg::item(base + k as u64, item));
                                     }
                                     if eos && open == 0 && reorder.is_empty() {
                                         let _ = output_tx.send(StreamMsg::End);
@@ -352,15 +358,11 @@ impl<T: Send + 'static, U: Send + 'static, Out: Send + 'static> MapEngine<T, U, 
         if let Some(c) = self.collector.take() {
             let _ = c.join();
         }
-        let workers: Vec<Sender<WorkerJob<T>>> = std::mem::take(&mut *self.shared.workers.lock());
-        for w in &workers {
-            let _ = w.send(WorkerJob::Stop);
-        }
-        drop(workers);
+        // Publishing an empty table drops the last sender clones (the
+        // emitter's snapshot died with its thread), disconnecting every
+        // worker channel; workers drain and exit.
+        self.shared.workers.publish(Vec::new());
         for t in std::mem::take(&mut *self.shared.threads.lock()) {
-            let _ = t.join();
-        }
-        for t in std::mem::take(&mut *self.shared.retired.lock()) {
             let _ = t.join();
         }
     }
@@ -374,10 +376,7 @@ pub struct MapFarm<T, U> {
 
 impl<T: Send + 'static, U: Send + 'static> MapFarm<T, U> {
     /// Builds and starts the skeleton.
-    pub fn new(
-        f: impl Fn(T) -> U + Send + Sync + 'static,
-        initial_workers: u32,
-    ) -> Self {
+    pub fn new(f: impl Fn(T) -> U + Send + Sync + 'static, initial_workers: u32) -> Self {
         Self::with_options(f, initial_workers, 1024, Arc::new(RealClock::new()), 2.0)
     }
 
@@ -549,10 +548,11 @@ where
         let adapter = std::thread::Builder::new()
             .name("bskel-broadcast-adapter".into())
             .spawn(move || {
+                let mut reader = ReadHandle::new(Arc::clone(&shared.workers));
                 for msg in in_rx.iter() {
                     match msg {
                         StreamMsg::Item { seq, payload } => {
-                            let replicas = shared.workers.lock().len().max(1);
+                            let replicas = reader.get().len().max(1);
                             let v: Vec<T> = vec![payload; replicas];
                             if engine_in.send(StreamMsg::item(seq, v)).is_err() {
                                 break;
@@ -738,11 +738,7 @@ mod tests {
     fn map_reduce_non_commutative_combiner_respects_chunk_order() {
         // String concatenation is associative but not commutative: the
         // reduce must preserve chunk order.
-        let farm = MapReduceFarm::new(
-            |x: u64| x.to_string(),
-            |a: String, b: String| a + &b,
-            3,
-        );
+        let farm = MapReduceFarm::new(|x: u64| x.to_string(), |a: String, b: String| a + &b, 3);
         let tx = farm.input();
         tx.send(StreamMsg::item(0, (0..10).collect())).unwrap();
         tx.send(StreamMsg::End).unwrap();

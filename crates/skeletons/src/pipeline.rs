@@ -90,11 +90,7 @@ impl<T: Send + 'static> PipelineBuilder<T> {
 
     /// Appends a (pre-built, running) farm as a stage, wiring this
     /// pipeline's stream through it.
-    pub fn farm<U: Send + 'static>(
-        mut self,
-        name: &str,
-        farm: Farm<T, U>,
-    ) -> PipelineBuilder<U> {
+    pub fn farm<U: Send + 'static>(mut self, name: &str, farm: Farm<T, U>) -> PipelineBuilder<U> {
         let farm_in = farm.input();
         let upstream = self.rx;
         // Pump: upstream → farm input.
@@ -224,7 +220,9 @@ mod tests {
     fn pipeline_with_farm_stage() {
         let count = Arc::new(Mutex::new(0u64));
         let sink_count = Arc::clone(&count);
-        let farm = FarmBuilder::from_fn(|x: u64| x + 1).initial_workers(3).build();
+        let farm = FarmBuilder::from_fn(|x: u64| x + 1)
+            .initial_workers(3)
+            .build();
         let pipe = PipelineBuilder::source("producer", 5000.0, 120, |seq| seq)
             .farm("filter", farm)
             .sink("consumer", move |_| *sink_count.lock() += 1);

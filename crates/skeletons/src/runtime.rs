@@ -103,7 +103,11 @@ mod tests {
         let manager = driver.stop();
         // The NullAbc delivers zero throughput, so every cycle logs
         // contrLow; several cycles must have run.
-        assert!(manager.log().len() >= 3, "only {} events", manager.log().len());
+        assert!(
+            manager.log().len() >= 3,
+            "only {} events",
+            manager.log().len()
+        );
     }
 
     #[test]

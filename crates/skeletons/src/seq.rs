@@ -175,7 +175,13 @@ mod tests {
         let (tx_in, rx_in) = unbounded();
         let (tx_out, rx_out) = unbounded();
         let metrics = StageMetrics::new(clock(), 5.0);
-        let h = spawn_stage("double", rx_in, tx_out, |x: u64| x * 2, Arc::clone(&metrics));
+        let h = spawn_stage(
+            "double",
+            rx_in,
+            tx_out,
+            |x: u64| x * 2,
+            Arc::clone(&metrics),
+        );
         for i in 0..5 {
             tx_in.send(StreamMsg::item(i, i)).unwrap();
         }

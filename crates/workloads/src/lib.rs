@@ -26,5 +26,5 @@ pub mod imaging;
 pub mod service;
 
 pub use arrival::ArrivalProcess;
-pub use imaging::{ImagingWorkload, ImageTask};
+pub use imaging::{ImageTask, ImagingWorkload};
 pub use service::ServiceDist;

@@ -23,14 +23,16 @@ use std::sync::Arc;
 
 fn main() {
     let frames = 150u64;
-    let pixels_per_frame = 2_000_000usize;
+    let pixels_per_frame = 1_000_000usize;
 
     let clock: Arc<dyn Clock> = Arc::new(RealClock::new());
-    // Element work: a short arithmetic cascade per pixel.
+    // Element work: an arithmetic cascade per pixel, heavy enough that a
+    // single worker cannot reach the frames/s contract on its own — the
+    // manager has to grow the scatter pool for the assertion below.
     let farm = MapReduceFarm::with_options(
         |px: u64| {
             let mut acc = px;
-            for _ in 0..192 {
+            for _ in 0..1536 {
                 acc = acc.wrapping_mul(6364136223846793005).wrapping_add(1);
             }
             (acc >> 32) * (acc >> 32)
@@ -79,7 +81,11 @@ fn main() {
     feeder.join().unwrap();
     farm.shutdown();
 
-    println!("reduced {} frames of {} pixels", energies.len(), pixels_per_frame);
+    println!(
+        "reduced {} frames of {} pixels",
+        energies.len(),
+        pixels_per_frame
+    );
     println!("final scatter-pool size: {final_workers}");
     println!(
         "manager grew the pool {} times",
@@ -91,7 +97,7 @@ fn main() {
     let again: u64 = (0..pixels_per_frame as u64)
         .map(|i| {
             let mut acc = i; // frame 0: seq = 0
-            for _ in 0..192 {
+            for _ in 0..1536 {
                 acc = acc.wrapping_mul(6364136223846793005).wrapping_add(1);
             }
             (acc >> 32) * (acc >> 32)

@@ -55,11 +55,7 @@ fn main() {
     let log = EventLog::new();
     let mut cfg = ManagerConfig::farm("AM_F");
     cfg.control_period = 0.1;
-    let manager = AutonomicManager::new(
-        cfg,
-        Box::new(FarmAbc::new(farm.control())),
-        log.clone(),
-    );
+    let manager = AutonomicManager::new(cfg, Box::new(FarmAbc::new(farm.control())), log.clone());
     manager
         .contract_slot()
         .post(Contract::min_throughput(contract_rate));

@@ -43,10 +43,7 @@ fn main() {
                 "  committed; obligations fulfilled first: {:?}",
                 decision.obligations
             );
-            println!(
-                "  channel to {node} secured: {}",
-                env.is_secured(node)
-            );
+            println!("  channel to {node} secured: {}", env.is_secured(node));
         } else {
             println!(
                 "  ABORTED by {:?}: {}",

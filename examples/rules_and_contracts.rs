@@ -52,7 +52,10 @@ fn main() {
         ("arrivalRate", 0.0),
     ]);
     let fired = engine.cycle(&night, &params).expect("beans present");
-    println!("at night, idle: fired {:?}", fired.iter().map(|f| &f.rule).collect::<Vec<_>>());
+    println!(
+        "at night, idle: fired {:?}",
+        fired.iter().map(|f| &f.rule).collect::<Vec<_>>()
+    );
 
     // 2. Contracts: build, validate, inspect.
     let sla = Contract::all([
@@ -67,10 +70,8 @@ fn main() {
     println!("  secured domains   : {:?}", sla.secure_domain_set());
 
     // 3. Skeleton expressions in the paper's notation (§3.1).
-    let app = BsExpr::parse(
-        "pipe:app(seq:acquire@1, farm:filter(seq:kernel)*4, seq:render@2)",
-    )
-    .expect("expression parses");
+    let app = BsExpr::parse("pipe:app(seq:acquire@1, farm:filter(seq:kernel)*4, seq:render@2)")
+        .expect("expression parses");
     println!("\napplication: {app}");
     println!("  managers needed: {}", app.manager_count());
 

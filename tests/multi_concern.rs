@@ -29,36 +29,70 @@ fn paper_running_example_full_protocol() {
     let mut env = env_from_registry();
 
     // Trusted target: no obligations, channel stays plain (no overhead).
-    let d = gm.propose(&Intent::AddWorkerOn { node: "lab0".into() }, &mut env, 1.0);
+    let d = gm.propose(
+        &Intent::AddWorkerOn {
+            node: "lab0".into(),
+        },
+        &mut env,
+        1.0,
+    );
     assert!(d.committed && d.obligations.is_empty());
     assert!(!env.is_secured("lab0"));
 
     // Untrusted target: secured before commit.
-    let d = gm.propose(&Intent::AddWorkerOn { node: "rent0".into() }, &mut env, 2.0);
+    let d = gm.propose(
+        &Intent::AddWorkerOn {
+            node: "rent0".into(),
+        },
+        &mut env,
+        2.0,
+    );
     assert!(d.committed);
     assert_eq!(
         d.obligations,
         vec![(
             Concern::Security,
-            Obligation::SecureChannel { node: "rent0".into() }
+            Obligation::SecureChannel {
+                node: "rent0".into()
+            }
         )]
     );
     assert!(env.is_secured("rent0"));
 
     // Second worker on the same node: the channel is already secure.
-    let d = gm.propose(&Intent::AddWorkerOn { node: "rent0".into() }, &mut env, 3.0);
+    let d = gm.propose(
+        &Intent::AddWorkerOn {
+            node: "rent0".into(),
+        },
+        &mut env,
+        3.0,
+    );
     assert!(d.committed && d.obligations.is_empty());
 
     // Uselessly slow node: performance vetoes, security never prepares.
-    let d = gm.propose(&Intent::AddWorkerOn { node: "rent1".into() }, &mut env, 4.0);
+    let d = gm.propose(
+        &Intent::AddWorkerOn {
+            node: "rent1".into(),
+        },
+        &mut env,
+        4.0,
+    );
     assert!(!d.committed);
     assert_eq!(d.vetoed_by, Some(Concern::Performance));
     assert!(!env.is_secured("rent1"));
 
     // The GM's protocol trail is complete.
     let rendered = log.render();
-    for needle in ["intent:", "prepared:security", "commit:", "veto:performance"] {
-        assert!(rendered.contains(needle), "missing {needle} in:\n{rendered}");
+    for needle in [
+        "intent:",
+        "prepared:security",
+        "commit:",
+        "veto:performance",
+    ] {
+        assert!(
+            rendered.contains(needle),
+            "missing {needle} in:\n{rendered}"
+        );
     }
 }
 
@@ -118,7 +152,13 @@ fn custom_concern_manager_integrates() {
         used: 0,
     }));
     let mut env = env_from_registry();
-    let d = gm.propose(&Intent::AddWorkerOn { node: "lab0".into() }, &mut env, 0.0);
+    let d = gm.propose(
+        &Intent::AddWorkerOn {
+            node: "lab0".into(),
+        },
+        &mut env,
+        0.0,
+    );
     assert!(!d.committed);
     assert_eq!(d.vetoed_by, Some(Concern::Custom("budget".into())));
 }

@@ -4,16 +4,24 @@
 use proptest::prelude::*;
 
 use bskel::rules::{
-    parse_rules, Action, Cmp, Condition, Expr, ParamTable, Rule, RuleEngine, RuleSet,
-    WorkingMemory,
+    parse_rules, Action, Cmp, Condition, Expr, ParamTable, Rule, RuleEngine, RuleSet, WorkingMemory,
 };
 
 fn ident() -> impl Strategy<Value = String> {
     "[a-z][a-zA-Z0-9_]{0,10}".prop_filter("not a keyword", |s| {
         !matches!(
             s.as_str(),
-            "rule" | "when" | "then" | "end" | "salience" | "once" | "true" | "false"
-                | "fire" | "setData" | "fireOperation"
+            "rule"
+                | "when"
+                | "then"
+                | "end"
+                | "salience"
+                | "once"
+                | "true"
+                | "false"
+                | "fire"
+                | "setData"
+                | "fireOperation"
         )
     })
 }

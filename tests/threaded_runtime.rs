@@ -45,8 +45,7 @@ fn manager_grows_live_farm_to_meet_contract() {
     let log = EventLog::new();
     let mut cfg = ManagerConfig::farm("AM_F");
     cfg.control_period = 0.1;
-    let manager =
-        AutonomicManager::new(cfg, Box::new(FarmAbc::new(farm.control())), log.clone());
+    let manager = AutonomicManager::new(cfg, Box::new(FarmAbc::new(farm.control())), log.clone());
     manager.contract_slot().post(Contract::min_throughput(40.0));
     let driver = ManagerDriver::spawn(manager, Arc::clone(&clock));
 
@@ -79,16 +78,10 @@ fn hierarchical_pipeline_on_threads() {
         .rate_window(0.5)
         .build();
     let farm_ctl = farm.control();
-    let mut pipe = PipelineBuilder::source_with_clock(
-        "producer",
-        20.0,
-        400,
-        |s| s,
-        Arc::clone(&clock),
-        0.5,
-    )
-    .farm("filter", farm)
-    .sink("consumer", |_| {});
+    let mut pipe =
+        PipelineBuilder::source_with_clock("producer", 20.0, 400, |s| s, Arc::clone(&clock), 0.5)
+            .farm("filter", farm)
+            .sink("consumer", |_| {});
 
     let expr = BsExpr::parse("pipe:app(seq:producer, farm:filter(seq:w), seq:consumer)").unwrap();
     let log = EventLog::new();
@@ -145,8 +138,7 @@ fn live_farm_rebalance_and_shrink_under_overcapacity() {
     let log = EventLog::new();
     let mut cfg = ManagerConfig::farm("AM_F");
     cfg.control_period = 0.1;
-    let manager =
-        AutonomicManager::new(cfg, Box::new(FarmAbc::new(farm.control())), log.clone());
+    let manager = AutonomicManager::new(cfg, Box::new(FarmAbc::new(farm.control())), log.clone());
     // Ceiling far below capacity (8 workers × 50/s = 400/s >> 90/s).
     manager
         .contract_slot()

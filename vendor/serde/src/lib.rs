@@ -1,0 +1,367 @@
+//! Offline shim for `serde`.
+//!
+//! Instead of serde's zero-copy visitor architecture, this shim funnels
+//! everything through one self-describing [`Value`] tree (the JSON data
+//! model). That is slower but radically simpler, and the derive macro in
+//! `serde_derive` only has to generate `Value` conversions.
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// The self-describing data model all (de)serialization goes through.
+/// Object keys keep insertion order so output is stable.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    /// All numbers are `f64`, like JavaScript; integers are exact up to
+    /// 2^53, far beyond anything this workspace serializes.
+    Number(f64),
+    String(String),
+    Array(Vec<Value>),
+    Object(Vec<(String, Value)>),
+}
+
+/// A (de)serialization failure, with a human-readable path/context.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Error(pub String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types convertible into a [`Value`].
+pub trait Serialize {
+    /// Converts `self` into the data model.
+    fn to_value(&self) -> Value;
+}
+
+/// Types reconstructible from a [`Value`].
+pub trait Deserialize: Sized {
+    /// Parses `self` out of the data model.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+
+    /// Fallback when a struct field is absent from the input. `Option`
+    /// overrides this to `Some(None)`, matching serde's rule that missing
+    /// `Option` fields read as `None`; everything else stays a hard error.
+    fn absent() -> Option<Self> {
+        None
+    }
+}
+
+macro_rules! serialize_num {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Number(*self as f64)
+            }
+        }
+    )*};
+}
+
+serialize_num!(f32, f64, i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+macro_rules! deserialize_int {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Number(n) if n.fract() == 0.0 => {
+                        let lo = <$t>::MIN as f64;
+                        let hi = <$t>::MAX as f64;
+                        if *n >= lo && *n <= hi {
+                            Ok(*n as $t)
+                        } else {
+                            Err(Error(format!(
+                                "integer {} out of range for {}", n, stringify!($t)
+                            )))
+                        }
+                    }
+                    other => Err(Error(format!(
+                        "expected integer ({}), found {}", stringify!($t), other.kind()
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+deserialize_int!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Number(n) => Ok(*n),
+            other => Err(Error(format!("expected number, found {}", other.kind()))),
+        }
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        f64::from_value(v).map(|n| n as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error(format!("expected bool, found {}", other.kind()))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_owned())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::String(s) => Ok(s.clone()),
+            other => Err(Error(format!("expected string, found {}", other.kind()))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+
+    fn absent() -> Option<Self> {
+        Some(None)
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            other => Err(Error(format!("expected array, found {}", other.kind()))),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for BTreeSet<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize + Ord> Deserialize for BTreeSet<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            other => Err(Error(format!("expected array, found {}", other.kind()))),
+        }
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Object(entries) => entries
+                .iter()
+                .map(|(k, ev)| V::from_value(ev).map(|x| (k.clone(), x)))
+                .collect(),
+            other => Err(Error(format!("expected object, found {}", other.kind()))),
+        }
+    }
+}
+
+macro_rules! impl_tuple {
+    ($len:expr => $($t:ident . $idx:tt),+) => {
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Array(items) if items.len() == $len => {
+                        Ok(($($t::from_value(&items[$idx])?,)+))
+                    }
+                    Value::Array(items) => Err(Error(format!(
+                        "expected array of length {}, found length {}", $len, items.len()
+                    ))),
+                    other => Err(Error(format!("expected array, found {}", other.kind()))),
+                }
+            }
+        }
+    };
+}
+
+impl_tuple!(2 => A.0, B.1);
+impl_tuple!(3 => A.0, B.1, C.2);
+impl_tuple!(4 => A.0, B.1, C.2, D.3);
+
+impl Value {
+    /// A short noun for error messages ("number", "object", …).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Number(_) => "number",
+            Value::String(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+}
+
+/// Helpers the derive-generated code calls. Not a public API.
+#[doc(hidden)]
+pub mod __private {
+    use super::{Deserialize, Error, Value};
+
+    /// Views `v` as an object, or errors naming the target type.
+    pub fn as_object<'a>(v: &'a Value, ty: &str) -> Result<&'a [(String, Value)], Error> {
+        match v {
+            Value::Object(entries) => Ok(entries),
+            other => Err(Error(format!(
+                "{ty}: expected object, found {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// Views `v` as an array, or errors naming the target type.
+    pub fn as_array<'a>(v: &'a Value, ty: &str) -> Result<&'a [Value], Error> {
+        match v {
+            Value::Array(items) => Ok(items),
+            other => Err(Error(format!(
+                "{ty}: expected array, found {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// First value for `name` in an object's entries.
+    pub fn field<'a>(entries: &'a [(String, Value)], name: &str) -> Option<&'a Value> {
+        entries.iter().find(|(k, _)| k == name).map(|(_, v)| v)
+    }
+
+    /// Deserializes a required field, falling back to `T::absent()`
+    /// (i.e. `None` for `Option` fields) when the key is missing.
+    pub fn req<T: Deserialize>(
+        entries: &[(String, Value)],
+        name: &str,
+        ty: &str,
+    ) -> Result<T, Error> {
+        match field(entries, name) {
+            Some(v) => T::from_value(v).map_err(|e| Error(format!("{ty}.{name}: {e}"))),
+            None => T::absent().ok_or_else(|| Error(format!("{ty}: missing field `{name}`"))),
+        }
+    }
+
+    /// Error for an unrecognised enum variant name.
+    pub fn unknown_variant(ty: &str, got: &str) -> Error {
+        Error(format!("{ty}: unknown variant `{got}`"))
+    }
+
+    /// Generic "expected X" error.
+    pub fn expected(what: &str, ty: &str) -> Error {
+        Error(format!("{ty}: expected {what}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn option_absent_is_none() {
+        assert_eq!(<Option<f64> as Deserialize>::absent(), Some(None));
+        assert_eq!(<f64 as Deserialize>::absent(), None);
+    }
+
+    #[test]
+    fn int_bounds_checked() {
+        assert!(u32::from_value(&Value::Number(-1.0)).is_err());
+        assert!(u32::from_value(&Value::Number(0.5)).is_err());
+        assert_eq!(u32::from_value(&Value::Number(7.0)), Ok(7));
+    }
+
+    #[test]
+    fn containers_roundtrip() {
+        let v: Vec<(f64, f64)> = vec![(1.0, 2.0), (3.0, 4.0)];
+        let val = v.to_value();
+        let back = Vec::<(f64, f64)>::from_value(&val).unwrap();
+        assert_eq!(back, v);
+
+        let mut m = BTreeMap::new();
+        m.insert("a".to_string(), vec![1.0_f64]);
+        let back = BTreeMap::<String, Vec<f64>>::from_value(&m.to_value()).unwrap();
+        assert_eq!(back, m);
+    }
+}

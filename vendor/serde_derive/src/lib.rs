@@ -1,0 +1,572 @@
+//! Offline shim for `serde_derive`: `#[derive(Serialize, Deserialize)]`
+//! without `syn`/`quote`.
+//!
+//! The derive input is walked directly as `proc_macro` token trees — we
+//! only need item/field/variant *names*, variant shapes, and the handful
+//! of `#[serde(...)]` attributes this workspace uses (`rename_all`,
+//! `tag`, `default`, `default = "path"`). Field *types* are never parsed:
+//! the generated code builds struct literals, so type inference picks the
+//! right `Deserialize` impl for each field.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::iter::Peekable;
+
+type Iter = Peekable<proc_macro::token_stream::IntoIter>;
+
+struct ContainerAttrs {
+    rename_all: Option<String>,
+    tag: Option<String>,
+}
+
+enum FieldDefault {
+    /// `#[serde(default)]` — `Default::default()`.
+    Trait,
+    /// `#[serde(default = "path")]` — call `path()`.
+    Path(String),
+}
+
+struct Field {
+    name: String,
+    default: Option<FieldDefault>,
+}
+
+enum Shape {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+enum Data {
+    NamedStruct(Vec<Field>),
+    TupleStruct(usize),
+    Enum(Vec<Variant>),
+}
+
+struct Input {
+    name: String,
+    attrs: ContainerAttrs,
+    data: Data,
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let input = parse_input(input);
+    gen_serialize(&input)
+        .parse()
+        .expect("generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let input = parse_input(input);
+    gen_deserialize(&input)
+        .parse()
+        .expect("generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------- parsing
+
+/// Consumes leading `#[...]` attributes, returning the `(key, value)`
+/// pairs found inside `#[serde(...)]` ones; other attributes (docs…) are
+/// skipped.
+fn collect_attr_metas(it: &mut Iter) -> Vec<(String, Option<String>)> {
+    let mut metas = Vec::new();
+    while matches!(it.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        it.next();
+        match it.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                let mut inner = g.stream().into_iter();
+                if let Some(TokenTree::Ident(id)) = inner.next() {
+                    if id.to_string() == "serde" {
+                        if let Some(TokenTree::Group(args)) = inner.next() {
+                            metas.extend(parse_metas(args.stream()));
+                        }
+                    }
+                }
+            }
+            other => panic!("expected attribute body after `#`, found {other:?}"),
+        }
+    }
+    metas
+}
+
+/// Parses `key`, `key = "value"` lists inside `#[serde(...)]`.
+fn parse_metas(ts: TokenStream) -> Vec<(String, Option<String>)> {
+    let mut out = Vec::new();
+    let mut it = ts.into_iter().peekable();
+    while let Some(tok) = it.next() {
+        if let TokenTree::Ident(id) = tok {
+            let key = id.to_string();
+            let mut val = None;
+            if matches!(it.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+                it.next();
+                match it.next() {
+                    Some(TokenTree::Literal(lit)) => {
+                        val = Some(lit.to_string().trim_matches('"').to_string());
+                    }
+                    other => panic!("expected string after `{key} =`, found {other:?}"),
+                }
+            }
+            out.push((key, val));
+        }
+    }
+    out
+}
+
+fn meta_value(metas: &[(String, Option<String>)], key: &str) -> Option<String> {
+    metas
+        .iter()
+        .find(|(k, _)| k == key)
+        .and_then(|(_, v)| v.clone())
+}
+
+fn skip_visibility(it: &mut Iter) {
+    if matches!(it.peek(), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        it.next();
+        if matches!(it.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            it.next();
+        }
+    }
+}
+
+fn parse_input(input: TokenStream) -> Input {
+    let mut it = input.into_iter().peekable();
+    let metas = collect_attr_metas(&mut it);
+    let attrs = ContainerAttrs {
+        rename_all: meta_value(&metas, "rename_all"),
+        tag: meta_value(&metas, "tag"),
+    };
+    skip_visibility(&mut it);
+    let kw = match it.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected `struct` or `enum`, found {other:?}"),
+    };
+    let name = match it.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected type name, found {other:?}"),
+    };
+    if matches!(it.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("shim serde derive does not support generic types ({name})");
+    }
+    let data = match (kw.as_str(), it.next()) {
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            Data::NamedStruct(parse_named_fields(g.stream()))
+        }
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Parenthesis => {
+            Data::TupleStruct(tuple_arity(g.stream()))
+        }
+        ("enum", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            Data::Enum(parse_variants(g.stream()))
+        }
+        (kw, other) => panic!("cannot derive for `{kw}` body {other:?}"),
+    };
+    Input { name, attrs, data }
+}
+
+/// Parses `name: Type, ...` bodies; types are skipped, not understood.
+fn parse_named_fields(ts: TokenStream) -> Vec<Field> {
+    let mut fields = Vec::new();
+    let mut it = ts.into_iter().peekable();
+    loop {
+        let metas = collect_attr_metas(&mut it);
+        skip_visibility(&mut it);
+        let name = match it.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            Some(other) => panic!("expected field name, found {other:?}"),
+            None => break,
+        };
+        match it.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("expected `:` after field `{name}`, found {other:?}"),
+        }
+        skip_type(&mut it);
+        let default = metas
+            .iter()
+            .find(|(k, _)| k == "default")
+            .map(|(_, v)| match v {
+                Some(path) => FieldDefault::Path(path.clone()),
+                None => FieldDefault::Trait,
+            });
+        fields.push(Field { name, default });
+    }
+    fields
+}
+
+/// Skips one type, consuming the trailing comma if present. Commas nested
+/// in `<...>` (or inside groups, which are atomic tokens) don't terminate.
+fn skip_type(it: &mut Iter) {
+    let mut depth = 0i32;
+    for tok in it.by_ref() {
+        if let TokenTree::Punct(p) = &tok {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => return,
+                _ => {}
+            }
+        }
+    }
+}
+
+/// Number of fields in a tuple body `(A, B, ...)`.
+fn tuple_arity(ts: TokenStream) -> usize {
+    let mut depth = 0i32;
+    let mut commas = 0usize;
+    let mut trailing_comma = false;
+    let mut any = false;
+    for tok in ts {
+        any = true;
+        trailing_comma = false;
+        if let TokenTree::Punct(p) = &tok {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => {
+                    commas += 1;
+                    trailing_comma = true;
+                }
+                _ => {}
+            }
+        }
+    }
+    match (any, trailing_comma) {
+        (false, _) => 0,
+        (true, true) => commas,
+        (true, false) => commas + 1,
+    }
+}
+
+fn parse_variants(ts: TokenStream) -> Vec<Variant> {
+    let mut out = Vec::new();
+    let mut it = ts.into_iter().peekable();
+    loop {
+        let _metas = collect_attr_metas(&mut it);
+        let name = match it.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            Some(other) => panic!("expected variant name, found {other:?}"),
+            None => break,
+        };
+        let body = match it.peek() {
+            Some(TokenTree::Group(g)) => Some((g.delimiter(), g.stream())),
+            _ => None,
+        };
+        let shape = match body {
+            Some((Delimiter::Parenthesis, s)) => {
+                it.next();
+                Shape::Tuple(tuple_arity(s))
+            }
+            Some((Delimiter::Brace, s)) => {
+                it.next();
+                Shape::Struct(parse_named_fields(s))
+            }
+            _ => Shape::Unit,
+        };
+        if matches!(it.peek(), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            it.next();
+        }
+        out.push(Variant { name, shape });
+    }
+    out
+}
+
+// ---------------------------------------------------------------- naming
+
+fn rename(name: &str, style: Option<&str>) -> String {
+    match style {
+        Some("snake_case") => {
+            let mut out = String::new();
+            for (i, ch) in name.chars().enumerate() {
+                if ch.is_uppercase() {
+                    if i > 0 {
+                        out.push('_');
+                    }
+                    out.extend(ch.to_lowercase());
+                } else {
+                    out.push(ch);
+                }
+            }
+            out
+        }
+        Some("lowercase") => name.to_lowercase(),
+        Some(other) => panic!("unsupported rename_all style `{other}`"),
+        None => name.to_string(),
+    }
+}
+
+// ---------------------------------------------------------- serialization
+
+fn gen_serialize(input: &Input) -> String {
+    let name = &input.name;
+    let style = input.attrs.rename_all.as_deref();
+    let body = match &input.data {
+        Data::NamedStruct(fields) => {
+            let mut s = String::from("let mut __o: Vec<(String, ::serde::Value)> = Vec::new();\n");
+            for f in fields {
+                let json = rename(&f.name, style);
+                s.push_str(&format!(
+                    "__o.push((String::from(\"{json}\"), ::serde::Serialize::to_value(&self.{})));\n",
+                    f.name
+                ));
+            }
+            s.push_str("::serde::Value::Object(__o)");
+            s
+        }
+        Data::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Data::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Data::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vjson = rename(&v.name, style);
+                let arm = match (&v.shape, input.attrs.tag.as_deref()) {
+                    (Shape::Unit, None) => format!(
+                        "{name}::{v} => ::serde::Value::String(String::from(\"{vjson}\")),\n",
+                        v = v.name
+                    ),
+                    (Shape::Unit, Some(tag)) => format!(
+                        "{name}::{v} => ::serde::Value::Object(vec![(String::from(\"{tag}\"), ::serde::Value::String(String::from(\"{vjson}\")))]),\n",
+                        v = v.name
+                    ),
+                    (Shape::Tuple(1), None) => format!(
+                        "{name}::{v}(__f0) => ::serde::Value::Object(vec![(String::from(\"{vjson}\"), ::serde::Serialize::to_value(__f0))]),\n",
+                        v = v.name
+                    ),
+                    (Shape::Tuple(n), None) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let items: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b})"))
+                            .collect();
+                        format!(
+                            "{name}::{v}({binds}) => ::serde::Value::Object(vec![(String::from(\"{vjson}\"), ::serde::Value::Array(vec![{items}]))]),\n",
+                            v = v.name,
+                            binds = binds.join(", "),
+                            items = items.join(", ")
+                        )
+                    }
+                    (Shape::Tuple(_), Some(_)) => {
+                        panic!("internally tagged tuple variants unsupported ({name}::{})", v.name)
+                    }
+                    (Shape::Struct(fields), tag) => {
+                        let binds: Vec<&str> =
+                            fields.iter().map(|f| f.name.as_str()).collect();
+                        let mut inner = String::from(
+                            "let mut __i: Vec<(String, ::serde::Value)> = Vec::new();\n",
+                        );
+                        if let Some(tag) = tag {
+                            inner.push_str(&format!(
+                                "__i.push((String::from(\"{tag}\"), ::serde::Value::String(String::from(\"{vjson}\"))));\n"
+                            ));
+                        }
+                        for f in fields {
+                            inner.push_str(&format!(
+                                "__i.push((String::from(\"{}\"), ::serde::Serialize::to_value({})));\n",
+                                f.name, f.name
+                            ));
+                        }
+                        let result = if tag.is_some() {
+                            "::serde::Value::Object(__i)".to_string()
+                        } else {
+                            format!(
+                                "::serde::Value::Object(vec![(String::from(\"{vjson}\"), ::serde::Value::Object(__i))])"
+                            )
+                        };
+                        format!(
+                            "{name}::{v} {{ {binds} }} => {{\n{inner}{result}\n}}\n",
+                            v = v.name,
+                            binds = binds.join(", ")
+                        )
+                    }
+                };
+                arms.push_str(&arm);
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n"
+    )
+}
+
+// -------------------------------------------------------- deserialization
+
+/// One struct-literal field initialiser reading from `__obj`.
+fn field_init(f: &Field, ty_label: &str) -> String {
+    match &f.default {
+        None => format!(
+            "{}: ::serde::__private::req(__obj, \"{}\", \"{ty_label}\")?,\n",
+            f.name, f.name
+        ),
+        Some(FieldDefault::Trait) => format!(
+            "{}: match ::serde::__private::field(__obj, \"{}\") {{\n\
+             Some(__f) => ::serde::Deserialize::from_value(__f)?,\n\
+             None => ::core::default::Default::default(),\n}},\n",
+            f.name, f.name
+        ),
+        Some(FieldDefault::Path(path)) => format!(
+            "{}: match ::serde::__private::field(__obj, \"{}\") {{\n\
+             Some(__f) => ::serde::Deserialize::from_value(__f)?,\n\
+             None => {path}(),\n}},\n",
+            f.name, f.name
+        ),
+    }
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let name = &input.name;
+    let style = input.attrs.rename_all.as_deref();
+    let body = match &input.data {
+        Data::NamedStruct(fields) => {
+            let mut s = format!(
+                "let __obj = ::serde::__private::as_object(__v, \"{name}\")?;\nOk({name} {{\n"
+            );
+            for f in fields {
+                // Struct fields use their (possibly renamed) JSON name.
+                let json = rename(&f.name, style);
+                let mut init = field_init(f, name);
+                if json != f.name {
+                    init = init.replace(&format!("\"{}\"", f.name), &format!("\"{json}\""));
+                }
+                s.push_str(&init);
+            }
+            s.push_str("})");
+            s
+        }
+        Data::TupleStruct(1) => {
+            format!("Ok({name}(::serde::Deserialize::from_value(__v)?))")
+        }
+        Data::TupleStruct(n) => {
+            let mut s = format!(
+                "let __arr = ::serde::__private::as_array(__v, \"{name}\")?;\n\
+                 if __arr.len() != {n} {{ return Err(::serde::__private::expected(\"array of length {n}\", \"{name}\")); }}\n\
+                 Ok({name}("
+            );
+            for i in 0..*n {
+                s.push_str(&format!("::serde::Deserialize::from_value(&__arr[{i}])?, "));
+            }
+            s.push_str("))");
+            s
+        }
+        Data::Enum(variants) => match input.attrs.tag.as_deref() {
+            Some(tag) => gen_de_internally_tagged(name, variants, style, tag),
+            None => gen_de_externally_tagged(name, variants, style),
+        },
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(__v: &::serde::Value) -> Result<Self, ::serde::Error> {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn gen_de_externally_tagged(name: &str, variants: &[Variant], style: Option<&str>) -> String {
+    let mut unit_arms = String::new();
+    let mut keyed_arms = String::new();
+    for v in variants {
+        let vjson = rename(&v.name, style);
+        match &v.shape {
+            Shape::Unit => {
+                unit_arms.push_str(&format!("\"{vjson}\" => Ok({name}::{}),\n", v.name));
+            }
+            Shape::Tuple(1) => {
+                keyed_arms.push_str(&format!(
+                    "\"{vjson}\" => Ok({name}::{}(::serde::Deserialize::from_value(__inner)?)),\n",
+                    v.name
+                ));
+            }
+            Shape::Tuple(n) => {
+                let label = format!("{name}::{}", v.name);
+                let mut arm = format!(
+                    "\"{vjson}\" => {{\n\
+                     let __arr = ::serde::__private::as_array(__inner, \"{label}\")?;\n\
+                     if __arr.len() != {n} {{ return Err(::serde::__private::expected(\"array of length {n}\", \"{label}\")); }}\n\
+                     Ok({label}("
+                );
+                for i in 0..*n {
+                    arm.push_str(&format!("::serde::Deserialize::from_value(&__arr[{i}])?, "));
+                }
+                arm.push_str("))\n},\n");
+                keyed_arms.push_str(&arm);
+            }
+            Shape::Struct(fields) => {
+                let label = format!("{name}::{}", v.name);
+                let mut arm = format!(
+                    "\"{vjson}\" => {{\n\
+                     let __obj = ::serde::__private::as_object(__inner, \"{label}\")?;\n\
+                     Ok({label} {{\n"
+                );
+                for f in fields {
+                    arm.push_str(&field_init(f, &label));
+                }
+                arm.push_str("})\n},\n");
+                keyed_arms.push_str(&arm);
+            }
+        }
+    }
+    format!(
+        "match __v {{\n\
+         ::serde::Value::String(__s) => match __s.as_str() {{\n\
+         {unit_arms}\
+         __other => Err(::serde::__private::unknown_variant(\"{name}\", __other)),\n\
+         }},\n\
+         ::serde::Value::Object(__entries) if __entries.len() == 1 => {{\n\
+         let (__k, __inner) = &__entries[0];\n\
+         match __k.as_str() {{\n\
+         {keyed_arms}\
+         __other => Err(::serde::__private::unknown_variant(\"{name}\", __other)),\n\
+         }}\n\
+         }},\n\
+         _ => Err(::serde::__private::expected(\"variant string or single-key object\", \"{name}\")),\n\
+         }}"
+    )
+}
+
+fn gen_de_internally_tagged(
+    name: &str,
+    variants: &[Variant],
+    style: Option<&str>,
+    tag: &str,
+) -> String {
+    let mut arms = String::new();
+    for v in variants {
+        let vjson = rename(&v.name, style);
+        match &v.shape {
+            Shape::Unit => {
+                arms.push_str(&format!("\"{vjson}\" => Ok({name}::{}),\n", v.name));
+            }
+            Shape::Struct(fields) => {
+                let label = format!("{name}::{}", v.name);
+                let mut arm = format!("\"{vjson}\" => Ok({label} {{\n");
+                for f in fields {
+                    arm.push_str(&field_init(f, &label));
+                }
+                arm.push_str("}),\n");
+                arms.push_str(&arm);
+            }
+            Shape::Tuple(_) => {
+                panic!(
+                    "internally tagged tuple variants unsupported ({name}::{})",
+                    v.name
+                )
+            }
+        }
+    }
+    format!(
+        "let __obj = ::serde::__private::as_object(__v, \"{name}\")?;\n\
+         let __tag: String = ::serde::__private::req(__obj, \"{tag}\", \"{name}\")?;\n\
+         match __tag.as_str() {{\n\
+         {arms}\
+         __other => Err(::serde::__private::unknown_variant(\"{name}\", __other)),\n\
+         }}"
+    )
+}
