@@ -1,0 +1,56 @@
+//! `rulelint` — static analysis for autonomic-management rule programs.
+//!
+//! ```text
+//! rulelint [--strict] <file>...
+//! ```
+//!
+//! Inputs are `.rules` programs (checked against the standard ABC schema
+//! with symbolic parameters) or scenario `.json` configs (checked as the
+//! managers would load them, with contract-derived parameter tables).
+//! Exit code 0 when clean, 1 when findings fail the run (`--strict`
+//! promotes warnings to failures), 2 on usage or I/O problems.
+
+use bskel_bench::rulelint::{lint_files, should_fail};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut strict = false;
+    let mut paths = Vec::new();
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--strict" => strict = true,
+            "--help" | "-h" => {
+                println!("usage: rulelint [--strict] <file.rules|scenario.json>...");
+                return ExitCode::SUCCESS;
+            }
+            _ if arg.starts_with('-') => {
+                eprintln!("rulelint: unknown flag `{arg}` (try --help)");
+                return ExitCode::from(2);
+            }
+            _ => paths.push(arg),
+        }
+    }
+    if paths.is_empty() {
+        eprintln!("usage: rulelint [--strict] <file.rules|scenario.json>...");
+        return ExitCode::from(2);
+    }
+
+    let mut contents = Vec::new();
+    for path in &paths {
+        match std::fs::read_to_string(path) {
+            Ok(text) => contents.push((path.clone(), text)),
+            Err(e) => {
+                eprintln!("rulelint: cannot read `{path}`: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let (reports, rendered) = lint_files(contents.iter().map(|(p, t)| (p.as_str(), t.as_str())));
+    print!("{rendered}");
+    if should_fail(&reports, strict) {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

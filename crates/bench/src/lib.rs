@@ -26,6 +26,7 @@
 //! prints the same kind of series/tables the paper's figures plot.
 
 pub mod config;
+pub mod rulelint;
 
 use bskel_core::events::EventRecord;
 use bskel_sim::Trace;

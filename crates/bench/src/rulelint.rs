@@ -1,0 +1,343 @@
+//! The `rulelint` driver: lints `.rules` programs and the rule programs a
+//! scenario JSON implies, the same way the managers would load them.
+//!
+//! For a bare `.rules` file the program is checked against the standard
+//! ABC schema with symbolic parameters. For a `scenarios/*.json` file the
+//! driver reconstructs what `run_scenario` would build — which standard
+//! programs are merged (farm + fault tolerance + migration, or the
+//! pipeline/producer/farm hierarchy), and the parameter tables the
+//! managers derive from the configured contract — so parameter-dependent
+//! verdicts (dormant rules, missing dead bands, cross-manager conflicts)
+//! are decided with the deployment's actual thresholds.
+
+use crate::config::ScenarioConfig;
+use bskel_core::contract::Contract;
+use bskel_rules::analysis::{Analyzer, Diagnostic, Severity};
+use bskel_rules::{parse_rules_spanned, stdlib, ParamTable, RuleSet};
+use bskel_sim::sim_bean_schema;
+
+/// Lint results for one input file.
+#[derive(Debug)]
+pub struct FileReport {
+    /// The path (or label) the content came from.
+    pub path: String,
+    /// Fatal parse/decode failure, if the file never reached analysis.
+    pub parse_error: Option<String>,
+    /// Analyzer findings.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl FileReport {
+    /// Number of error-severity findings (a parse failure counts as one).
+    pub fn error_count(&self) -> usize {
+        self.parse_error.iter().len()
+            + self
+                .diagnostics
+                .iter()
+                .filter(|d| d.severity == Severity::Error)
+                .count()
+    }
+
+    /// Number of warning-severity findings.
+    pub fn warning_count(&self) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Warning)
+            .count()
+    }
+
+    /// Renders `path:line:col:`-prefixed diagnostic lines.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        if let Some(e) = &self.parse_error {
+            out.push_str(&format!("{}: error[parse]: {e}\n", self.path));
+        }
+        for d in &self.diagnostics {
+            match d.span {
+                Some((l, c)) => out.push_str(&format!(
+                    "{}:{l}:{c}: {}[{}] rule `{}`: {}\n",
+                    self.path, d.severity, d.code, d.rule, d.message
+                )),
+                None => out.push_str(&format!("{}: {d}\n", self.path)),
+            }
+        }
+        out
+    }
+
+    /// True when this file produced no findings at all.
+    pub fn is_clean(&self) -> bool {
+        self.parse_error.is_none() && self.diagnostics.is_empty()
+    }
+}
+
+/// Lints file content by extension: `.json` is treated as a scenario
+/// configuration, anything else as `.rules` program text.
+pub fn lint_content(path: &str, content: &str) -> FileReport {
+    if path.ends_with(".json") {
+        lint_scenario(path, content)
+    } else {
+        lint_rules_text(path, content)
+    }
+}
+
+/// Lints a `.rules` program against the standard ABC bean schema (plus
+/// the simulator extras), with parameters left symbolic.
+pub fn lint_rules_text(path: &str, src: &str) -> FileReport {
+    match parse_rules_spanned(src) {
+        Ok((set, spans)) => FileReport {
+            path: path.to_string(),
+            parse_error: None,
+            diagnostics: Analyzer::new(sim_bean_schema()).analyze(&set, None, Some(&spans)),
+        },
+        Err(e) => FileReport {
+            path: path.to_string(),
+            parse_error: Some(e.to_string()),
+            diagnostics: Vec::new(),
+        },
+    }
+}
+
+/// Lints the rule programs a scenario JSON implies, with the parameter
+/// tables its managers would derive from the configured contract.
+pub fn lint_scenario(path: &str, json: &str) -> FileReport {
+    let cfg: ScenarioConfig = match serde_json::from_str(json) {
+        Ok(c) => c,
+        Err(e) => {
+            return FileReport {
+                path: path.to_string(),
+                parse_error: Some(format!("bad scenario config: {e}")),
+                diagnostics: Vec::new(),
+            }
+        }
+    };
+    FileReport {
+        path: path.to_string(),
+        parse_error: None,
+        diagnostics: lint_scenario_config(&cfg),
+    }
+}
+
+/// Default farm parameter derivation, mirroring
+/// `AutonomicManager::derive_kind_params` with the stock `ManagerConfig`
+/// knobs (`min_workers` 1, `max_workers` 64, `max_unbalance` 4.0).
+fn farm_params_for(contract: &Contract) -> ParamTable {
+    let (lo, hi) = contract.throughput_bounds().unwrap_or((0.0, f64::INFINITY));
+    let (min_w, max_w) = contract.par_degree_bounds().unwrap_or((1, 64));
+    stdlib::farm_params(lo, hi, min_w, max_w, 4.0)
+}
+
+/// Analyzes the rule programs implied by a scenario configuration.
+pub fn lint_scenario_config(cfg: &ScenarioConfig) -> Vec<Diagnostic> {
+    let analyzer = Analyzer::new(sim_bean_schema());
+    let mut out = Vec::new();
+    match cfg {
+        ScenarioConfig::Farm {
+            contract,
+            ft_min_workers,
+            migrate_min_gain,
+            ..
+        } => {
+            // The farm manager loads one merged program; the analysis of
+            // the merge catches intra-set problems, and the per-concern
+            // pairings catch TR-09-10-style contradictions.
+            let mut params = farm_params_for(contract);
+            let mut merged = stdlib::farm_rules();
+            let mut concerns: Vec<(&str, RuleSet)> = Vec::new();
+            if let Some(ft) = ft_min_workers {
+                for (name, value) in stdlib::fault_params(*ft).iter() {
+                    params.set(name.to_string(), value);
+                }
+                merged.extend(stdlib::fault_rules());
+                concerns.push(("fault-tolerance", stdlib::fault_rules()));
+            }
+            if let Some(gain) = migrate_min_gain {
+                for (name, value) in stdlib::migrate_params(*gain).iter() {
+                    params.set(name.to_string(), value);
+                }
+                merged.extend(stdlib::migrate_rules());
+                concerns.push(("migration", stdlib::migrate_rules()));
+            }
+            out.extend(analyzer.analyze(&merged, Some(&params), None));
+            let perf = stdlib::farm_rules();
+            for (label, set) in &concerns {
+                out.extend(analyzer.check_conflicts(
+                    (label, set, Some(&params)),
+                    ("performance", &perf, Some(&params)),
+                ));
+            }
+        }
+        ScenarioConfig::Pipeline {
+            initial_rate,
+            contract,
+            ..
+        } => {
+            // AM_A drives the source with output-rate contracts around the
+            // configured initial rate; the farm stage gets the app SLA.
+            let (floor, ceil) = Contract::output_rate(*initial_rate)
+                .output_rate_bounds()
+                .unwrap_or((0.0, f64::INFINITY));
+            let programs: Vec<(&str, RuleSet, ParamTable)> = vec![
+                ("pipeline", stdlib::pipeline_rules(), ParamTable::new()),
+                (
+                    "producer",
+                    stdlib::producer_rules(),
+                    stdlib::producer_params(floor, ceil),
+                ),
+                ("farm", stdlib::farm_rules(), farm_params_for(contract)),
+            ];
+            for (_, set, params) in &programs {
+                out.extend(analyzer.analyze(set, Some(params), None));
+            }
+            // Cross-conflict checks pair only the *sibling* stage managers
+            // (producer vs farm). The coordinator is excluded: its
+            // INC_RATE/DEC_RATE are contract-renegotiation messages to the
+            // producer child, not direct writes to a shared actuator, so
+            // pairing it against the producer would flag the hierarchy's
+            // designed feedback path as a conflict.
+            let (pl, ps, pp) = &programs[1];
+            let (fl, fs, fp) = &programs[2];
+            out.extend(analyzer.check_conflicts((pl, ps, Some(pp)), (fl, fs, Some(fp))));
+        }
+    }
+    out
+}
+
+/// Lints many files and renders a combined report; returns the reports
+/// for exit-code decisions.
+pub fn lint_files<'a>(
+    inputs: impl IntoIterator<Item = (&'a str, &'a str)>,
+) -> (Vec<FileReport>, String) {
+    let mut reports = Vec::new();
+    let mut rendered = String::new();
+    for (path, content) in inputs {
+        let report = lint_content(path, content);
+        rendered.push_str(&report.render());
+        reports.push(report);
+    }
+    let errors: usize = reports.iter().map(FileReport::error_count).sum();
+    let warnings: usize = reports.iter().map(FileReport::warning_count).sum();
+    rendered.push_str(&format!(
+        "{} file(s) checked: {errors} error(s), {warnings} warning(s)\n",
+        reports.len()
+    ));
+    (reports, rendered)
+}
+
+/// True when the reports justify a non-zero exit code.
+pub fn should_fail(reports: &[FileReport], strict: bool) -> bool {
+    reports
+        .iter()
+        .any(|r| r.error_count() > 0 || (strict && r.warning_count() > 0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bskel_rules::analysis::{has_errors as diag_has_errors, LintCode};
+
+    #[test]
+    fn stdlib_rule_files_lint_clean() {
+        for (name, text) in [
+            ("farm.rules", stdlib::FARM_RULES_TEXT),
+            ("pipeline.rules", stdlib::PIPELINE_RULES_TEXT),
+            ("producer.rules", stdlib::PRODUCER_RULES_TEXT),
+            ("fault.rules", stdlib::FAULT_RULES_TEXT),
+            ("migrate.rules", stdlib::MIGRATE_RULES_TEXT),
+        ] {
+            let report = lint_rules_text(name, text);
+            assert!(report.is_clean(), "{name}:\n{}", report.render());
+        }
+    }
+
+    #[test]
+    fn shipped_scenarios_have_no_errors() {
+        for path in [
+            "../../scenarios/fig3.json",
+            "../../scenarios/fig4.json",
+            "../../scenarios/fault_recovery.json",
+            "../../scenarios/secure_mixed_pool.json",
+        ] {
+            let content = std::fs::read_to_string(path).expect(path);
+            let report = lint_content(path, &content);
+            assert_eq!(report.error_count(), 0, "{path}:\n{}", report.render());
+        }
+    }
+
+    #[test]
+    fn bad_rules_file_is_flagged() {
+        let report = lint_rules_text(
+            "bad.rules",
+            "rule \"r\" when noSuchBean > 1 then fire(ADD_EXECUTOR) end",
+        );
+        assert!(diag_has_errors(&report.diagnostics));
+        assert!(
+            report.render().contains("bad.rules:1:6:"),
+            "{}",
+            report.render()
+        );
+    }
+
+    #[test]
+    fn parse_failure_is_reported_with_position() {
+        let report = lint_rules_text("oops.rules", "rule \"r\" when x ?? 1 then end");
+        assert_eq!(report.error_count(), 1);
+        assert!(
+            report.render().contains("error[parse]"),
+            "{}",
+            report.render()
+        );
+    }
+
+    #[test]
+    fn inverted_contract_scenario_flags_oscillation() {
+        // A throughput "range" with lo > hi leaves no dead band between
+        // the Fig. 5 grow/shrink rules.
+        let cfg = ScenarioConfig::Farm {
+            service_time: 1.0,
+            arrival_rate: 1.0,
+            initial_workers: 1,
+            contract: Contract::throughput_range(0.7, 0.3),
+            horizon: 10.0,
+            nodes: None,
+            secure: None,
+            ssl: None,
+            failures: vec![],
+            ft_min_workers: None,
+            migrate_min_gain: None,
+            model_initial_setup: false,
+            seed: 1,
+        };
+        let diags = lint_scenario_config(&cfg);
+        assert!(
+            diags.iter().any(|d| d.code == LintCode::Oscillation),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn ft_floor_above_perf_floor_conflicts_under_range_contract() {
+        // TR-09-10's central hazard: the FT concern insists on >= 6
+        // workers while the performance concern sheds workers above the
+        // throughput ceiling — both fireable in one state.
+        let cfg = ScenarioConfig::Farm {
+            service_time: 1.0,
+            arrival_rate: 1.0,
+            initial_workers: 8,
+            contract: Contract::throughput_range(0.3, 0.7),
+            horizon: 10.0,
+            nodes: None,
+            secure: None,
+            ssl: None,
+            failures: vec![],
+            ft_min_workers: Some(6),
+            migrate_min_gain: None,
+            model_initial_setup: false,
+            seed: 1,
+        };
+        let diags = lint_scenario_config(&cfg);
+        assert!(
+            diags.iter().any(|d| d.code == LintCode::Conflict),
+            "{diags:?}"
+        );
+    }
+}

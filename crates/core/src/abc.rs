@@ -9,7 +9,41 @@
 //! skeleton runtime and the discrete-event simulator.
 
 use bskel_monitor::{SensorSnapshot, Time};
+use bskel_rules::analysis::{BeanSchema, BeanType};
 use std::fmt;
+
+/// The bean/parameter schema every standard ABC publishes: the nine
+/// snapshot beans of [`bskel_monitor::snapshot::beans`], the hierarchy
+/// flags a parent manager injects (`bskel_rules::stdlib::hier_beans`),
+/// and the contract-derived parameter names the standard rule libraries
+/// reference. This is what `rulelint` checks rule programs against; ABCs
+/// publishing extra beans override [`Abc::bean_schema`] and extend it.
+pub fn standard_schema() -> BeanSchema {
+    use bskel_monitor::snapshot::beans;
+    use bskel_rules::stdlib::{hier_beans, params};
+    BeanSchema::new()
+        .bean(beans::ARRIVAL_RATE, BeanType::Rate)
+        .bean(beans::DEPARTURE_RATE, BeanType::Rate)
+        .bean(beans::NUM_WORKERS, BeanType::Count)
+        .bean(beans::QUEUE_VARIANCE, BeanType::Rate)
+        .bean(beans::QUEUED_TASKS, BeanType::Count)
+        .bean(beans::SERVICE_TIME, BeanType::Seconds)
+        .bean(beans::END_OF_STREAM, BeanType::Flag)
+        .bean(beans::IDLE_FOR, BeanType::Seconds)
+        .bean(beans::RECONFIGURING, BeanType::Flag)
+        .bean(hier_beans::VIOL_NOT_ENOUGH, BeanType::Flag)
+        .bean(hier_beans::VIOL_TOO_MUCH, BeanType::Flag)
+        .bean(hier_beans::END_STREAM, BeanType::Flag)
+        .param(params::FARM_LOW_PERF_LEVEL)
+        .param(params::FARM_HIGH_PERF_LEVEL)
+        .param(params::FARM_MIN_NUM_WORKERS)
+        .param(params::FARM_MAX_NUM_WORKERS)
+        .param(params::FARM_MAX_UNBALANCE)
+        .param(params::PROD_RATE_FLOOR)
+        .param(params::PROD_RATE_CEIL)
+        .param(params::FT_MIN_WORKERS)
+        .param(params::MIGRATE_MIN_GAIN)
+}
 
 /// Typed actuator operations a manager can order.
 ///
@@ -92,6 +126,14 @@ pub trait Abc: Send {
 
     /// Executes an actuator operation.
     fn actuate(&mut self, op: &ManagerOp, now: Time) -> Result<ActuationOutcome, AbcError>;
+
+    /// The beans this ABC publishes (and the parameters the standard rule
+    /// libraries may reference), used to lint rule programs at load time.
+    /// Override when `sense` attaches extra beans via
+    /// [`SensorSnapshot::with_extra`].
+    fn bean_schema(&self) -> BeanSchema {
+        standard_schema()
+    }
 }
 
 /// A trivially inert ABC for managers over components with no actuators

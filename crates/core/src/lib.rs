@@ -43,8 +43,10 @@ pub mod events;
 pub mod hierarchy;
 pub mod manager;
 
-pub use abc::{Abc, AbcError, ActuationOutcome, ManagerOp};
+pub use abc::{standard_schema, Abc, AbcError, ActuationOutcome, ManagerOp};
 pub use concern::Concern;
 pub use contract::Contract;
 pub use events::{EventKind, EventLog, EventRecord};
-pub use manager::{AmState, AutonomicManager, ManagerConfig, ManagerKind};
+pub use manager::{
+    AmState, AutonomicManager, ManagerConfig, ManagerKind, RuleCheck, RuleLintError,
+};

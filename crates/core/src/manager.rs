@@ -34,7 +34,8 @@ use crate::contract::Contract;
 use crate::events::{EventKind, EventLog};
 use bskel_monitor::{SensorSnapshot, Time};
 use bskel_rules::stdlib::{self, hier_beans, viol};
-use bskel_rules::{op, OpCall, RuleEngine, RuleSet, WorkingMemory};
+use bskel_rules::{op, Analyzer, OpCall, RuleEngine, RuleSet, WorkingMemory};
+use std::fmt;
 use std::sync::{Arc, Mutex};
 
 /// Manager mode (paper Fig. 1, right).
@@ -160,6 +161,38 @@ pub enum ManagerKind {
     Sequential,
 }
 
+/// How strictly a manager checks its rule program with
+/// `bskel_rules::analysis` when the program is loaded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RuleCheck {
+    /// Skip the analysis entirely.
+    Off,
+    /// Run the analysis and log every finding as a `rulelint` event, but
+    /// accept the program (the default: misconfigured policies surface in
+    /// the event log instead of failing silently at runtime).
+    #[default]
+    Warn,
+    /// Reject a rule program with error-severity findings at load time
+    /// (deploy-time enforcement; see ROADMAP "production system").
+    Strict,
+}
+
+/// A rule program rejected at load time under [`RuleCheck::Strict`].
+#[derive(Debug, Clone)]
+pub struct RuleLintError(pub Vec<bskel_rules::Diagnostic>);
+
+impl fmt::Display for RuleLintError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "rule program rejected by rulelint:")?;
+        for d in &self.0 {
+            writeln!(f, "  {d}")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for RuleLintError {}
+
 /// Manager tuning knobs.
 #[derive(Debug, Clone)]
 pub struct ManagerConfig {
@@ -201,6 +234,8 @@ pub struct ManagerConfig {
     /// reactively. Requires a service-time sensor (the simulator's cost
     /// model, or a workload specification).
     pub model_initial_setup: bool,
+    /// Load-time rule-program checking policy (see [`RuleCheck`]).
+    pub rule_check: RuleCheck,
 }
 
 impl ManagerConfig {
@@ -220,6 +255,7 @@ impl ManagerConfig {
             initial_source_rate: 0.2,
             extra_params: Vec::new(),
             model_initial_setup: false,
+            rule_check: RuleCheck::default(),
         }
     }
 
@@ -269,7 +305,25 @@ impl AutonomicManager {
     /// best-effort contract; call [`AutonomicManager::contract_slot`] /
     /// [`AutonomicManager::mailbox`] to wire it into a hierarchy, and post
     /// the real contract into its slot.
+    ///
+    /// # Panics
+    ///
+    /// Under [`RuleCheck::Strict`], if the standard rule program for this
+    /// kind fails the static analysis (it doesn't; use
+    /// [`AutonomicManager::try_new`] for fallible construction with
+    /// custom-schema ABCs).
     pub fn new(cfg: ManagerConfig, abc: Box<dyn Abc>, log: EventLog) -> Self {
+        Self::try_new(cfg, abc, log).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`AutonomicManager::new`]: returns the `rulelint`
+    /// diagnostics instead of panicking when the standard rule program is
+    /// rejected under [`RuleCheck::Strict`].
+    pub fn try_new(
+        cfg: ManagerConfig,
+        abc: Box<dyn Abc>,
+        log: EventLog,
+    ) -> Result<Self, RuleLintError> {
         let rules = match cfg.kind {
             ManagerKind::Farm => stdlib::farm_rules(),
             ManagerKind::Pipeline => stdlib::pipeline_rules(),
@@ -296,13 +350,63 @@ impl AutonomicManager {
             last_snapshot: None,
         };
         m.params = m.derive_params(&Contract::BestEffort);
-        m
+        m.lint_rules(None, 0.0)?;
+        Ok(m)
     }
 
     /// Replaces the rule program (custom policies).
-    pub fn with_rules(mut self, rules: RuleSet) -> Self {
+    ///
+    /// # Panics
+    ///
+    /// Under [`RuleCheck::Strict`], if the program fails the static
+    /// analysis — use [`AutonomicManager::try_with_rules`] to handle the
+    /// rejection.
+    pub fn with_rules(self, rules: RuleSet) -> Self {
+        self.try_with_rules(rules).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Replaces the rule program, first checking it with
+    /// `bskel_rules::analysis` against the ABC's published bean schema
+    /// according to [`ManagerConfig::rule_check`]: findings are logged as
+    /// `rulelint` events, and under [`RuleCheck::Strict`] error-severity
+    /// findings (unknown beans, unsatisfiable guards, undamped
+    /// oscillation pairs, conflicting shadowing) reject the program.
+    pub fn try_with_rules(mut self, rules: RuleSet) -> Result<Self, RuleLintError> {
         self.engine = RuleEngine::new(rules);
-        self
+        self.lint_rules(None, 0.0)?;
+        Ok(self)
+    }
+
+    /// Runs the rule-program analysis, logging findings; errors reject the
+    /// program under [`RuleCheck::Strict`]. With `params` bound (contract
+    /// adoption) the verdicts are sharper but only ever logged: a contract
+    /// making a rule dormant is a property of this contract, not of the
+    /// program.
+    fn lint_rules(
+        &self,
+        params: Option<&bskel_rules::ParamTable>,
+        now: Time,
+    ) -> Result<(), RuleLintError> {
+        if self.cfg.rule_check == RuleCheck::Off {
+            return Ok(());
+        }
+        let analyzer = Analyzer::new(self.abc.bean_schema());
+        let diags = analyzer.analyze(self.engine.rules(), params, None);
+        for d in &diags {
+            self.emit(
+                now,
+                EventKind::Other(format!("rulelint:{}", d.code)),
+                Some(d.to_string()),
+            );
+        }
+        let errors: Vec<_> = diags
+            .into_iter()
+            .filter(|d| d.severity == bskel_rules::Severity::Error)
+            .collect();
+        if self.cfg.rule_check == RuleCheck::Strict && params.is_none() && !errors.is_empty() {
+            return Err(RuleLintError(errors));
+        }
+        Ok(())
     }
 
     /// Sets the parent mailbox violations are reported to.
@@ -398,6 +502,10 @@ impl AutonomicManager {
     /// sub-contracts to children, (re-)enters active mode.
     fn adopt_contract(&mut self, contract: Contract, now: Time) {
         self.params = self.derive_params(&contract);
+        // Binding the contract's parameters makes cross-rule reasoning
+        // decidable; re-lint so dormant rules and parameter-induced
+        // overlaps land in the event log (never a rejection).
+        let _ = self.lint_rules(Some(&self.params), now);
         self.emit(now, EventKind::NewContract, Some(contract.to_string()));
         self.contract = contract;
         if self.cfg.model_initial_setup && self.cfg.kind == ManagerKind::Farm {
@@ -782,6 +890,84 @@ mod tests {
         let acts = Arc::clone(&abc.actuations);
         let m = AutonomicManager::new(ManagerConfig::farm("AM_F"), Box::new(abc), EventLog::new());
         (m, acts)
+    }
+
+    /// An undamped grow/shrink pair: both guards hold at departureRate 7.
+    fn oscillating_rules() -> RuleSet {
+        bskel_rules::parse_rules(
+            r#"
+            rule "grow" when departureRate < 10 then fire(ADD_EXECUTOR) end
+            rule "shrink" when departureRate > 5 then fire(REMOVE_EXECUTOR) end
+            "#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn strict_mode_rejects_oscillating_rules_at_load_time() {
+        let mut cfg = ManagerConfig::farm("AM_F");
+        cfg.rule_check = RuleCheck::Strict;
+        let m = AutonomicManager::new(cfg, Box::new(MockAbc::new(vec![])), EventLog::new());
+        let err = m.try_with_rules(oscillating_rules()).unwrap_err();
+        assert!(
+            err.0
+                .iter()
+                .any(|d| d.code == bskel_rules::LintCode::Oscillation),
+            "{err}"
+        );
+        assert!(err.to_string().contains("oscillation"), "{err}");
+    }
+
+    #[test]
+    fn warn_mode_accepts_oscillating_rules_but_logs() {
+        let (m, _) = farm_manager(vec![]);
+        let m = m.with_rules(oscillating_rules());
+        let events = m
+            .log()
+            .of_kind(&EventKind::Other("rulelint:oscillation".into()));
+        assert_eq!(events.len(), 1, "{:?}", m.log().snapshot());
+    }
+
+    #[test]
+    fn off_mode_skips_linting() {
+        let mut cfg = ManagerConfig::farm("AM_F");
+        cfg.rule_check = RuleCheck::Off;
+        let m = AutonomicManager::new(cfg, Box::new(MockAbc::new(vec![])), EventLog::new())
+            .with_rules(oscillating_rules());
+        assert!(m.log().is_empty());
+    }
+
+    #[test]
+    fn strict_mode_accepts_standard_programs() {
+        for cfg in [
+            ManagerConfig::farm("f"),
+            ManagerConfig::pipeline("p"),
+            ManagerConfig::producer("s"),
+        ] {
+            let mut cfg = cfg;
+            cfg.rule_check = RuleCheck::Strict;
+            let m = AutonomicManager::try_new(cfg, Box::new(MockAbc::new(vec![])), EventLog::new());
+            assert!(m.is_ok());
+        }
+    }
+
+    #[test]
+    fn adopting_contract_relints_with_bound_params() {
+        // A best-effort contract pins FARM_HIGH_PERF_LEVEL to +inf, which
+        // makes the shedding rule provably dormant: warn, don't reject.
+        let mut cfg = ManagerConfig::farm("AM_F");
+        cfg.rule_check = RuleCheck::Strict;
+        let mut m = AutonomicManager::new(cfg, Box::new(MockAbc::new(vec![])), EventLog::new());
+        m.contract_slot().post(Contract::BestEffort);
+        m.control_cycle(0.0);
+        let events = m.log().of_kind(&EventKind::Other("rulelint:unsat".into()));
+        assert!(
+            events
+                .iter()
+                .any(|e| e.detail.as_deref().is_some_and(|d| d.contains("dormant"))),
+            "{:?}",
+            m.log().snapshot()
+        );
     }
 
     #[test]

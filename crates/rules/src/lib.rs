@@ -28,15 +28,17 @@
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod analysis;
 pub mod ast;
 pub mod engine;
 pub mod parser;
 pub mod stdlib;
 pub mod wm;
 
+pub use analysis::{Analyzer, BeanSchema, BeanType, Diagnostic, EffectTable, LintCode, Severity};
 pub use ast::{Action, Cmp, Condition, Expr, OpCall, Rule, RuleSet};
 pub use engine::{EngineError, Firing, RuleEngine};
-pub use parser::{parse_rules, ParseError};
+pub use parser::{parse_rules, parse_rules_spanned, ParseError, SourceMap};
 pub use wm::{ParamTable, WorkingMemory};
 
 /// Canonical operation names fired by the standard rule libraries.

@@ -37,7 +37,41 @@
 //! Line comments `//` and block comments `/* */` are supported.
 
 use crate::ast::{Action, Cmp, Condition, Expr, Rule, RuleSet};
+use std::collections::BTreeMap;
 use std::fmt;
+
+/// Source positions of the rules in a parsed program, keyed by rule name.
+///
+/// `Rule` itself carries no span (it can be built programmatically and is
+/// compared structurally), so the parser reports positions out-of-band for
+/// diagnostics such as the ones `crate::analysis` emits.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SourceMap {
+    spans: BTreeMap<String, (u32, u32)>,
+}
+
+impl SourceMap {
+    /// 1-based (line, column) of the rule-name token, if the rule came from
+    /// this source text.
+    pub fn span(&self, rule: &str) -> Option<(u32, u32)> {
+        self.spans.get(rule).copied()
+    }
+
+    /// Records the position of a rule's name token.
+    pub fn insert(&mut self, rule: impl Into<String>, line: u32, col: u32) {
+        self.spans.insert(rule.into(), (line, col));
+    }
+
+    /// Number of rules with a recorded span.
+    pub fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// True when no spans were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+}
 
 /// A parse failure with 1-based line/column of the offending token.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -390,23 +424,42 @@ impl Parser {
         matches!(&self.peek().tok, Tok::Ident(s) if s == kw)
     }
 
-    fn parse_program(&mut self) -> Result<RuleSet, ParseError> {
+    fn parse_program(&mut self) -> Result<(RuleSet, SourceMap), ParseError> {
         let mut set = RuleSet::new();
+        let mut spans = SourceMap::default();
         while !matches!(self.peek().tok, Tok::Eof) {
-            let rule = self.parse_rule()?;
+            let (rule, (line, col)) = self.parse_rule()?;
             if set.get(&rule.name).is_some() {
-                return Err(self.err_here(format!("duplicate rule name `{}`", rule.name)));
+                let (l0, c0) = spans.span(&rule.name).unwrap_or((0, 0));
+                return Err(ParseError::new(
+                    format!(
+                        "duplicate rule name `{}` (first defined at {l0}:{c0})",
+                        rule.name
+                    ),
+                    line,
+                    col,
+                ));
             }
+            spans.insert(rule.name.clone(), line, col);
             set.push(rule);
         }
-        Ok(set)
+        Ok((set, spans))
     }
 
-    fn parse_rule(&mut self) -> Result<Rule, ParseError> {
+    /// Parses one rule; also returns the (line, col) of its name token.
+    fn parse_rule(&mut self) -> Result<(Rule, (u32, u32)), ParseError> {
         self.expect_kw("rule")?;
-        let name = match self.bump().tok {
+        let name_tok = self.bump();
+        let span = (name_tok.line, name_tok.col);
+        let name = match name_tok.tok {
             Tok::Str(s) => s,
-            other => return Err(self.err_here(format!("expected rule name string, found {other}"))),
+            other => {
+                return Err(ParseError::new(
+                    format!("expected rule name string, found {other}"),
+                    name_tok.line,
+                    name_tok.col,
+                ))
+            }
         };
         let mut salience = 0;
         let mut edge = false;
@@ -440,7 +493,7 @@ impl Parser {
         if edge {
             rule = rule.edge_triggered();
         }
-        Ok(rule)
+        Ok((rule, span))
     }
 
     fn parse_or(&mut self) -> Result<Condition, ParseError> {
@@ -578,6 +631,12 @@ impl Parser {
 
 /// Parses a rule program from text.
 pub fn parse_rules(src: &str) -> Result<RuleSet, ParseError> {
+    parse_rules_spanned(src).map(|(set, _)| set)
+}
+
+/// Parses a rule program from text, also returning the [`SourceMap`] of
+/// per-rule positions for use in diagnostics.
+pub fn parse_rules_spanned(src: &str) -> Result<(RuleSet, SourceMap), ParseError> {
     let toks = Lexer::new(src).tokenize()?;
     let mut p = Parser { toks, pos: 0 };
     p.parse_program()
@@ -781,6 +840,24 @@ mod tests {
         )
         .unwrap_err();
         assert!(err.message.contains("duplicate"), "{err}");
+        // Points at the *duplicate's* name token and cites the first site.
+        assert_eq!(err.line, 3);
+        assert_eq!(err.col, 18);
+        assert!(err.message.contains("first defined at 2:18"), "{err}");
+    }
+
+    #[test]
+    fn spanned_parse_records_rule_positions() {
+        let (set, spans) = parse_rules_spanned(
+            "rule \"a\" when true then end\n  rule \"b\"\nwhen true then end\n",
+        )
+        .unwrap();
+        assert_eq!(set.len(), 2);
+        assert_eq!(spans.span("a"), Some((1, 6)));
+        assert_eq!(spans.span("b"), Some((2, 8)));
+        assert_eq!(spans.span("missing"), None);
+        assert_eq!(spans.len(), 2);
+        assert!(!spans.is_empty());
     }
 
     #[test]

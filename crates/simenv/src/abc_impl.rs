@@ -8,9 +8,20 @@
 //! policy/mechanism separation made concrete.
 
 use crate::models::SimState;
-use bskel_core::abc::{Abc, AbcError, ActuationOutcome, ManagerOp};
+use bskel_core::abc::{standard_schema, Abc, AbcError, ActuationOutcome, ManagerOp};
 use bskel_monitor::{SensorSnapshot, Time};
+use bskel_rules::analysis::{BeanSchema, BeanType};
 use std::sync::{Arc, Mutex};
+
+/// The beans a [`SimAbc`] publishes: the standard ABC schema plus the
+/// simulator-only extras attached by the cost model
+/// (`failedWorkers` for the fault injector, `speedGainRatio` for the
+/// migration policy).
+pub fn sim_bean_schema() -> BeanSchema {
+    standard_schema()
+        .bean("failedWorkers", BeanType::Count)
+        .bean("speedGainRatio", BeanType::Rate)
+}
 
 /// Which stage of the simulated application an ABC fronts.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -54,6 +65,10 @@ impl Abc for SimAbc {
                 snap
             }
         }
+    }
+
+    fn bean_schema(&self) -> BeanSchema {
+        sim_bean_schema()
     }
 
     fn actuate(&mut self, op: &ManagerOp, _now: Time) -> Result<ActuationOutcome, AbcError> {

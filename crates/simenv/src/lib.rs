@@ -39,6 +39,7 @@ pub mod resources;
 pub mod scenario;
 pub mod trace;
 
+pub use abc_impl::{sim_bean_schema, SimAbc, SimRole};
 pub use des::EventQueue;
 pub use net::SslCostModel;
 pub use node::{Node, NodeId, NodeRegistry};

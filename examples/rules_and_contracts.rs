@@ -12,6 +12,8 @@
 
 use bskel::core::bs::BsExpr;
 use bskel::core::contract::{split::split, Contract};
+use bskel::core::standard_schema;
+use bskel::rules::analysis::{Analyzer, BeanType};
 use bskel::rules::{parse_rules, ParamTable, RuleEngine, WorkingMemory};
 
 fn main() {
@@ -56,6 +58,19 @@ fn main() {
         "at night, idle: fired {:?}",
         fired.iter().map(|f| &f.rule).collect::<Vec<_>>()
     );
+
+    // 1b. Static analysis: lint the policy before trusting it to a
+    //     manager. `offPeak` is a bean *our* ABC publishes — against the
+    //     standard schema the analyzer flags it, and declaring the bean
+    //     (as a custom `Abc::bean_schema` override would) clears it.
+    println!("\nrulelint against the standard ABC schema:");
+    for d in Analyzer::new(standard_schema()).analyze(engine.rules(), Some(&params), None) {
+        println!("  {d}");
+    }
+    let ours = standard_schema().bean("offPeak", BeanType::Flag);
+    let clean = Analyzer::new(ours).analyze(engine.rules(), Some(&params), None);
+    println!("with `offPeak` declared: {} findings\n", clean.len());
+    assert!(clean.is_empty());
 
     // 2. Contracts: build, validate, inspect.
     let sla = Contract::all([

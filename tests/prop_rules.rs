@@ -1,8 +1,13 @@
 //! Property-based tests of the rule language: render → parse round-trips,
-//! and engine semantics under random programs.
+//! engine semantics under random programs, and soundness of the static
+//! analyzer's verdicts against engine evaluation.
 
 use proptest::prelude::*;
 
+use bskel::core::standard_schema;
+use bskel::rules::analysis::{
+    bind_params, satisfiable, Analyzer, BeanSchema, BeanType, LintCode, Proof,
+};
 use bskel::rules::{
     parse_rules, Action, Cmp, Condition, Expr, ParamTable, Rule, RuleEngine, RuleSet, WorkingMemory,
 };
@@ -180,6 +185,146 @@ proptest! {
             .map(|f| f.rule)
             .collect();
         prop_assert_eq!(fired, expected);
+    }
+}
+
+/// The fixed analyzer environment matching [`rewrite`]: eight real-valued
+/// beans and the single parameter `$P`.
+fn prop_schema() -> BeanSchema {
+    (0..8)
+        .fold(BeanSchema::new(), |s, i| {
+            s.bean(format!("b{i}"), BeanType::Real)
+        })
+        .param("P")
+}
+
+proptest! {
+    /// Soundness of the satisfiability oracle on random closed conditions:
+    /// `Unsat` conditions are false in every sampled state, a `Sat`
+    /// witness really satisfies the condition, and a proven tautology
+    /// holds in every sampled state. (`Unknown` claims nothing.)
+    #[test]
+    fn satisfiability_proofs_are_sound(
+        c in condition(),
+        bean_vals in proptest::collection::vec(0.0f64..10.0, 8),
+    ) {
+        let beans: Vec<String> = (0..8).map(|i| format!("b{i}")).collect();
+        let params = ParamTable::new().with("P", 5.0);
+        let cond = bind_params(&rewrite(&c, &beans), &params);
+        let mut wm = WorkingMemory::new();
+        for (name, &v) in beans.iter().zip(&bean_vals) {
+            wm.insert(name.clone(), v);
+        }
+        match satisfiable(&cond, &prop_schema()) {
+            Proof::Unsat => prop_assert!(
+                !cond.eval(&wm, &params).expect("closed"),
+                "proven-unsat condition held at {wm}: {cond}"
+            ),
+            Proof::Sat(witness) => {
+                let wit = WorkingMemory::from_beans(witness);
+                prop_assert!(
+                    cond.eval(&wit, &params).expect("closed"),
+                    "witness {wit} does not satisfy {cond}"
+                );
+            }
+            Proof::Unknown => {}
+        }
+        let negated = Condition::Not(Box::new(cond.clone()));
+        if satisfiable(&negated, &prop_schema()) == Proof::Unsat {
+            prop_assert!(
+                cond.eval(&wm, &params).expect("closed"),
+                "proven tautology false at {wm}: {cond}"
+            );
+        }
+    }
+
+    /// The analyzer's per-rule verdicts agree with engine evaluation in
+    /// every sampled state: a rule flagged unsatisfiable never fires, a
+    /// flagged tautology always fires, and a shadowed rule never fires
+    /// without its shadower.
+    #[test]
+    fn analyzer_verdicts_agree_with_engine(
+        rules in proptest::collection::vec(rule(), 1..6),
+        bean_vals in proptest::collection::vec(0.0f64..10.0, 8),
+    ) {
+        let beans: Vec<String> = (0..8).map(|i| format!("b{i}")).collect();
+        let params = ParamTable::new().with("P", 5.0);
+        let mut wm = WorkingMemory::new();
+        for (name, &v) in beans.iter().zip(&bean_vals) {
+            wm.insert(name.clone(), v);
+        }
+        let rewritten: Vec<Rule> = rules
+            .into_iter()
+            .enumerate()
+            .map(|(i, mut r)| {
+                r.name = format!("r{i}");
+                r.when = rewrite(&r.when, &beans);
+                r
+            })
+            .collect();
+        let set: RuleSet = rewritten.into_iter().collect();
+        let diags = Analyzer::new(prop_schema()).analyze(&set, Some(&params), None);
+        for d in &diags {
+            let fires = |name: &str| {
+                set.get(name)
+                    .expect("diagnostic names a rule in the set")
+                    .when
+                    .eval(&wm, &params)
+                    .expect("closed condition")
+            };
+            match d.code {
+                LintCode::Unsatisfiable => prop_assert!(!fires(&d.rule), "{d}"),
+                LintCode::Tautology => prop_assert!(fires(&d.rule), "{d}"),
+                LintCode::Shadowed => {
+                    let peer = d.peer.as_deref().expect("shadow has a peer");
+                    prop_assert!(!fires(&d.rule) || fires(peer), "{d}");
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Threshold pairs separated by a dead band are never reported as
+    /// oscillating: the analyzer recognises the damping guard for any
+    /// `lo <= hi` (the Fig. 5 pattern).
+    #[test]
+    fn dead_band_programs_never_flag_oscillation(
+        lo in 0.0f64..5.0,
+        gap in 0.0f64..5.0,
+    ) {
+        let hi = lo + gap;
+        let text = format!(
+            "rule \"grow\" when departureRate < {lo:.4} then fire(ADD_EXECUTOR); end\n\
+             rule \"shrink\" when departureRate > {hi:.4} then fire(REMOVE_EXECUTOR); end\n"
+        );
+        let set = parse_rules(&text).expect("well-formed program");
+        let diags = Analyzer::new(standard_schema()).analyze(&set, None, None);
+        prop_assert!(
+            diags.iter().all(|d| d.code != LintCode::Oscillation),
+            "damped pair flagged: {diags:?}"
+        );
+    }
+
+    /// Conversely, overlapping grow/shrink thresholds (no dead band) are
+    /// always caught.
+    #[test]
+    fn overlapping_thresholds_always_flag_oscillation(
+        lo in 0.0f64..5.0,
+        gap in 0.01f64..5.0,
+    ) {
+        let hi = lo + gap;
+        // Grow below the *upper* threshold, shrink above the lower one:
+        // every point in (lo, hi) enables both.
+        let text = format!(
+            "rule \"grow\" when departureRate < {hi:.4} then fire(ADD_EXECUTOR); end\n\
+             rule \"shrink\" when departureRate > {lo:.4} then fire(REMOVE_EXECUTOR); end\n"
+        );
+        let set = parse_rules(&text).expect("well-formed program");
+        let diags = Analyzer::new(standard_schema()).analyze(&set, None, None);
+        prop_assert!(
+            diags.iter().any(|d| d.code == LintCode::Oscillation),
+            "undamped pair not flagged (lo={lo}, hi={hi}): {diags:?}"
+        );
     }
 }
 

@@ -1,0 +1,223 @@
+//! Integration coverage for the rule-program static analyzer: one fixture
+//! per diagnostic class, exercised through the public `bskel` facade the
+//! way an embedding application would, plus the "paper programs are clean"
+//! guarantees.
+
+use bskel::core::standard_schema;
+use bskel::rules::analysis::{has_errors, Analyzer, LintCode, Severity};
+use bskel::rules::{parse_rules_spanned, stdlib, ParamTable};
+
+fn lint(src: &str) -> Vec<bskel::rules::analysis::Diagnostic> {
+    let (set, spans) = parse_rules_spanned(src).expect("fixture parses");
+    Analyzer::new(standard_schema()).analyze(&set, None, Some(&spans))
+}
+
+#[test]
+fn class1_unknown_bean_is_an_error_with_span() {
+    let diags =
+        lint("rule \"watch\"\nwhen\n    queueLenght > 10\nthen\n    fire(BALANCE_LOAD);\nend\n");
+    let d = diags
+        .iter()
+        .find(|d| d.code == LintCode::UnknownBean)
+        .expect("unknown bean flagged");
+    assert_eq!(d.severity, Severity::Error);
+    assert_eq!(d.rule, "watch");
+    assert_eq!(d.span, Some((1, 6)));
+    assert!(d.message.contains("queueLenght"), "{d}");
+}
+
+#[test]
+fn class1_flag_bean_type_confusion_is_an_error() {
+    // `endOfStream` is a 0/1 flag; comparing it against a rate bean is a
+    // category error the engine would happily evaluate.
+    let diags = lint(
+        "rule \"confused\"\nwhen\n    endOfStream > arrivalRate\nthen\n    fire(DEC_RATE);\nend\n",
+    );
+    assert!(
+        diags
+            .iter()
+            .any(|d| d.code == LintCode::TypeError && d.severity == Severity::Error),
+        "{diags:?}"
+    );
+}
+
+#[test]
+fn class2_unsatisfiable_condition_is_an_error() {
+    let diags = lint(
+        "rule \"never\"\nwhen\n    departureRate > 5 && departureRate < 3\nthen\n    \
+         fire(ADD_EXECUTOR);\nend\n",
+    );
+    let d = diags
+        .iter()
+        .find(|d| d.code == LintCode::Unsatisfiable)
+        .expect("unsat flagged");
+    assert_eq!(d.severity, Severity::Error);
+}
+
+#[test]
+fn class2_tautology_on_the_bean_domain_is_a_warning() {
+    // Rates are non-negative by construction, so `arrivalRate >= 0` holds
+    // in every published sensor state.
+    let diags =
+        lint("rule \"always\"\nwhen\n    arrivalRate >= 0\nthen\n    fire(BALANCE_LOAD);\nend\n");
+    let d = diags
+        .iter()
+        .find(|d| d.code == LintCode::Tautology)
+        .expect("tautology flagged");
+    assert_eq!(d.severity, Severity::Warning);
+}
+
+#[test]
+fn class3_shadowed_rule_with_opposing_action_is_an_error() {
+    // Whenever `shrink_hard` fires (rate > 9), the strictly stronger and
+    // higher-salience `grow_panic` (rate > 5) fires too and adds the
+    // worker right back in the same cycle.
+    let diags = lint(
+        "rule \"grow_panic\" salience 10\nwhen\n    departureRate > 5\nthen\n    \
+         fire(ADD_EXECUTOR);\nend\n\
+         rule \"shrink_hard\"\nwhen\n    departureRate > 9\nthen\n    \
+         fire(REMOVE_EXECUTOR);\nend\n",
+    );
+    let d = diags
+        .iter()
+        .find(|d| d.code == LintCode::Shadowed)
+        .expect("shadowing flagged");
+    assert_eq!(d.severity, Severity::Error);
+    assert_eq!(d.rule, "shrink_hard");
+    assert_eq!(d.peer.as_deref(), Some("grow_panic"));
+}
+
+#[test]
+fn class4_undamped_grow_shrink_pair_is_an_error() {
+    let diags = lint(
+        "rule \"grow\"\nwhen\n    departureRate < 10\nthen\n    fire(ADD_EXECUTOR);\nend\n\
+         rule \"shrink\"\nwhen\n    departureRate > 5\nthen\n    fire(REMOVE_EXECUTOR);\nend\n",
+    );
+    let d = diags
+        .iter()
+        .find(|d| d.code == LintCode::Oscillation)
+        .expect("oscillation flagged");
+    assert_eq!(d.severity, Severity::Error);
+    assert!(d.message.contains("dead band"), "{d}");
+}
+
+#[test]
+fn class5_cross_manager_conflict_is_detected() {
+    let analyzer = Analyzer::new(standard_schema());
+    let (perf, _) = parse_rules_spanned(
+        "rule \"shed\"\nwhen\n    departureRate > 0.7\nthen\n    fire(REMOVE_EXECUTOR);\nend\n",
+    )
+    .unwrap();
+    let (ft, _) = parse_rules_spanned(
+        "rule \"replace\"\nwhen\n    numWorkers < 6\nthen\n    fire(ADD_EXECUTOR);\nend\n",
+    )
+    .unwrap();
+    let diags = analyzer.check_conflicts(("ft", &ft, None), ("perf", &perf, None));
+    let d = diags
+        .iter()
+        .find(|d| d.code == LintCode::Conflict)
+        .expect("conflict flagged");
+    assert_eq!(d.severity, Severity::Error);
+    assert_eq!(d.rule, "ft:replace");
+    assert_eq!(d.peer.as_deref(), Some("perf:shed"));
+    assert!(d.message.contains("parDegree"), "{d}");
+}
+
+#[test]
+fn fig5_program_is_clean_symbolically_and_bound() {
+    let (set, spans) = parse_rules_spanned(stdlib::FARM_RULES_TEXT).unwrap();
+    let analyzer = Analyzer::new(standard_schema());
+    let symbolic = analyzer.analyze(&set, None, Some(&spans));
+    assert!(symbolic.is_empty(), "{symbolic:?}");
+    // Fig. 3's contract (minThroughput 0.6) makes the shedding rules
+    // dormant — a warning, never an error.
+    let bound = analyzer.analyze(
+        &set,
+        Some(&stdlib::farm_params(0.6, f64::INFINITY, 1, 16, 4.0)),
+        Some(&spans),
+    );
+    assert!(!has_errors(&bound), "{bound:?}");
+    // With an ordered throughput stripe there is a dead band: fully clean.
+    let striped = analyzer.analyze(
+        &set,
+        Some(&stdlib::farm_params(0.3, 0.7, 1, 16, 4.0)),
+        Some(&spans),
+    );
+    assert!(striped.is_empty(), "{striped:?}");
+}
+
+#[test]
+fn every_shipped_program_is_error_free_symbolically() {
+    // The simulator schema is the standard one plus the simulator-only
+    // beans (`failedWorkers`, `speedGainRatio`) the migration program
+    // reads, so it accepts all five shipped programs.
+    let analyzer = Analyzer::new(bskel::sim::sim_bean_schema());
+    for (name, text) in [
+        ("farm", stdlib::FARM_RULES_TEXT),
+        ("pipeline", stdlib::PIPELINE_RULES_TEXT),
+        ("producer", stdlib::PRODUCER_RULES_TEXT),
+        ("fault", stdlib::FAULT_RULES_TEXT),
+        ("migrate", stdlib::MIGRATE_RULES_TEXT),
+    ] {
+        let (set, spans) = parse_rules_spanned(text).expect(name);
+        let diags = analyzer.analyze(&set, None, Some(&spans));
+        assert!(!has_errors(&diags), "{name}: {diags:?}");
+    }
+}
+
+#[test]
+fn dormant_rule_under_besteffort_params_stays_a_warning() {
+    let (set, _) = parse_rules_spanned(stdlib::FARM_RULES_TEXT).unwrap();
+    // BestEffort derives the degenerate stripe (0, +inf): the threshold
+    // rules can never fire, but that is an intended no-op configuration.
+    let params = stdlib::farm_params(0.0, f64::INFINITY, 1, 64, 4.0);
+    let diags = Analyzer::new(standard_schema()).analyze(&set, Some(&params), None);
+    assert!(!has_errors(&diags), "{diags:?}");
+    assert!(
+        diags
+            .iter()
+            .any(|d| d.code == LintCode::Unsatisfiable && d.severity == Severity::Warning),
+        "{diags:?}"
+    );
+}
+
+#[test]
+fn migrate_schema_needs_the_simulator_extension() {
+    // `speedGainRatio` is a simulator-published bean: against the bare
+    // standard schema the migration program must be flagged, and the
+    // extended schema (what `SimAbc` reports) must accept it. This pins
+    // the "lint against the ABC that will actually run you" contract.
+    let (set, spans) = parse_rules_spanned(stdlib::MIGRATE_RULES_TEXT).unwrap();
+    let bare = Analyzer::new(standard_schema()).analyze(&set, None, Some(&spans));
+    assert!(
+        bare.iter()
+            .any(|d| d.code == LintCode::UnknownBean && d.message.contains("speedGainRatio")),
+        "bare standard schema should reject `speedGainRatio`: {bare:?}"
+    );
+    let extended = Analyzer::new(bskel::sim::sim_bean_schema()).analyze(&set, None, Some(&spans));
+    assert!(!has_errors(&extended), "{extended:?}");
+}
+
+#[test]
+fn duplicate_rule_names_point_at_both_sites() {
+    let err = parse_rules_spanned(
+        "rule \"twice\" when true then fire(BALANCE_LOAD); end\n\
+         rule \"twice\" when false then end\n",
+    )
+    .unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("duplicate rule name `twice`"), "{msg}");
+    assert!(msg.contains("first defined at 1:6"), "{msg}");
+    assert!(msg.contains("2:6"), "{msg}");
+}
+
+#[test]
+fn analyzer_is_reachable_with_params_through_the_facade() {
+    // Smoke for the embedding path: parse → bind → analyze, all through
+    // `bskel::rules`.
+    let (set, spans) =
+        parse_rules_spanned("rule \"r\"\nwhen\n    departureRate < $FLOOR\nthen\nend\n").unwrap();
+    let params = ParamTable::new().with("FLOOR", 0.5);
+    let diags = Analyzer::new(standard_schema()).analyze(&set, Some(&params), Some(&spans));
+    assert!(diags.is_empty(), "{diags:?}");
+}
