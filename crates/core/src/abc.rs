@@ -31,6 +31,8 @@ pub fn standard_schema() -> BeanSchema {
         .bean(beans::END_OF_STREAM, BeanType::Flag)
         .bean(beans::IDLE_FOR, BeanType::Seconds)
         .bean(beans::RECONFIGURING, BeanType::Flag)
+        .bean(beans::WORKERS_LOST, BeanType::Count)
+        .bean(beans::FT_MIN_WORKERS, BeanType::Count)
         .bean(hier_beans::VIOL_NOT_ENOUGH, BeanType::Flag)
         .bean(hier_beans::VIOL_TOO_MUCH, BeanType::Flag)
         .bean(hier_beans::END_STREAM, BeanType::Flag)

@@ -48,6 +48,9 @@ pub enum EventKind {
     EnterPassive,
     /// A channel to a node was secured (security concern actuation).
     Secured,
+    /// Workers were lost to failures since the previous control cycle
+    /// (fault-tolerance concern; detail carries the delta).
+    WorkerLost,
     /// Free-form event (substrate extensions).
     Other(String),
 }
@@ -71,6 +74,7 @@ impl EventKind {
             EventKind::EnterActive => "enterActive",
             EventKind::EnterPassive => "enterPassive",
             EventKind::Secured => "secured",
+            EventKind::WorkerLost => "workerLost",
             EventKind::Other(s) => s,
         }
     }

@@ -560,6 +560,20 @@ impl AutonomicManager {
 
         let snap = self.abc.sense(now);
         let reconfiguring = snap.reconfiguring;
+        // Failure sensing: a rise in the cumulative `workersLost` bean is
+        // logged even during a blackout — the FT rules may be the only
+        // thing that ever reacts to it.
+        let prev_lost = self
+            .last_snapshot
+            .as_ref()
+            .map_or(0, |prev| prev.workers_lost);
+        if snap.workers_lost > prev_lost {
+            self.emit(
+                now,
+                EventKind::WorkerLost,
+                Some(format!("{}", snap.workers_lost - prev_lost)),
+            );
+        }
         self.last_snapshot = Some(snap.clone());
 
         // Sensor blackout during reconfiguration (paper: "No sensor data is
@@ -977,6 +991,43 @@ mod tests {
         m.control_cycle(0.0);
         assert_eq!(m.contract(), &Contract::throughput_range(0.3, 0.7));
         assert!(!m.log().of_kind(&EventKind::NewContract).is_empty());
+    }
+
+    #[test]
+    fn rise_in_workers_lost_emits_one_delta_event() {
+        let mut lost2 = farm_snap(0.5, 0.5, 2, 0.0);
+        lost2.workers_lost = 2;
+        let (mut m, _) = farm_manager(vec![
+            farm_snap(0.5, 0.5, 4, 0.0),
+            lost2.clone(),
+            lost2, // plateau: cumulative bean unchanged
+        ]);
+        m.contract_slot().post(Contract::BestEffort);
+        m.control_cycle(0.0);
+        assert!(m.log().of_kind(&EventKind::WorkerLost).is_empty());
+        m.control_cycle(1.0);
+        let events = m.log().of_kind(&EventKind::WorkerLost);
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].detail.as_deref(), Some("2"));
+        // No new losses: no new event.
+        m.control_cycle(2.0);
+        assert_eq!(m.log().of_kind(&EventKind::WorkerLost).len(), 1);
+    }
+
+    #[test]
+    fn workers_lost_is_sensed_through_a_blackout() {
+        let mut lost = farm_snap(0.5, 0.5, 3, 0.0);
+        lost.workers_lost = 1;
+        lost.reconfiguring = true;
+        let (mut m, _) = farm_manager(vec![farm_snap(0.5, 0.5, 4, 0.0), lost]);
+        m.contract_slot().post(Contract::BestEffort);
+        m.control_cycle(0.0);
+        m.control_cycle(1.0);
+        assert_eq!(
+            m.log().of_kind(&EventKind::WorkerLost).len(),
+            1,
+            "failure sensing must not be suppressed by the blackout"
+        );
     }
 
     #[test]

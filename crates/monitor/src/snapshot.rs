@@ -34,6 +34,11 @@ pub mod beans {
     pub const IDLE_FOR: &str = "idleFor";
     /// 1.0 while a reconfiguration is in progress (sensor blackout).
     pub const RECONFIGURING: &str = "reconfiguring";
+    /// Cumulative workers lost to faults (panics, injected kills).
+    pub const WORKERS_LOST: &str = "workersLost";
+    /// The fault-tolerance parallelism floor the manager must restore
+    /// after failures (0 = no floor configured).
+    pub const FT_MIN_WORKERS: &str = "ftMinWorkers";
 }
 
 /// A point-in-time reading of every sensor a skeleton ABC exposes.
@@ -62,6 +67,10 @@ pub struct SensorSnapshot {
     pub idle_for: f64,
     /// Whether a reconfiguration is in progress (sensors are stale).
     pub reconfiguring: bool,
+    /// Cumulative workers lost to faults.
+    pub workers_lost: u64,
+    /// Configured fault-tolerance parallelism floor (0 = none).
+    pub ft_min_workers: u32,
     /// Additional substrate-specific beans.
     pub extra: Vec<(String, f64)>,
 }
@@ -80,6 +89,8 @@ impl SensorSnapshot {
             end_of_stream: false,
             idle_for: f64::INFINITY,
             reconfiguring: false,
+            workers_lost: 0,
+            ft_min_workers: 0,
             extra: Vec::new(),
         }
     }
@@ -93,7 +104,7 @@ impl SensorSnapshot {
     /// Flattens the snapshot to `(bean name, value)` pairs for a rule
     /// engine's working memory. Booleans encode as 0.0/1.0.
     pub fn to_beans(&self) -> Vec<(String, f64)> {
-        let mut out = Vec::with_capacity(9 + self.extra.len());
+        let mut out = Vec::with_capacity(11 + self.extra.len());
         out.push((beans::ARRIVAL_RATE.to_owned(), self.arrival_rate));
         out.push((beans::DEPARTURE_RATE.to_owned(), self.departure_rate));
         out.push((beans::NUM_WORKERS.to_owned(), f64::from(self.num_workers)));
@@ -108,6 +119,11 @@ impl SensorSnapshot {
         out.push((
             beans::RECONFIGURING.to_owned(),
             if self.reconfiguring { 1.0 } else { 0.0 },
+        ));
+        out.push((beans::WORKERS_LOST.to_owned(), self.workers_lost as f64));
+        out.push((
+            beans::FT_MIN_WORKERS.to_owned(),
+            f64::from(self.ft_min_workers),
         ));
         out.extend(self.extra.iter().cloned());
         out
@@ -183,6 +199,8 @@ mod tests {
             beans::END_OF_STREAM,
             beans::IDLE_FOR,
             beans::RECONFIGURING,
+            beans::WORKERS_LOST,
+            beans::FT_MIN_WORKERS,
         ] {
             assert_eq!(
                 all.iter().filter(|(n, _)| n == name).count(),

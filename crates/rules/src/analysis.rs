@@ -189,6 +189,9 @@ impl EffectTable {
                 "speedGainRatio",
                 Dir::Down,
             )
+            .actuator(crate::stdlib::KILL_WORKER_OP, "parDegree", Dir::Down)
+            .bean_effect(crate::stdlib::KILL_WORKER_OP, "numWorkers", Dir::Down)
+            .bean_effect(crate::stdlib::KILL_WORKER_OP, "workersLost", Dir::Up)
     }
 
     /// Annotates an operation with a monotone effect on a sensed bean.

@@ -121,6 +121,12 @@ pub fn migrate_rules() -> RuleSet {
 /// that support live migration, e.g. the simulator's farm).
 pub const MIGRATE_SLOWEST_OP: &str = "MIGRATE_SLOWEST";
 
+/// Fault-injection operation name: kill one worker abruptly (no graceful
+/// drain). Handled by substrates that support it — the threaded farm's
+/// `kill_workers` actuator — and used by tests, chaos rules and bench
+/// harnesses to exercise the FT rule program.
+pub const KILL_WORKER_OP: &str = "KILL_WORKER";
+
 /// Fig. 5 farm rules + migration rules.
 pub fn farm_rules_with_migration() -> RuleSet {
     let mut set = farm_rules();
@@ -371,12 +377,44 @@ mod tests {
     fn fault_rules_replace_lost_workers() {
         let mut e = RuleEngine::new(fault_rules());
         let p = fault_params(3);
-        let degraded = WorkingMemory::from_beans([("numWorkers", 1.0)]);
+        let degraded = WorkingMemory::from_beans([
+            ("numWorkers", 1.0),
+            ("workersLost", 2.0),
+            ("queueVariance", 0.0),
+        ]);
         let ops = e.cycle_ops(&degraded, &p).unwrap();
         assert_eq!(ops[0].operation, op::ADD_EXECUTOR);
         assert_eq!(ops[0].data.as_deref(), Some("replaceFailed"));
-        let healthy = WorkingMemory::from_beans([("numWorkers", 3.0)]);
+        let healthy = WorkingMemory::from_beans([
+            ("numWorkers", 3.0),
+            ("workersLost", 0.0),
+            ("queueVariance", 0.0),
+        ]);
         assert!(e.cycle_ops(&healthy, &p).unwrap().is_empty());
+    }
+
+    #[test]
+    fn fault_rules_rebalance_after_loss() {
+        // Pool already back at the floor but the survivors inherited the
+        // dead worker's backlog unevenly: only the loss-triggered
+        // rebalance fires.
+        let mut e = RuleEngine::new(fault_rules());
+        let p = fault_params(3);
+        let skewed = WorkingMemory::from_beans([
+            ("numWorkers", 3.0),
+            ("workersLost", 1.0),
+            ("queueVariance", 6.0),
+        ]);
+        let ops = e.cycle_ops(&skewed, &p).unwrap();
+        assert_eq!(ops.len(), 1);
+        assert_eq!(ops[0].operation, op::BALANCE_LOAD);
+        // No losses: skew alone is the performance program's business.
+        let skewed_no_loss = WorkingMemory::from_beans([
+            ("numWorkers", 3.0),
+            ("workersLost", 0.0),
+            ("queueVariance", 6.0),
+        ]);
+        assert!(e.cycle_ops(&skewed_no_loss, &p).unwrap().is_empty());
     }
 
     #[test]
@@ -395,6 +433,7 @@ mod tests {
             ("departureRate", 0.1),
             ("numWorkers", 2.0),
             ("queueVariance", 0.0),
+            ("workersLost", 1.0),
         ]);
         let firings = e.cycle(&wm, &p).unwrap();
         assert_eq!(firings[0].rule, "ReplaceLostWorkers");

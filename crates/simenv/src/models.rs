@@ -175,6 +175,9 @@ pub struct SimState {
     next_epoch: u64,
     /// Workers lost to injected failures (cumulative).
     pub failed_workers: u64,
+    /// FT parallelism floor published as the `ftMinWorkers` bean (0 = no
+    /// fault-tolerance concern configured).
+    pub ft_min_workers: u32,
     /// Tasks re-executed because their worker failed mid-service.
     pub reexecuted_tasks: u64,
     /// Tasks orphaned while no live worker exists (drained on the next
@@ -230,6 +233,7 @@ impl SimState {
             handshakes: 0,
             next_epoch: 0,
             failed_workers: 0,
+            ft_min_workers: 0,
             reexecuted_tasks: 0,
             orphans: Vec::new(),
             trace: Trace::new(),
@@ -674,6 +678,8 @@ impl SimState {
             snap.idle_for = idle;
         }
         // Fault-tolerance beans (see rules/fault.rules).
+        snap.workers_lost = self.failed_workers;
+        snap.ft_min_workers = self.ft_min_workers;
         snap = snap.with_extra("failedWorkers", self.failed_workers as f64);
         // Migration beans (see rules/migrate.rules): how much faster the
         // best free node is than the slowest live worker. 0.0 disables the

@@ -197,6 +197,7 @@ impl FarmScenario {
             self.rate_window,
         );
         state.dispatch = self.dispatch;
+        state.ft_min_workers = self.ft_min_workers.unwrap_or(0);
         for _ in 0..self.initial_workers {
             state
                 .spawn_worker_now()

@@ -12,21 +12,36 @@ use bskel_monitor::{SensorSnapshot, Time};
 use std::sync::Arc;
 
 /// ABC of a farm behavioural skeleton: full sensor set, worker add/remove
-/// and queue rebalancing actuators.
+/// and queue rebalancing actuators, plus the fault-tolerance beans
+/// (`workersLost` / `ftMinWorkers`) matching the simulator's schema so
+/// the shared FT rule program drives both substrates unchanged.
 pub struct FarmAbc {
     ctl: Arc<dyn FarmControl>,
+    /// Parallelism floor published as the `ftMinWorkers` bean (0 = no
+    /// fault-tolerance concern configured).
+    ft_floor: u32,
 }
 
 impl FarmAbc {
     /// Binds to a farm's control surface (see `Farm::control`).
     pub fn new(ctl: Arc<dyn FarmControl>) -> Self {
-        Self { ctl }
+        Self { ctl, ft_floor: 0 }
+    }
+
+    /// Declares a fault-tolerance parallelism floor: the `ftMinWorkers`
+    /// bean the FT rule program (`rules/fault.rules`) restores the pool
+    /// to after failures.
+    pub fn with_ft_floor(mut self, n: u32) -> Self {
+        self.ft_floor = n;
+        self
     }
 }
 
 impl Abc for FarmAbc {
     fn sense(&mut self, now: Time) -> SensorSnapshot {
-        self.ctl.sense(now)
+        let mut snap = self.ctl.sense(now);
+        snap.ft_min_workers = self.ft_floor;
+        snap
     }
 
     fn actuate(&mut self, op: &ManagerOp, _now: Time) -> Result<ActuationOutcome, AbcError> {
@@ -44,6 +59,12 @@ impl Abc for FarmAbc {
             } else {
                 ActuationOutcome::NoOp
             }),
+            // Fault injection (tests, bench harnesses, chaos rules).
+            // The name matches `bskel_rules::stdlib::KILL_WORKER_OP`.
+            ManagerOp::Custom(name) if name == "KILL_WORKER" => match self.ctl.kill_workers(1) {
+                Ok(_) => Ok(ActuationOutcome::Applied),
+                Err(reason) => Ok(ActuationOutcome::Refused { reason }),
+            },
             // Rate and security operations are not a farm's to perform.
             _ => Ok(ActuationOutcome::NoOp),
         }
@@ -199,6 +220,37 @@ mod tests {
             ActuationOutcome::NoOp
         );
 
+        farm.input().send(StreamMsg::End).unwrap();
+        farm.shutdown();
+    }
+
+    #[test]
+    fn farm_abc_publishes_ft_beans_and_kills_on_demand() {
+        let farm = FarmBuilder::from_fn(|x: u64| x).initial_workers(3).build();
+        let mut abc = FarmAbc::new(farm.control()).with_ft_floor(3);
+        let snap = abc.sense(0.0);
+        assert_eq!(snap.ft_min_workers, 3);
+        assert_eq!(snap.workers_lost, 0);
+        assert_eq!(snap.bean("ftMinWorkers"), Some(3.0));
+        assert_eq!(snap.bean("workersLost"), Some(0.0));
+
+        // The KILL_WORKER custom op is the fault-injection actuator.
+        assert_eq!(
+            abc.actuate(&ManagerOp::Custom("KILL_WORKER".into()), 0.0)
+                .unwrap(),
+            ActuationOutcome::Applied
+        );
+        let snap = abc.sense(0.0);
+        assert_eq!(snap.num_workers, 2);
+        assert_eq!(snap.workers_lost, 1);
+        assert_eq!(snap.bean("workersLost"), Some(1.0));
+
+        // Unknown custom ops stay inert.
+        assert_eq!(
+            abc.actuate(&ManagerOp::Custom("NO_SUCH_OP".into()), 0.0)
+                .unwrap(),
+            ActuationOutcome::NoOp
+        );
         farm.input().send(StreamMsg::End).unwrap();
         farm.shutdown();
     }

@@ -77,8 +77,76 @@ pub type WorkerFactory<In, Out> = Arc<dyn Fn() -> Box<dyn FnMut(In) -> Out + Sen
 enum CollectMsg<Out> {
     /// One batch of results from a single worker wake-up.
     Batch(Vec<(u64, Out)>),
+    /// A task was poisoned: its worker panicked while computing it. The
+    /// task is accounted for (no result will ever exist) so the End
+    /// accounting still converges.
+    Lost(u64),
     /// Emitter saw `End` after dispatching this many tasks.
     Total(u64),
+}
+
+/// What kind of fault the farm recorded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FarmEventKind {
+    /// A worker panicked while computing a task (the task is poisoned).
+    WorkerPanic,
+    /// A worker left the pool abruptly (panic or fault injection), its
+    /// queued tasks recovered onto survivors.
+    WorkerLost,
+}
+
+impl FarmEventKind {
+    /// Stable event label (mirrors the manager's event vocabulary).
+    pub fn label(&self) -> &'static str {
+        match self {
+            FarmEventKind::WorkerPanic => "worker:panic",
+            FarmEventKind::WorkerLost => "worker:lost",
+        }
+    }
+}
+
+/// A fault event recorded by the farm substrate (worker panics and
+/// losses), exposed through [`FarmControl::events`] and the
+/// [`ShutdownReport`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct FarmEvent {
+    /// Clock time the fault was recorded.
+    pub at: Time,
+    /// What happened.
+    pub kind: FarmEventKind,
+    /// Human-readable cause (panic message or injection note).
+    pub detail: String,
+}
+
+/// What [`Farm::shutdown`] found when tearing threads down: every panic
+/// that was previously discarded by `let _ = handle.join()` is surfaced
+/// here (and as [`FarmEvent`]s) instead of being silently dropped.
+#[derive(Debug, Default)]
+pub struct ShutdownReport {
+    /// Panic messages from workers (caught in-flight or at join time).
+    pub worker_panics: Vec<String>,
+    /// Cumulative workers lost to faults over the farm's lifetime.
+    pub workers_lost: u64,
+    /// The recorded fault events, in order.
+    pub events: Vec<FarmEvent>,
+}
+
+impl ShutdownReport {
+    /// True when no worker ever panicked or was lost.
+    pub fn is_clean(&self) -> bool {
+        self.worker_panics.is_empty() && self.workers_lost == 0
+    }
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "worker panicked (non-string payload)".to_owned()
+    }
 }
 
 /// The dispatchable face of one worker: its queue plus its published
@@ -103,7 +171,13 @@ impl<In> Clone for WorkerSlot<In> {
 type WorkerTable<In> = Vec<WorkerSlot<In>>;
 
 struct WorkerHandle<In> {
+    /// Stable identity: the death path uses it to tell "still a member"
+    /// (self-removal required) from "already removed by an actuator".
+    id: u64,
     slot: WorkerSlot<In>,
+    /// Fault-injection flag: set by `kill_workers`, observed between
+    /// tasks — the thread dies abruptly from the farm's point of view.
+    kill: Arc<AtomicBool>,
     thread: JoinHandle<()>,
 }
 
@@ -119,6 +193,9 @@ struct FarmMetrics {
     /// worker, read a stale/empty window, add again, …).
     blackout_until_bits: AtomicU64,
     last_arrival_bits: AtomicU64, // f64 time bits
+    /// Cumulative workers lost to faults (panic or injected kill) — the
+    /// `workersLost` bean.
+    workers_lost: AtomicU64,
 }
 
 impl FarmMetrics {
@@ -138,6 +215,10 @@ impl FarmMetrics {
 
 struct Shared<In, Out> {
     name: String,
+    /// Back-reference worker threads upgrade transiently on their death
+    /// path (panic caught or kill flag observed) to hand unprocessed
+    /// tasks back and deregister themselves.
+    self_ref: std::sync::Weak<Shared<In, Out>>,
     metrics: FarmMetrics,
     /// The RCU-published dispatch table: reconfigurations replace it
     /// wholesale, the emitter reads it wait-free via a cached handle.
@@ -149,6 +230,20 @@ struct Shared<In, Out> {
     /// Service cells of retired workers: their samples must keep counting
     /// toward the farm-level service statistic.
     retired_stats: Mutex<Vec<Arc<WelfordCell>>>,
+    /// Join handles of workers that died (panic or kill) rather than
+    /// retiring cooperatively; reaped — not discarded — at shutdown.
+    dead: Mutex<Vec<JoinHandle<()>>>,
+    /// Tasks stranded while no live worker exists; drained into the pool
+    /// by the next `add_workers`.
+    parked: Mutex<Vec<Task<In>>>,
+    /// Panic messages from workers, surfaced in the [`ShutdownReport`].
+    panics: Mutex<Vec<String>>,
+    /// Fault events ([`FarmEventKind::WorkerPanic`]/`WorkerLost`).
+    events: Mutex<Vec<FarmEvent>>,
+    /// Set at teardown: dispatch stops parking undeliverable tasks.
+    terminating: AtomicBool,
+    /// Monotonic source for [`WorkerHandle::id`].
+    next_worker_id: AtomicU64,
     rr_cursor: AtomicUsize,
     factory: WorkerFactory<In, Out>,
     results_tx: Sender<CollectMsg<Out>>,
@@ -159,8 +254,10 @@ struct Shared<In, Out> {
 
 impl<In: Send + 'static, Out: Send + 'static> Shared<In, Out> {
     fn spawn_worker(&self) -> WorkerHandle<In> {
+        let id = self.next_worker_id.fetch_add(1, Ordering::Relaxed);
         let queue = Arc::new(WorkerQueue::new());
         let service = Arc::new(WelfordCell::new());
+        let kill = Arc::new(AtomicBool::new(false));
         let slot = WorkerSlot {
             queue: Arc::clone(&queue),
             service: Arc::clone(&service),
@@ -168,6 +265,8 @@ impl<In: Send + 'static, Out: Send + 'static> Shared<In, Out> {
         let factory = Arc::clone(&self.factory);
         let results = self.results_tx.clone();
         let clock = Arc::clone(&self.metrics.clock);
+        let weak = self.self_ref.clone();
+        let kill_flag = Arc::clone(&kill);
         let name = format!("{}-worker", self.name);
         let thread = std::thread::Builder::new()
             .name(name)
@@ -177,22 +276,161 @@ impl<In: Send + 'static, Out: Send + 'static> Shared<In, Out> {
                 let mut batch: Vec<Task<In>> = Vec::with_capacity(WORKER_BATCH);
                 let mut out: Vec<(u64, Out)> = Vec::with_capacity(WORKER_BATCH);
                 while queue.pop_batch(WORKER_BATCH, &mut batch) {
-                    for task in batch.drain(..) {
+                    // Pop from the back of the reversed batch: FIFO order,
+                    // with the unprocessed remainder still owned by `batch`
+                    // should this thread die mid-batch.
+                    batch.reverse();
+                    while let Some(task) = batch.pop() {
+                        if kill_flag.load(Ordering::SeqCst) {
+                            // Injected fault: die abruptly, handing the
+                            // current task and the remainder back intact.
+                            batch.push(task);
+                            batch.reverse();
+                            if !out.is_empty() {
+                                let _ = results.send(CollectMsg::Batch(std::mem::take(&mut out)));
+                            }
+                            if let Some(shared) = weak.upgrade() {
+                                shared.on_worker_death(id, std::mem::take(&mut batch), None);
+                            }
+                            return;
+                        }
+                        let seq = task.seq;
                         let t0 = clock.now();
-                        let result = work(task.item);
-                        stats.update(clock.now() - t0);
-                        out.push((task.seq, result));
+                        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            work(task.item)
+                        })) {
+                            Ok(result) => {
+                                stats.update(clock.now() - t0);
+                                out.push((seq, result));
+                            }
+                            Err(payload) => {
+                                // The task is poisoned; everything not yet
+                                // started is recovered. Flush finished
+                                // results first so nothing computed is lost.
+                                if !out.is_empty() {
+                                    let _ =
+                                        results.send(CollectMsg::Batch(std::mem::take(&mut out)));
+                                }
+                                let _ = results.send(CollectMsg::Lost(seq));
+                                batch.reverse();
+                                if let Some(shared) = weak.upgrade() {
+                                    shared.on_worker_death(
+                                        id,
+                                        std::mem::take(&mut batch),
+                                        Some(panic_message(payload.as_ref())),
+                                    );
+                                }
+                                return;
+                            }
+                        }
                     }
-                    if results
-                        .send(CollectMsg::Batch(std::mem::take(&mut out)))
-                        .is_err()
+                    if !out.is_empty()
+                        && results
+                            .send(CollectMsg::Batch(std::mem::take(&mut out)))
+                            .is_err()
                     {
                         break; // collector gone: shutting down
                     }
                 }
             })
             .expect("spawn worker thread");
-        WorkerHandle { slot, thread }
+        WorkerHandle {
+            id,
+            slot,
+            kill,
+            thread,
+        }
+    }
+
+    /// A worker thread is dying (caught panic or observed kill flag):
+    /// deregister it if it is still a member — the kill path's actuator
+    /// has already removed it — and recover every unprocessed task it
+    /// held (in-flight remainder plus queued backlog).
+    fn on_worker_death(&self, id: u64, mut leftover: Vec<Task<In>>, panic_msg: Option<String>) {
+        let now = self.metrics.now();
+        let mut workers = self.workers.lock();
+        if let Some(pos) = workers.iter().position(|h| h.id == id) {
+            let victim = workers.remove(pos);
+            // Publish the shrunken table BEFORE closing the dead queue:
+            // a bounced emitter then observes a newer generation and
+            // re-dispatches onto survivors (loss-freedom invariant).
+            self.publish_table(&workers);
+            leftover.extend(victim.slot.queue.close());
+            self.retired_stats.lock().push(victim.slot.service);
+            self.dead.lock().push(victim.thread);
+            self.metrics.workers_lost.fetch_add(1, Ordering::SeqCst);
+            self.events.lock().push(FarmEvent {
+                at: now,
+                kind: FarmEventKind::WorkerLost,
+                detail: panic_msg
+                    .clone()
+                    .unwrap_or_else(|| "worker died".to_owned()),
+            });
+        }
+        self.recover_tasks(&workers, leftover);
+        drop(workers);
+        if let Some(msg) = panic_msg {
+            self.events.lock().push(FarmEvent {
+                at: now,
+                kind: FarmEventKind::WorkerPanic,
+                detail: msg.clone(),
+            });
+            self.panics.lock().push(msg);
+        }
+    }
+
+    /// Re-dispatches recovered tasks round-robin onto the survivors, or
+    /// parks them for the next `add_workers` when no live worker exists.
+    /// Caller holds the membership lock (`survivors` is its contents).
+    fn recover_tasks(&self, survivors: &[WorkerHandle<In>], tasks: Vec<Task<In>>) {
+        if tasks.is_empty() {
+            return;
+        }
+        if survivors.is_empty() {
+            if !self.terminating.load(Ordering::SeqCst) {
+                self.parked.lock().extend(tasks);
+            }
+            return;
+        }
+        for (i, task) in tasks.into_iter().enumerate() {
+            let target = &survivors[i % survivors.len()];
+            let mut one = vec![task];
+            let accepted = target.slot.queue.push_batch(&mut one);
+            debug_assert!(accepted, "survivor queues are open under the lock");
+        }
+    }
+
+    /// Fault injection: abruptly kills `n` workers. Unlike
+    /// [`Shared::remove_workers`] this models failure, not retirement —
+    /// the whole pool may die (tasks park until workers are added), the
+    /// loss is counted in the `workersLost` bean, and no sensor blackout
+    /// hides it from the manager.
+    fn kill_workers(&self, n: u32) -> Result<u32, String> {
+        let mut workers = self.workers.lock();
+        if (workers.len() as u32) < n {
+            return Err(format!("cannot kill {n} of {} workers", workers.len()));
+        }
+        let keep = workers.len() - n as usize;
+        let victims: Vec<WorkerHandle<In>> = workers.split_off(keep);
+        // Same publish-before-close ordering as removal/death.
+        self.publish_table(&workers);
+        let now = self.metrics.now();
+        let mut recovered: Vec<Task<In>> = Vec::new();
+        for victim in victims {
+            victim.kill.store(true, Ordering::SeqCst);
+            recovered.extend(victim.slot.queue.close());
+            self.retired_stats.lock().push(victim.slot.service);
+            self.dead.lock().push(victim.thread);
+            self.metrics.workers_lost.fetch_add(1, Ordering::SeqCst);
+            self.events.lock().push(FarmEvent {
+                at: now,
+                kind: FarmEventKind::WorkerLost,
+                detail: "worker killed (fault injection)".to_owned(),
+            });
+        }
+        self.recover_tasks(&workers, recovered);
+        drop(workers);
+        Ok(n)
     }
 
     /// Re-derives and publishes the dispatch table from the membership
@@ -222,6 +460,9 @@ impl<In: Send + 'static, Out: Send + 'static> Shared<In, Out> {
             workers.push(self.spawn_worker());
         }
         self.publish_table(&workers);
+        // Tasks stranded by a total-failure episode resume here.
+        let parked: Vec<Task<In>> = std::mem::take(&mut *self.parked.lock());
+        self.recover_tasks(&workers, parked);
         drop(workers);
         // Stale pre-reconfiguration windows would bias the next readings:
         // reset the output estimator and keep the sensors blacked out until
@@ -327,6 +568,7 @@ impl<In: Send + 'static, Out: Send + 'static> Shared<In, Out> {
         }
         snap.service_time = service.mean();
         snap.end_of_stream = self.metrics.end_of_stream.load(Ordering::SeqCst);
+        snap.workers_lost = self.metrics.workers_lost.load(Ordering::SeqCst);
         snap.reconfiguring =
             self.metrics.reconfiguring.load(Ordering::SeqCst) || self.metrics.in_blackout(now);
         let bits = self.metrics.last_arrival_bits.load(Ordering::Relaxed);
@@ -349,10 +591,21 @@ impl<In: Send + 'static, Out: Send + 'static> Shared<In, Out> {
             let generation = self.table.generation();
             let table = Arc::clone(reader.get());
             if table.is_empty() {
-                // Tearing down (queues were closed without a successor
-                // table); parity with dropping a running farm.
-                items.clear();
-                return;
+                if self.terminating.load(Ordering::SeqCst) {
+                    // Tearing down; parity with dropping a running farm.
+                    items.clear();
+                    return;
+                }
+                // Every worker died: park the batch for the next
+                // `add_workers` instead of losing it.
+                self.parked.lock().append(items);
+                if self.table.generation() == generation {
+                    return;
+                }
+                // A new table appeared while we parked — reclaim so the
+                // items are not stranded until a later `add_workers`.
+                items.append(&mut self.parked.lock());
+                continue;
             }
             let n = table.len();
             let mut per: Vec<Vec<Task<In>>> = (0..n).map(|_| Vec::new()).collect();
@@ -407,6 +660,20 @@ pub trait FarmControl: Send + Sync {
     fn rebalance(&self) -> bool;
     /// Current parallelism degree.
     fn num_workers(&self) -> usize;
+    /// Fault injection: abruptly kills workers (no cooperative
+    /// retirement, no blackout). Substrates without failure semantics
+    /// keep the default.
+    fn kill_workers(&self, _n: u32) -> Result<u32, String> {
+        Err("kill_workers unsupported by this substrate".to_owned())
+    }
+    /// Cumulative workers lost to faults.
+    fn workers_lost(&self) -> u64 {
+        0
+    }
+    /// Fault events recorded so far (panics, losses), in order.
+    fn events(&self) -> Vec<FarmEvent> {
+        Vec::new()
+    }
 }
 
 impl<In: Send + 'static, Out: Send + 'static> FarmControl for Shared<In, Out> {
@@ -428,6 +695,18 @@ impl<In: Send + 'static, Out: Send + 'static> FarmControl for Shared<In, Out> {
 
     fn num_workers(&self) -> usize {
         self.table.load().len()
+    }
+
+    fn kill_workers(&self, n: u32) -> Result<u32, String> {
+        Shared::kill_workers(self, n)
+    }
+
+    fn workers_lost(&self) -> u64 {
+        self.metrics.workers_lost.load(Ordering::SeqCst)
+    }
+
+    fn events(&self) -> Vec<FarmEvent> {
+        self.events.lock().clone()
     }
 }
 
@@ -530,8 +809,9 @@ impl<In: Send + 'static, Out: Send + 'static> FarmBuilder<In, Out> {
         let (results_tx, results_rx) = unbounded::<CollectMsg<Out>>();
         let (output_tx, output_rx) = unbounded::<StreamMsg<Out>>();
 
-        let shared = Arc::new(Shared {
+        let shared = Arc::new_cyclic(|self_ref| Shared {
             name: self.name.clone(),
+            self_ref: self_ref.clone(),
             metrics: FarmMetrics {
                 clock: Arc::clone(&self.clock),
                 arrivals: AtomicRateEstimator::new(self.rate_window),
@@ -540,11 +820,18 @@ impl<In: Send + 'static, Out: Send + 'static> FarmBuilder<In, Out> {
                 reconfiguring: AtomicBool::new(false),
                 blackout_until_bits: AtomicU64::new(0),
                 last_arrival_bits: AtomicU64::new(0),
+                workers_lost: AtomicU64::new(0),
             },
             table: Arc::new(Published::new(Vec::new())),
             workers: Mutex::new(Vec::new()),
             retired: Mutex::new(Vec::new()),
             retired_stats: Mutex::new(Vec::new()),
+            dead: Mutex::new(Vec::new()),
+            parked: Mutex::new(Vec::new()),
+            panics: Mutex::new(Vec::new()),
+            events: Mutex::new(Vec::new()),
+            terminating: AtomicBool::new(false),
+            next_worker_id: AtomicU64::new(0),
             rr_cursor: AtomicUsize::new(0),
             factory: self.factory,
             results_tx: results_tx.clone(),
@@ -620,6 +907,10 @@ impl<In: Send + 'static, Out: Send + 'static> FarmBuilder<In, Out> {
                 .spawn(move || {
                     let mut reorder = ReorderBuffer::new();
                     let mut done = 0u64;
+                    // Dense output renumbering under ordered gather: an
+                    // explicit counter (not `reorder.next_seq()`) so a
+                    // poisoned task's skipped hole leaves no gap.
+                    let mut emitted = 0u64;
                     let mut expected: Option<u64> = None;
                     for msg in results_rx.iter() {
                         match msg {
@@ -636,14 +927,25 @@ impl<In: Send + 'static, Out: Send + 'static> FarmBuilder<In, Out> {
                                             let _ = output_tx.send(StreamMsg::item(seq, out));
                                         }
                                         GatherPolicy::Ordered => {
-                                            let base = reorder.next_seq();
-                                            for (k, item) in
-                                                reorder.push(seq, out).into_iter().enumerate()
-                                            {
-                                                let _ = output_tx
-                                                    .send(StreamMsg::item(base + k as u64, item));
+                                            for item in reorder.push(seq, out) {
+                                                let _ =
+                                                    output_tx.send(StreamMsg::item(emitted, item));
+                                                emitted += 1;
                                             }
                                         }
+                                    }
+                                }
+                            }
+                            CollectMsg::Lost(seq) => {
+                                // Poisoned by a worker panic: no result
+                                // will ever exist. Account for it so the
+                                // End check converges, and step the
+                                // reorder front over the hole.
+                                done += 1;
+                                if gather == GatherPolicy::Ordered {
+                                    for item in reorder.skip(seq) {
+                                        let _ = output_tx.send(StreamMsg::item(emitted, item));
+                                        emitted += 1;
                                     }
                                 }
                             }
@@ -698,18 +1000,39 @@ impl<In: Send + 'static, Out: Send + 'static> Farm<In, Out> {
         self.shared.table.load().len()
     }
 
-    /// Waits for the stream to complete (End observed on the output side
-    /// by the collector) and tears all threads down.
-    pub fn shutdown(mut self) {
-        self.join_all();
+    /// Cumulative workers lost to faults.
+    pub fn workers_lost(&self) -> u64 {
+        self.shared.metrics.workers_lost.load(Ordering::SeqCst)
     }
 
-    fn join_all(&mut self) {
+    /// Waits for the stream to complete (End observed on the output side
+    /// by the collector) and tears all threads down. The report surfaces
+    /// every worker panic instead of discarding join errors.
+    pub fn shutdown(mut self) -> ShutdownReport {
+        self.join_all()
+    }
+
+    /// Records a join outcome: an `Err` is an un-caught panic (emitter,
+    /// collector, or a worker that died outside `catch_unwind`).
+    fn record_join(&self, who: &str, res: std::thread::Result<()>) {
+        if let Err(payload) = res {
+            let msg = format!("{who}: {}", panic_message(payload.as_ref()));
+            self.shared.events.lock().push(FarmEvent {
+                at: self.shared.metrics.now(),
+                kind: FarmEventKind::WorkerPanic,
+                detail: msg.clone(),
+            });
+            self.shared.panics.lock().push(msg);
+        }
+    }
+
+    fn join_all(&mut self) -> ShutdownReport {
+        self.shared.terminating.store(true, Ordering::SeqCst);
         if let Some(e) = self.emitter.take() {
-            let _ = e.join();
+            self.record_join("emitter", e.join());
         }
         if let Some(c) = self.collector.take() {
-            let _ = c.join();
+            self.record_join("collector", c.join());
         }
         let handles: Vec<WorkerHandle<In>> = std::mem::take(&mut *self.shared.workers.lock());
         for h in &handles {
@@ -717,10 +1040,18 @@ impl<In: Send + 'static, Out: Send + 'static> Farm<In, Out> {
         }
         self.shared.table.publish(Vec::new());
         for h in handles {
-            let _ = h.thread.join();
+            self.record_join("worker", h.thread.join());
         }
         for t in std::mem::take(&mut *self.shared.retired.lock()) {
-            let _ = t.join();
+            self.record_join("retired worker", t.join());
+        }
+        for t in std::mem::take(&mut *self.shared.dead.lock()) {
+            self.record_join("dead worker", t.join());
+        }
+        ShutdownReport {
+            worker_panics: std::mem::take(&mut *self.shared.panics.lock()),
+            workers_lost: self.shared.metrics.workers_lost.load(Ordering::SeqCst),
+            events: std::mem::take(&mut *self.shared.events.lock()),
         }
     }
 }
@@ -730,12 +1061,23 @@ impl<In, Out> Drop for Farm<In, Out> {
         // Best-effort shutdown: close the per-worker queues so workers
         // exit (the emitter, if still running, drops unplaceable tasks).
         // Collector exits when results senders drop.
+        self.shared.terminating.store(true, Ordering::SeqCst);
         let handles: Vec<WorkerHandle<In>> = std::mem::take(&mut *self.shared.workers.lock());
         for h in &handles {
             h.slot.queue.close();
         }
         for h in handles {
-            let _ = h.thread.join();
+            if let Err(payload) = h.thread.join() {
+                // Not silently dropped even on the best-effort path.
+                eprintln!(
+                    "farm {}: worker panicked: {}",
+                    self.shared.name,
+                    panic_message(payload.as_ref())
+                );
+            }
+        }
+        for t in std::mem::take(&mut *self.shared.dead.lock()) {
+            let _ = t.join();
         }
     }
 }
@@ -1013,6 +1355,140 @@ mod tests {
         farm.input().send(StreamMsg::End).unwrap();
         assert!(drain(&farm.output()).is_empty());
         farm.shutdown();
+    }
+
+    #[test]
+    fn panicking_worker_does_not_hang_the_farm() {
+        // The headline bug: one poisoned task used to strand its batch and
+        // the End accounting never converged. Every non-poisoned task must
+        // still be delivered and the stream must End.
+        let farm = FarmBuilder::from_fn(|x: u64| {
+            assert!(x != 13, "poisoned task");
+            x * 2
+        })
+        .initial_workers(4)
+        .build();
+        let tx = farm.input();
+        for i in 0..100 {
+            tx.send(StreamMsg::item(i, i)).unwrap();
+        }
+        tx.send(StreamMsg::End).unwrap();
+        let mut vals: Vec<u64> = drain(&farm.output()).into_iter().map(|(_, v)| v).collect();
+        vals.sort_unstable();
+        let want: Vec<u64> = (0..100).filter(|&x| x != 13).map(|x| x * 2).collect();
+        assert_eq!(vals, want, "every non-poisoned task delivered");
+        // The dying worker deregisters itself on its own thread; give it
+        // a moment if End raced ahead of its bookkeeping.
+        for _ in 0..500 {
+            if farm.workers_lost() == 1 {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        assert_eq!(farm.workers_lost(), 1);
+        assert_eq!(farm.num_workers(), 3, "the panicked worker left the pool");
+        let report = farm.shutdown();
+        assert!(!report.is_clean());
+        assert_eq!(report.worker_panics.len(), 1);
+        assert!(report.worker_panics[0].contains("poisoned task"));
+        assert!(report
+            .events
+            .iter()
+            .any(|e| e.kind == FarmEventKind::WorkerPanic));
+        assert!(report
+            .events
+            .iter()
+            .any(|e| e.kind == FarmEventKind::WorkerLost));
+    }
+
+    #[test]
+    fn panicking_worker_ordered_gather_skips_the_hole() {
+        // Ordered gather must step over the poisoned sequence number and
+        // keep the output densely renumbered.
+        let farm = FarmBuilder::from_fn(|x: u64| {
+            assert!(x != 7, "poisoned task");
+            x
+        })
+        .initial_workers(4)
+        .gather(GatherPolicy::Ordered)
+        .build();
+        let tx = farm.input();
+        for i in 0..50 {
+            tx.send(StreamMsg::item(i, i)).unwrap();
+        }
+        tx.send(StreamMsg::End).unwrap();
+        let results = drain(&farm.output());
+        let want_vals: Vec<u64> = (0..50).filter(|&x| x != 7).collect();
+        let vals: Vec<u64> = results.iter().map(|(_, v)| *v).collect();
+        assert_eq!(vals, want_vals, "order preserved around the hole");
+        let seqs: Vec<u64> = results.iter().map(|(s, _)| *s).collect();
+        assert_eq!(seqs, (0..49).collect::<Vec<_>>(), "dense renumbering");
+        farm.shutdown();
+    }
+
+    #[test]
+    fn kill_workers_recovers_backlog_and_counts_losses() {
+        let farm = FarmBuilder::from_fn(|x: u64| {
+            std::thread::sleep(std::time::Duration::from_micros(200));
+            x
+        })
+        .initial_workers(4)
+        .build();
+        let tx = farm.input();
+        for i in 0..200 {
+            tx.send(StreamMsg::item(i, i)).unwrap();
+        }
+        // Let queues build up, then kill half the pool abruptly.
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        let ctl = farm.control();
+        assert_eq!(ctl.kill_workers(2), Ok(2));
+        assert_eq!(farm.num_workers(), 2);
+        assert_eq!(ctl.workers_lost(), 2);
+        tx.send(StreamMsg::End).unwrap();
+        assert_eq!(drain(&farm.output()).len(), 200, "no task lost");
+        let lost = ctl
+            .events()
+            .iter()
+            .filter(|e| e.kind == FarmEventKind::WorkerLost)
+            .count();
+        assert_eq!(lost, 2);
+        let report = farm.shutdown();
+        assert_eq!(report.workers_lost, 2);
+        assert!(report.worker_panics.is_empty(), "kills are not panics");
+    }
+
+    #[test]
+    fn kill_all_workers_parks_tasks_until_pool_restored() {
+        let farm = FarmBuilder::from_fn(|x: u64| {
+            std::thread::sleep(std::time::Duration::from_micros(500));
+            x
+        })
+        .initial_workers(2)
+        .build();
+        let tx = farm.input();
+        for i in 0..50 {
+            tx.send(StreamMsg::item(i, i)).unwrap();
+        }
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        let ctl = farm.control();
+        assert_eq!(ctl.kill_workers(2), Ok(2));
+        assert_eq!(farm.num_workers(), 0, "whole pool dead");
+        // Undispatched tasks park; restoring capacity resumes them.
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        assert_eq!(ctl.add_workers(2), Ok(2));
+        tx.send(StreamMsg::End).unwrap();
+        assert_eq!(drain(&farm.output()).len(), 50, "parked tasks resumed");
+        assert_eq!(farm.workers_lost(), 2);
+        farm.shutdown();
+    }
+
+    #[test]
+    fn kill_more_than_pool_is_an_error() {
+        let farm = FarmBuilder::from_fn(|x: u64| x).initial_workers(2).build();
+        assert!(farm.control().kill_workers(3).is_err());
+        farm.input().send(StreamMsg::End).unwrap();
+        let report = farm.shutdown();
+        assert!(report.is_clean());
     }
 
     #[test]

@@ -105,6 +105,29 @@ impl FarmControl for GcmMirroredFarm {
     fn num_workers(&self) -> usize {
         self.inner.num_workers()
     }
+
+    fn kill_workers(&self, n: u32) -> Result<u32, String> {
+        let got = self.inner.kill_workers(n)?;
+        // A failure is still a structural change: the self-model drops the
+        // dead worker components so introspection matches reality.
+        let mut m = self.model.lock();
+        let (gcm, fr) = &mut *m;
+        gcm.stop(fr.farm);
+        for _ in 0..got {
+            templates::remove_worker(gcm, fr).map_err(|e| format!("GCM mirror diverged: {e}"))?;
+        }
+        gcm.start(fr.farm)
+            .map_err(|e| format!("GCM mirror failed to restart: {e}"))?;
+        Ok(got)
+    }
+
+    fn workers_lost(&self) -> u64 {
+        self.inner.workers_lost()
+    }
+
+    fn events(&self) -> Vec<crate::farm::FarmEvent> {
+        self.inner.events()
+    }
 }
 
 #[cfg(test)]
@@ -166,6 +189,17 @@ mod tests {
         // Runtime cap is 8; ask for far more in one call.
         assert!(ctl.add_workers(100).is_err());
         assert_eq!(mirror.model_workers(), 2, "mirror untouched on refusal");
+        farm.input().send(StreamMsg::End).unwrap();
+        farm.shutdown();
+    }
+
+    #[test]
+    fn injected_failure_updates_model() {
+        let (farm, mirror) = mirrored_farm(3);
+        let ctl: Arc<dyn FarmControl> = mirror.clone();
+        assert_eq!(ctl.kill_workers(1), Ok(1));
+        assert_eq!(mirror.model_workers(), 2, "dead worker left the model");
+        assert_eq!(ctl.workers_lost(), 1);
         farm.input().send(StreamMsg::End).unwrap();
         farm.shutdown();
     }

@@ -45,7 +45,9 @@ pub mod seq;
 pub mod stream;
 
 pub use abc_impl::{FarmAbc, MapAbc, SourceAbc, StageAbc};
-pub use farm::{Farm, FarmBuilder, GatherPolicy, SchedPolicy};
+pub use farm::{
+    Farm, FarmBuilder, FarmEvent, FarmEventKind, GatherPolicy, SchedPolicy, ShutdownReport,
+};
 pub use gcm_sync::GcmMirroredFarm;
 pub use limiter::PacedSource;
 pub use map::{BroadcastFarm, MapFarm, MapReduceFarm};

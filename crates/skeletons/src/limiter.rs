@@ -15,18 +15,25 @@ pub struct RateKnob {
     bits: AtomicU64,
 }
 
+/// Forces a rate into the knob's sane positive range. `f64::clamp`
+/// propagates NaN, so that case is pinned to the floor explicitly —
+/// an AM actuator fed a degenerate scenario-derived rate must never
+/// panic or poison the knob.
+fn sanitize(rate: f64) -> f64 {
+    if rate.is_nan() {
+        1e-6
+    } else {
+        rate.clamp(1e-6, 1e9)
+    }
+}
+
 impl RateKnob {
-    /// Creates a knob at the given rate.
-    ///
-    /// # Panics
-    /// Panics if `rate` is not positive and finite.
+    /// Creates a knob at the given rate, clamped to a sane positive range
+    /// (same policy as [`RateKnob::set`] — a non-positive or non-finite
+    /// scenario-derived rate must not panic an actuator path).
     pub fn new(rate: f64) -> Arc<Self> {
-        assert!(
-            rate.is_finite() && rate > 0.0,
-            "emission rate must be positive, got {rate}"
-        );
         Arc::new(Self {
-            bits: AtomicU64::new(rate.to_bits()),
+            bits: AtomicU64::new(sanitize(rate).to_bits()),
         })
     }
 
@@ -37,8 +44,7 @@ impl RateKnob {
 
     /// Sets the rate, clamping to a sane positive range.
     pub fn set(&self, rate: f64) {
-        let clamped = rate.clamp(1e-6, 1e9);
-        self.bits.store(clamped.to_bits(), Ordering::Release);
+        self.bits.store(sanitize(rate).to_bits(), Ordering::Release);
     }
 
     /// Multiplies the rate by `factor` (the `ScaleRate` actuator).
@@ -46,7 +52,7 @@ impl RateKnob {
         // A CAS loop keeps concurrent scalings composable.
         loop {
             let cur = self.bits.load(Ordering::Acquire);
-            let new = (f64::from_bits(cur) * factor).clamp(1e-6, 1e9);
+            let new = sanitize(f64::from_bits(cur) * factor);
             if self
                 .bits
                 .compare_exchange(cur, new.to_bits(), Ordering::AcqRel, Ordering::Acquire)
@@ -179,9 +185,17 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "must be positive")]
-    fn knob_rejects_nonpositive_initial() {
-        RateKnob::new(-1.0);
+    fn knob_clamps_degenerate_initial_rates() {
+        // Constructor policy now matches `set`: clamp, never panic.
+        assert!(RateKnob::new(-1.0).get() > 0.0);
+        assert!(RateKnob::new(0.0).get() > 0.0);
+        assert!(RateKnob::new(f64::INFINITY).get().is_finite());
+        let k = RateKnob::new(f64::NAN);
+        assert!(k.get() > 0.0, "NaN pinned to the floor, not propagated");
+        k.set(f64::NAN);
+        assert!(k.get() > 0.0);
+        k.set(2.0);
+        assert_eq!(k.scale(f64::NAN), 1e-6, "NaN scale clamps to the floor");
     }
 
     #[test]

@@ -71,6 +71,12 @@ enum Gathered<U> {
         chunk: usize,
         data: Vec<U>,
     },
+    /// A chunk's element panicked in `map`: the whole stream item is
+    /// poisoned and will never complete — the collector must stop
+    /// waiting for it instead of hanging the stream.
+    Poisoned {
+        seq: u64,
+    },
     EndOfStream,
 }
 
@@ -102,15 +108,17 @@ impl<T: Send + 'static, U: Send + 'static> MapShared<T, U> {
                 // stale emitter snapshots) has been dropped, guaranteeing
                 // no chunk is left behind by a concurrent removal.
                 while let Ok(WorkerJob { seq, chunk, data }) = rx.recv() {
-                    let mapped: Vec<U> = data.into_iter().map(|x| map(x)).collect();
-                    if out
-                        .send(Gathered::Chunk {
-                            seq,
-                            chunk,
-                            data: mapped,
-                        })
-                        .is_err()
-                    {
+                    // Panic isolation: a poisoned element must not kill
+                    // this thread (it keeps serving later items) nor
+                    // strand the collector waiting for the chunk.
+                    let mapped = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        data.into_iter().map(|x| map(x)).collect::<Vec<U>>()
+                    }));
+                    let msg = match mapped {
+                        Ok(data) => Gathered::Chunk { seq, chunk, data },
+                        Err(_) => Gathered::Poisoned { seq },
+                    };
+                    if out.send(msg).is_err() {
                         break;
                     }
                 }
@@ -292,8 +300,13 @@ impl<T: Send + 'static, U: Send + 'static, Out: Send + 'static> MapEngine<T, U, 
                 .spawn(move || {
                     let mut pending: PendingChunks<U> = PendingChunks::new();
                     let mut reorder = ReorderBuffer::new();
+                    let mut poisoned: std::collections::HashSet<u64> =
+                        std::collections::HashSet::new();
                     let mut eos = false;
                     let mut open = 0usize;
+                    // Dense output renumbering (explicit counter so a
+                    // poisoned item's hole leaves no gap in the seqs).
+                    let mut emitted = 0u64;
                     for msg in gathered_rx.iter() {
                         match msg {
                             Gathered::Expect { seq, chunks } => {
@@ -303,6 +316,9 @@ impl<T: Send + 'static, U: Send + 'static, Out: Send + 'static> MapEngine<T, U, 
                                 open += 1;
                             }
                             Gathered::Chunk { seq, chunk, data } => {
+                                if poisoned.contains(&seq) {
+                                    continue; // sibling chunk of a dead item
+                                }
                                 let entry =
                                     pending.get_mut(&seq).expect("chunk follows its Expect");
                                 entry.0 -= 1;
@@ -317,11 +333,22 @@ impl<T: Send + 'static, U: Send + 'static, Out: Send + 'static> MapEngine<T, U, 
                                     let now = shared.clock.now();
                                     shared.departures.record(now);
                                     open -= 1;
-                                    let base = reorder.next_seq();
-                                    for (k, item) in reorder.push(seq, out).into_iter().enumerate()
-                                    {
-                                        let _ =
-                                            output_tx.send(StreamMsg::item(base + k as u64, item));
+                                    for item in reorder.push(seq, out) {
+                                        let _ = output_tx.send(StreamMsg::item(emitted, item));
+                                        emitted += 1;
+                                    }
+                                    if eos && open == 0 && reorder.is_empty() {
+                                        let _ = output_tx.send(StreamMsg::End);
+                                        break;
+                                    }
+                                }
+                            }
+                            Gathered::Poisoned { seq } => {
+                                if poisoned.insert(seq) && pending.remove(&seq).is_some() {
+                                    open -= 1;
+                                    for item in reorder.skip(seq) {
+                                        let _ = output_tx.send(StreamMsg::item(emitted, item));
+                                        emitted += 1;
                                     }
                                     if eos && open == 0 && reorder.is_empty() {
                                         let _ = output_tx.send(StreamMsg::End);
@@ -681,6 +708,34 @@ mod tests {
         tx.send(StreamMsg::End).unwrap();
         let results = drain(&farm.output());
         assert_eq!(results, vec![vec![2, 3], vec![]]);
+        farm.shutdown();
+    }
+
+    #[test]
+    fn map_farm_poisoned_element_does_not_hang_the_stream() {
+        // One element panics in `map`: its whole vector is poisoned, but
+        // the stream must still End and deliver every other item.
+        let farm = MapFarm::new(
+            |x: u64| {
+                assert!(x != 1005, "poisoned element");
+                x * 2
+            },
+            4,
+        );
+        let tx = farm.input();
+        for seq in 0..4u64 {
+            let v: Vec<u64> = (0..100).map(|i| seq * 1000 + i).collect();
+            tx.send(StreamMsg::item(seq, v)).unwrap();
+        }
+        tx.send(StreamMsg::End).unwrap();
+        let results = drain(&farm.output());
+        // Item 1 contained the poisoned element; items 0, 2, 3 survive
+        // in order.
+        assert_eq!(results.len(), 3);
+        for (k, expect_seq) in [0u64, 2, 3].iter().enumerate() {
+            let expected: Vec<u64> = (0..100).map(|i| (expect_seq * 1000 + i) * 2).collect();
+            assert_eq!(results[k], expected);
+        }
         farm.shutdown();
     }
 

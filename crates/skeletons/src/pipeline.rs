@@ -135,7 +135,9 @@ impl<T: Send + 'static> PipelineBuilder<T> {
         self.joins.push(pump_out);
         self.abcs
             .insert(name.to_owned(), Box::new(FarmAbc::new(farm.control())));
-        self.shutdowns.push(Box::new(move || farm.shutdown()));
+        self.shutdowns.push(Box::new(move || {
+            farm.shutdown();
+        }));
         PipelineBuilder {
             rx,
             clock: self.clock,

@@ -54,6 +54,9 @@ impl<T> StreamMsg<T> {
 pub struct ReorderBuffer<T> {
     next: u64,
     pending: BTreeMap<u64, T>,
+    /// Sequence numbers declared permanently missing (poisoned tasks);
+    /// holes the in-order scan steps over instead of waiting forever.
+    skipped: std::collections::BTreeSet<u64>,
 }
 
 impl<T> Default for ReorderBuffer<T> {
@@ -68,6 +71,23 @@ impl<T> ReorderBuffer<T> {
         Self {
             next: 0,
             pending: BTreeMap::new(),
+            skipped: std::collections::BTreeSet::new(),
+        }
+    }
+
+    /// Pops the in-order run at the front: delivered items, stepping over
+    /// any sequence numbers declared missing via [`ReorderBuffer::skip`].
+    fn drain_ready(&mut self) -> Vec<T> {
+        let mut out = Vec::new();
+        loop {
+            if let Some(item) = self.pending.remove(&self.next) {
+                out.push(item);
+                self.next += 1;
+            } else if self.skipped.remove(&self.next) {
+                self.next += 1;
+            } else {
+                return out;
+            }
         }
     }
 
@@ -85,12 +105,21 @@ impl<T> ReorderBuffer<T> {
         );
         let displaced = self.pending.insert(seq, item);
         assert!(displaced.is_none(), "duplicate sequence {seq}");
-        let mut out = Vec::new();
-        while let Some(item) = self.pending.remove(&self.next) {
-            out.push(item);
-            self.next += 1;
+        self.drain_ready()
+    }
+
+    /// Declares `seq` permanently missing (its task was poisoned or lost):
+    /// the buffer stops waiting for it and returns any run of held-back
+    /// items that became deliverable past the hole. The hole may be ahead
+    /// of the delivery front; it is remembered and stepped over when the
+    /// front reaches it. Skipping an already-delivered sequence number is
+    /// a no-op returning an empty run.
+    pub fn skip(&mut self, seq: u64) -> Vec<T> {
+        if seq < self.next || self.pending.contains_key(&seq) {
+            return Vec::new();
         }
-        out
+        self.skipped.insert(seq);
+        self.drain_ready()
     }
 
     /// Number of items waiting for their predecessors.
@@ -155,6 +184,36 @@ mod tests {
         let mut rb = ReorderBuffer::new();
         rb.push(0, "x");
         rb.push(0, "y");
+    }
+
+    #[test]
+    fn skip_at_front_releases_followers() {
+        let mut rb = ReorderBuffer::new();
+        assert!(rb.push(1, "b").is_empty());
+        assert!(rb.push(2, "c").is_empty());
+        assert_eq!(rb.skip(0), vec!["b", "c"]);
+        assert!(rb.is_empty());
+        assert_eq!(rb.next_seq(), 3);
+    }
+
+    #[test]
+    fn skip_ahead_of_front_is_remembered() {
+        let mut rb = ReorderBuffer::new();
+        // Hole at 2 announced before 0 and 1 arrive.
+        assert!(rb.skip(2).is_empty());
+        assert!(rb.push(3, "d").is_empty());
+        assert_eq!(rb.push(0, "a"), vec!["a"]);
+        // Delivering 1 steps over the hole at 2 and releases 3.
+        assert_eq!(rb.push(1, "b"), vec!["b", "d"]);
+        assert_eq!(rb.next_seq(), 4);
+    }
+
+    #[test]
+    fn skip_already_delivered_is_noop() {
+        let mut rb = ReorderBuffer::new();
+        assert_eq!(rb.push(0, "a"), vec!["a"]);
+        assert!(rb.skip(0).is_empty());
+        assert_eq!(rb.next_seq(), 1);
     }
 
     #[test]

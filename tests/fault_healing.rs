@@ -1,0 +1,121 @@
+//! End-to-end self-healing: an autonomic manager running the shared FT
+//! rule program (`rules/fault.rules`) over the *threaded* farm — the same
+//! program the simulator's `failures_are_recovered_with_ft_floor` scenario
+//! runs — senses abrupt worker deaths through the `workersLost` bean and
+//! restores the pool to the `ftMinWorkers` floor, while the stream drains
+//! to `End` without losing a task.
+
+use bskel_core::contract::Contract;
+use bskel_core::events::{EventKind, EventLog};
+use bskel_core::manager::{AutonomicManager, ManagerConfig};
+use bskel_monitor::RealClock;
+use bskel_skel::abc_impl::FarmAbc;
+use bskel_skel::farm::{FarmBuilder, FarmEventKind, GatherPolicy};
+use bskel_skel::runtime::ManagerDriver;
+use bskel_skel::stream::StreamMsg;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const TASKS: u64 = 1_500;
+const FT_FLOOR: u32 = 3;
+
+#[test]
+fn am_restores_killed_workers_to_the_ft_floor() {
+    let farm = FarmBuilder::from_fn(|x: u64| {
+        std::thread::sleep(Duration::from_micros(300));
+        x + 1
+    })
+    .name("healing")
+    .initial_workers(4)
+    .max_workers(8)
+    .gather(GatherPolicy::Unordered)
+    .build();
+    let ctl = farm.control();
+    let output = farm.output();
+
+    // The manager sees the farm only through its ABC, exactly as the
+    // simulator's manager sees SimAbc — same rules, same beans.
+    let mut cfg = ManagerConfig::farm("AM_F");
+    cfg.control_period = 0.005;
+    cfg.add_batch = 2;
+    cfg.extra_params.push((
+        bskel_rules::stdlib::params::FT_MIN_WORKERS.to_owned(),
+        f64::from(FT_FLOOR),
+    ));
+    let manager = AutonomicManager::new(
+        cfg,
+        Box::new(FarmAbc::new(Arc::clone(&ctl)).with_ft_floor(FT_FLOOR)),
+        EventLog::new(),
+    )
+    .with_rules(bskel_rules::stdlib::farm_rules_with_ft());
+    // Best-effort contract: the Fig. 5 performance rules stay dormant, so
+    // any recovery below is attributable to the FT program alone.
+    manager.contract_slot().post(Contract::BestEffort);
+    let driver = ManagerDriver::spawn(manager, Arc::new(RealClock::new()));
+
+    let producer = {
+        let tx = farm.input();
+        std::thread::spawn(move || {
+            for i in 0..TASKS {
+                tx.send(StreamMsg::item(i, i)).unwrap();
+                std::thread::sleep(Duration::from_micros(100));
+            }
+            tx.send(StreamMsg::End).unwrap();
+        })
+    };
+
+    // Mid-stream, kill half the pool: 4 -> 2, below the floor of 3.
+    std::thread::sleep(Duration::from_millis(50));
+    ctl.kill_workers(2).expect("4 workers are alive");
+    assert_eq!(ctl.num_workers(), 2);
+
+    // The AM must sense the loss and replace the workers.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while ctl.num_workers() < FT_FLOOR as usize {
+        assert!(
+            Instant::now() < deadline,
+            "AM never restored the pool: {} workers",
+            ctl.num_workers()
+        );
+        std::thread::sleep(Duration::from_millis(2));
+    }
+
+    // Meanwhile the stream must drain completely: the dead workers' queue
+    // backlogs were recovered onto survivors, not lost.
+    let mut delivered = 0u64;
+    for msg in output.iter() {
+        match msg {
+            StreamMsg::Item { .. } => delivered += 1,
+            StreamMsg::End => break,
+        }
+    }
+    assert_eq!(delivered, TASKS, "tasks lost with the killed workers");
+    producer.join().unwrap();
+
+    let manager = driver.stop();
+    // The loss burst may be sensed as one delta of 2 or (if a control
+    // cycle lands between the two victims) two deltas of 1.
+    let lost_events = manager.log().of_kind(&EventKind::WorkerLost);
+    let sensed: u64 = lost_events
+        .iter()
+        .filter_map(|e| e.detail.as_deref()?.parse::<u64>().ok())
+        .sum();
+    assert_eq!(sensed, 2, "loss deltas drifted: {lost_events:?}");
+    assert!(
+        !manager.log().of_kind(&EventKind::AddWorker).is_empty(),
+        "recovery must be logged as worker addition: {:?}",
+        manager.log().snapshot()
+    );
+
+    let report = farm.shutdown();
+    assert_eq!(report.workers_lost, 2);
+    assert!(report.worker_panics.is_empty());
+    assert_eq!(
+        report
+            .events
+            .iter()
+            .filter(|e| e.kind == FarmEventKind::WorkerLost)
+            .count(),
+        2
+    );
+}

@@ -9,6 +9,7 @@
 
 use bskel_skel::farm::{FarmBuilder, GatherPolicy, SchedPolicy};
 use bskel_skel::stream::StreamMsg;
+use rand::{rngs::StdRng, Rng, SeedableRng};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
@@ -78,4 +79,89 @@ fn hundred_k_tasks_survive_concurrent_reconfiguration() {
     let flips = churn.join().unwrap();
     assert!(flips > 0, "reconfiguration thread never ran");
     farm.shutdown();
+}
+
+/// Threaded mirror of the simulator's `failures_do_not_lose_tasks`: workers
+/// are killed abruptly at random moments (their queue backlogs and in-flight
+/// remainders recovered onto survivors) while replacements race in. Kills —
+/// unlike panics — poison nothing, so with ordered gathering the output must
+/// still be *exactly* the input sequence.
+#[test]
+fn randomized_worker_kills_do_not_lose_tasks() {
+    const KILL_TASKS: u64 = 30_000;
+    let farm = FarmBuilder::from_fn(|x: u64| {
+        // A few hundred ns of work so kills land on non-empty queues.
+        for _ in 0..64 {
+            std::hint::spin_loop();
+        }
+        x.wrapping_mul(7)
+    })
+    .name("chaos")
+    .initial_workers(4)
+    .max_workers(16)
+    .sched(SchedPolicy::RoundRobin)
+    .gather(GatherPolicy::Ordered)
+    .build();
+    let ctl = farm.control();
+    let output = farm.output();
+
+    let done = Arc::new(AtomicBool::new(false));
+    let killer = {
+        let ctl = Arc::clone(&ctl);
+        let done = Arc::clone(&done);
+        std::thread::spawn(move || {
+            let mut rng = StdRng::seed_from_u64(0xFA17);
+            let mut kills = 0u64;
+            while !done.load(Ordering::Relaxed) {
+                std::thread::sleep(std::time::Duration::from_micros(rng.gen_range(50..500u64)));
+                // Abrupt death of 1-2 workers — occasionally the whole pool,
+                // which parks tasks until the add below restores capacity.
+                let n = rng.gen_range(1..=2u32).min(ctl.num_workers() as u32);
+                if n > 0 && ctl.kill_workers(n).is_ok() {
+                    kills += u64::from(n);
+                }
+                let _ = ctl.add_workers(rng.gen_range(1..=3u32));
+            }
+            kills
+        })
+    };
+
+    let producer = {
+        let tx = farm.input();
+        std::thread::spawn(move || {
+            for i in 0..KILL_TASKS {
+                tx.send(StreamMsg::item(i, i)).unwrap();
+            }
+            tx.send(StreamMsg::End).unwrap();
+        })
+    };
+
+    let mut next = 0u64;
+    for msg in output.iter() {
+        match msg {
+            StreamMsg::Item { seq, payload } => {
+                assert_eq!(seq, next, "gap or duplicate at sequence {next}");
+                assert_eq!(payload, next.wrapping_mul(7), "payload corrupted");
+                next += 1;
+            }
+            StreamMsg::End => break,
+        }
+    }
+    assert_eq!(
+        next, KILL_TASKS,
+        "stream truncated: {next} of {KILL_TASKS} delivered"
+    );
+
+    producer.join().unwrap();
+    done.store(true, Ordering::Relaxed);
+    let kills = killer.join().unwrap();
+    assert!(kills > 0, "fault injector never killed anyone");
+    assert_eq!(farm.workers_lost(), kills, "loss accounting drifted");
+    let report = farm.shutdown();
+    assert_eq!(report.workers_lost, kills);
+    assert!(
+        report.worker_panics.is_empty(),
+        "kills must not be misreported as panics: {:?}",
+        report.worker_panics
+    );
 }
