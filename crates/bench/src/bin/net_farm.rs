@@ -1,0 +1,224 @@
+//! NET1 — throughput of the distributed farm substrate over loopback,
+//! against the in-process threaded farm, plain vs secure channels.
+//!
+//! Four configurations, identical 20 µs spin workload, ordered gather:
+//!
+//! * **local** — the in-process threaded farm (`bskel_skel::farm`);
+//! * **loopback plain** — `RemoteWorkerPool` slots on an in-process
+//!   `bskel-workerd` over 127.0.0.1, clear channel;
+//! * **loopback secure** — the same slots with the toy secure channel
+//!   (handshake + per-byte keystream), whose cost meter yields the
+//!   numbers that calibrate the simulator's `SslCostModel` (see
+//!   `SslCostModel::calibrated_loopback` and EXPERIMENTS.md).
+//!
+//! Results are printed and written to `BENCH_net_farm.json` at the
+//! workspace root. `--quick` shrinks the stream for CI smoke runs.
+
+use bskel_bench::table;
+use bskel_net::{spawn_local, CostReport, Endpoint, RemotePoolBuilder};
+use bskel_skel::farm::{FarmBuilder, GatherPolicy};
+use bskel_skel::stream::StreamMsg;
+use std::time::Instant;
+
+const WORKERS: u32 = 4;
+const SPIN_US: u64 = 20;
+/// Wire bytes per task on this workload: one 24-byte Task frame out, one
+/// 24-byte Result frame back (8-byte `u64` payload each way), amortised
+/// batching overhead (heartbeats, sensor blobs) ignored.
+const TASK_BYTES: f64 = 48.0;
+
+fn enc(x: u64) -> Vec<u8> {
+    x.to_le_bytes().to_vec()
+}
+
+fn dec(b: &[u8]) -> u64 {
+    let mut a = [0u8; 8];
+    a.copy_from_slice(&b[..8]);
+    u64::from_le_bytes(a)
+}
+
+struct Run {
+    elapsed_s: f64,
+    delivered: u64,
+}
+
+impl Run {
+    fn throughput(&self) -> f64 {
+        self.delivered as f64 / self.elapsed_s
+    }
+}
+
+fn spin() {
+    let t0 = Instant::now();
+    while t0.elapsed().as_micros() < u128::from(SPIN_US) {
+        std::hint::spin_loop();
+    }
+}
+
+fn run_local(tasks: u64) -> Run {
+    let farm = FarmBuilder::from_fn(|x: u64| {
+        spin();
+        x
+    })
+    .name("net1-local")
+    .initial_workers(WORKERS)
+    .max_workers(WORKERS)
+    .gather(GatherPolicy::Ordered)
+    .build();
+    let tx = farm.input();
+    let t0 = Instant::now();
+    let producer = std::thread::spawn(move || {
+        for i in 0..tasks {
+            tx.send(StreamMsg::item(i, i)).unwrap();
+        }
+        tx.send(StreamMsg::End).unwrap();
+    });
+    let mut delivered = 0u64;
+    for msg in farm.output().iter() {
+        match msg {
+            StreamMsg::Item { .. } => delivered += 1,
+            StreamMsg::End => break,
+        }
+    }
+    let elapsed_s = t0.elapsed().as_secs_f64();
+    producer.join().expect("producer");
+    let _ = farm.shutdown();
+    Run {
+        elapsed_s,
+        delivered,
+    }
+}
+
+fn run_remote(tasks: u64, secure: bool) -> (Run, CostReport) {
+    let addr = spawn_local("127.0.0.1:0")
+        .expect("bind loopback daemon")
+        .to_string();
+    let endpoint = if secure {
+        Endpoint::secure(addr)
+    } else {
+        Endpoint::plain(addr)
+    };
+    let pool = RemotePoolBuilder::new(format!("spin:{SPIN_US}"), enc, dec)
+        .name(if secure { "net1-sec" } else { "net1-plain" })
+        .initial_workers(WORKERS)
+        .max_workers(WORKERS)
+        .gather(GatherPolicy::Ordered)
+        .endpoint(endpoint)
+        .build()
+        .expect("loopback daemon reachable");
+    let tx = pool.input();
+    let t0 = Instant::now();
+    let producer = std::thread::spawn(move || {
+        for i in 0..tasks {
+            tx.send(StreamMsg::item(i, i)).unwrap();
+        }
+        tx.send(StreamMsg::End).unwrap();
+    });
+    let mut delivered = 0u64;
+    for msg in pool.output().iter() {
+        match msg {
+            StreamMsg::Item { .. } => delivered += 1,
+            StreamMsg::End => break,
+        }
+    }
+    let elapsed_s = t0.elapsed().as_secs_f64();
+    producer.join().expect("producer");
+    let cost = pool.cost_report();
+    let report = pool.shutdown();
+    assert!(
+        report.is_clean(),
+        "bench run must be fault-free: {report:?}"
+    );
+    (
+        Run {
+            elapsed_s,
+            delivered,
+        },
+        cost,
+    )
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let tasks: u64 = if quick { 2_000 } else { 20_000 };
+    println!(
+        "NET1: local vs loopback farm ({tasks} tasks, {WORKERS} workers, {SPIN_US} µs spin)\n"
+    );
+
+    let local = run_local(tasks);
+    let (plain, _) = run_remote(tasks, false);
+    let (secure, cost) = run_remote(tasks, true);
+
+    let per_byte_s = cost.per_byte_seconds();
+    let handshake_s = cost.handshake_seconds();
+    // The calibration the simulator consumes: per-task secure overhead in
+    // seconds for this workload's wire footprint.
+    let secure_per_task_s = per_byte_s * TASK_BYTES;
+
+    let pass = local.delivered == tasks && plain.delivered == tasks && secure.delivered == tasks;
+    println!(
+        "{}",
+        table(
+            "NET1 summary",
+            &[
+                (
+                    "local: throughput".into(),
+                    format!("{:.0} tasks/s", local.throughput())
+                ),
+                (
+                    "loopback plain: throughput".into(),
+                    format!("{:.0} tasks/s", plain.throughput())
+                ),
+                (
+                    "loopback secure: throughput".into(),
+                    format!("{:.0} tasks/s", secure.throughput())
+                ),
+                (
+                    "secure: handshake".into(),
+                    format!(
+                        "{:.3} ms each ({} stretches)",
+                        handshake_s * 1e3,
+                        cost.handshakes
+                    )
+                ),
+                (
+                    "secure: cipher".into(),
+                    format!("{:.2} ns/byte over {} bytes", per_byte_s * 1e9, cost.bytes)
+                ),
+                (
+                    "secure: per-task overhead".into(),
+                    format!("{:.3} µs ({TASK_BYTES:.0} B/task)", secure_per_task_s * 1e6)
+                ),
+                (
+                    "verdict".into(),
+                    if pass { "PASS".into() } else { "FAIL".into() }
+                ),
+            ]
+        )
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"net_farm\",\n  \"tasks\": {tasks},\n  \"quick\": {quick},\n  \
+         \"workers\": {WORKERS},\n  \"spin_us\": {SPIN_US},\n  \
+         \"local\": {{\"elapsed_s\": {:.4}, \"throughput\": {:.1}}},\n  \
+         \"loopback_plain\": {{\"elapsed_s\": {:.4}, \"throughput\": {:.1}}},\n  \
+         \"loopback_secure\": {{\"elapsed_s\": {:.4}, \"throughput\": {:.1}, \
+         \"handshakes\": {}, \"handshake_ms\": {:.4}, \"cipher_bytes\": {}, \
+         \"per_byte_ns\": {:.3}, \"per_task_overhead_us\": {:.4}}},\n  \
+         \"pass\": {pass}\n}}\n",
+        local.elapsed_s,
+        local.throughput(),
+        plain.elapsed_s,
+        plain.throughput(),
+        secure.elapsed_s,
+        secure.throughput(),
+        cost.handshakes,
+        handshake_s * 1e3,
+        cost.bytes,
+        per_byte_s * 1e9,
+        secure_per_task_s * 1e6,
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_net_farm.json");
+    std::fs::write(path, &json).expect("write BENCH_net_farm.json");
+    println!("wrote {path}");
+}

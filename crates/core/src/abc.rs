@@ -33,6 +33,8 @@ pub fn standard_schema() -> BeanSchema {
         .bean(beans::RECONFIGURING, BeanType::Flag)
         .bean(beans::WORKERS_LOST, BeanType::Count)
         .bean(beans::FT_MIN_WORKERS, BeanType::Count)
+        .bean(beans::REMOTE_WORKERS, BeanType::Count)
+        .bean(beans::NET_RTT_MS, BeanType::Rate)
         .bean(hier_beans::VIOL_NOT_ENOUGH, BeanType::Flag)
         .bean(hier_beans::VIOL_TOO_MUCH, BeanType::Flag)
         .bean(hier_beans::END_STREAM, BeanType::Flag)

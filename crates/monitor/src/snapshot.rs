@@ -39,6 +39,11 @@ pub mod beans {
     /// The fault-tolerance parallelism floor the manager must restore
     /// after failures (0 = no floor configured).
     pub const FT_MIN_WORKERS: &str = "ftMinWorkers";
+    /// Workers hosted on remote nodes (0 for purely local substrates).
+    pub const REMOTE_WORKERS: &str = "remoteWorkers";
+    /// Mean heartbeat round-trip time to remote workers, milliseconds
+    /// (0.0 when no remote worker has answered a heartbeat yet).
+    pub const NET_RTT_MS: &str = "netRttMs";
 }
 
 /// A point-in-time reading of every sensor a skeleton ABC exposes.
@@ -71,6 +76,10 @@ pub struct SensorSnapshot {
     pub workers_lost: u64,
     /// Configured fault-tolerance parallelism floor (0 = none).
     pub ft_min_workers: u32,
+    /// Workers hosted on remote nodes (0 for purely local substrates).
+    pub remote_workers: u32,
+    /// Mean heartbeat round-trip time to remote workers, milliseconds.
+    pub net_rtt_ms: f64,
     /// Additional substrate-specific beans.
     pub extra: Vec<(String, f64)>,
 }
@@ -91,6 +100,8 @@ impl SensorSnapshot {
             reconfiguring: false,
             workers_lost: 0,
             ft_min_workers: 0,
+            remote_workers: 0,
+            net_rtt_ms: 0.0,
             extra: Vec::new(),
         }
     }
@@ -104,7 +115,7 @@ impl SensorSnapshot {
     /// Flattens the snapshot to `(bean name, value)` pairs for a rule
     /// engine's working memory. Booleans encode as 0.0/1.0.
     pub fn to_beans(&self) -> Vec<(String, f64)> {
-        let mut out = Vec::with_capacity(11 + self.extra.len());
+        let mut out = Vec::with_capacity(13 + self.extra.len());
         out.push((beans::ARRIVAL_RATE.to_owned(), self.arrival_rate));
         out.push((beans::DEPARTURE_RATE.to_owned(), self.departure_rate));
         out.push((beans::NUM_WORKERS.to_owned(), f64::from(self.num_workers)));
@@ -125,6 +136,11 @@ impl SensorSnapshot {
             beans::FT_MIN_WORKERS.to_owned(),
             f64::from(self.ft_min_workers),
         ));
+        out.push((
+            beans::REMOTE_WORKERS.to_owned(),
+            f64::from(self.remote_workers),
+        ));
+        out.push((beans::NET_RTT_MS.to_owned(), self.net_rtt_ms));
         out.extend(self.extra.iter().cloned());
         out
     }
@@ -201,6 +217,8 @@ mod tests {
             beans::RECONFIGURING,
             beans::WORKERS_LOST,
             beans::FT_MIN_WORKERS,
+            beans::REMOTE_WORKERS,
+            beans::NET_RTT_MS,
         ] {
             assert_eq!(
                 all.iter().filter(|(n, _)| n == name).count(),

@@ -32,6 +32,28 @@ impl Welford {
         }
     }
 
+    /// Reconstructs an accumulator from its transported parts (count,
+    /// mean, sum of squared deviations, min, max) — the inverse of the
+    /// accessors, used to ship a remote worker's statistic over the wire
+    /// and merge it on the receiving side.
+    pub fn from_parts(n: u64, mean: f64, m2: f64, min: f64, max: f64) -> Self {
+        if n == 0 {
+            return Self::new();
+        }
+        Self {
+            n,
+            mean,
+            m2: m2.max(0.0),
+            min,
+            max,
+        }
+    }
+
+    /// Sum of squared deviations from the mean (the raw `M2` term).
+    pub fn m2(&self) -> f64 {
+        self.m2
+    }
+
     /// Feeds one sample.
     pub fn update(&mut self, x: f64) {
         self.n += 1;

@@ -1,0 +1,61 @@
+//! `bskel-workerd` — the remote worker daemon.
+//!
+//! Hosts worker slots for a distributed `bskel` farm: each accepted TCP
+//! connection is one slot whose workload the connecting pool names in its
+//! handshake. See `bskel_net::daemon` for the serve-loop semantics.
+//!
+//! ```text
+//! bskel-workerd [--listen ADDR]
+//!
+//!   --listen ADDR   host:port to bind (default 127.0.0.1:7700;
+//!                   port 0 picks an ephemeral port)
+//! ```
+//!
+//! On startup the daemon prints `bskel-workerd listening on <addr>` with
+//! the *resolved* address — tests and scripts bind port 0 and parse the
+//! line to learn the port.
+
+use std::io::Write;
+use std::net::TcpListener;
+
+fn main() {
+    let mut listen = "127.0.0.1:7700".to_owned();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--listen" => match args.next() {
+                Some(addr) => listen = addr,
+                None => {
+                    eprintln!("bskel-workerd: --listen requires an ADDR");
+                    std::process::exit(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!("usage: bskel-workerd [--listen ADDR]");
+                println!("  --listen ADDR   host:port to bind (default 127.0.0.1:7700)");
+                return;
+            }
+            other => {
+                eprintln!("bskel-workerd: unknown argument {other:?}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let listener = match TcpListener::bind(&listen) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("bskel-workerd: cannot bind {listen}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let bound = listener
+        .local_addr()
+        .map(|a| a.to_string())
+        .unwrap_or(listen);
+    // Flushed eagerly: spawners parse this line to learn an ephemeral port.
+    println!("bskel-workerd listening on {bound}");
+    let _ = std::io::stdout().flush();
+
+    bskel_net::serve(listener);
+}

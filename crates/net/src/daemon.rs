@@ -1,0 +1,366 @@
+//! The `bskel-workerd` daemon: hosts remote worker slots.
+//!
+//! Each accepted connection is one worker slot, served by its own thread:
+//!
+//! 1. **Handshake** (in clear): the client's `Hello` names the workload
+//!    the slot should run and whether the channel is secured; the daemon
+//!    answers `HelloAck` and, in secure mode, both sides derive session
+//!    keys and cipher everything from the next byte on.
+//! 2. **Serve loop**: tasks queue in a pending deque; between tasks the
+//!    daemon opportunistically drains the socket without blocking so
+//!    heartbeats are answered promptly even while busy (the pool's
+//!    failure timeout therefore only needs to exceed one task's service
+//!    time, not a whole batch). Results are written back buffered and
+//!    flushed in batches, each batch trailed by a `Sensors` frame
+//!    carrying daemon-measured service time, queue depth, and the
+//!    completed-task count.
+//! 3. **Failure semantics**: a panicking workload poisons only its own
+//!    task — the panic is caught and a `Lost` frame tells the pool that
+//!    `seq` will never produce a result. `Goodbye` drains the pending
+//!    queue, flushes, and closes.
+//!
+//! The daemon is workload-agnostic at deploy time: it hosts the small
+//! registry in [`Workload`] and the client picks per connection.
+
+use std::collections::VecDeque;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+use std::time::Instant;
+
+use bskel_monitor::Welford;
+
+use crate::proto::{
+    decode_hello, encode_hello_ack, encode_sensors, Frame, FrameType, HelloAck, SensorBlob,
+};
+use crate::secure::{derive_session_keys, CostMeter, StreamCipher};
+use crate::wire::{FillStatus, FrameReader, FrameWriter};
+
+/// Results buffered before a flush forces them onto the wire.
+const FLUSH_EVERY: usize = 32;
+
+/// The computations a worker slot can host, named on the wire in `Hello`
+/// (see [`Workload::parse`] for the syntax).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Workload {
+    /// Returns the payload unchanged.
+    Echo,
+    /// Reads a little-endian `u64` from the payload head and returns its
+    /// double, little-endian.
+    DoubleU64,
+    /// Busy-spins for the given number of microseconds, then echoes.
+    SpinUs(u64),
+    /// Sleeps for the given number of microseconds, then echoes.
+    SleepUs(u64),
+    /// Panics when the payload's leading `u64` equals the trigger value,
+    /// echoes otherwise — exercises the `Lost`-frame path.
+    PanicOn(u64),
+}
+
+impl Workload {
+    /// Parses the wire name: `echo`, `double`, `spin:N`, `sleep:N`,
+    /// `panic_on:N` (N in microseconds for spin/sleep).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "echo" => return Some(Workload::Echo),
+            "double" => return Some(Workload::DoubleU64),
+            _ => {}
+        }
+        let (name, arg) = s.split_once(':')?;
+        let n: u64 = arg.parse().ok()?;
+        match name {
+            "spin" => Some(Workload::SpinUs(n)),
+            "sleep" => Some(Workload::SleepUs(n)),
+            "panic_on" => Some(Workload::PanicOn(n)),
+            _ => None,
+        }
+    }
+
+    fn lead_u64(input: &[u8]) -> u64 {
+        let mut b = [0u8; 8];
+        let n = input.len().min(8);
+        b[..n].copy_from_slice(&input[..n]);
+        u64::from_le_bytes(b)
+    }
+
+    /// Runs the workload over one task payload.
+    pub fn apply(&self, input: &[u8]) -> Vec<u8> {
+        match *self {
+            Workload::Echo => input.to_vec(),
+            Workload::DoubleU64 => {
+                let x = Self::lead_u64(input);
+                x.wrapping_mul(2).to_le_bytes().to_vec()
+            }
+            Workload::SpinUs(us) => {
+                let t0 = Instant::now();
+                while t0.elapsed().as_micros() < u128::from(us) {
+                    std::hint::spin_loop();
+                }
+                input.to_vec()
+            }
+            Workload::SleepUs(us) => {
+                std::thread::sleep(std::time::Duration::from_micros(us));
+                input.to_vec()
+            }
+            Workload::PanicOn(trigger) => {
+                let x = Self::lead_u64(input);
+                assert!(x != trigger, "workload trigger value {trigger} hit");
+                input.to_vec()
+            }
+        }
+    }
+}
+
+struct Conn {
+    reader: FrameReader,
+    writer: FrameWriter,
+    workload: Workload,
+    pending: VecDeque<(u64, Vec<u8>)>,
+    service: Welford,
+    done: u64,
+    finishing: bool,
+    unflushed: usize,
+}
+
+impl Conn {
+    fn sensor_blob(&self) -> Vec<u8> {
+        encode_sensors(&SensorBlob {
+            service: self.service,
+            queue_depth: self.pending.len() as u32,
+            done: self.done,
+        })
+    }
+
+    fn handle_frame(&mut self, f: Frame) -> std::io::Result<()> {
+        match f.ftype {
+            FrameType::Task => self.pending.push_back((f.seq, f.payload)),
+            FrameType::Heartbeat => {
+                // Answer immediately — liveness must not wait for the
+                // result batch to fill up.
+                let blob = self.sensor_blob();
+                self.writer.push(FrameType::HeartbeatAck, f.seq, &blob);
+                self.writer.flush()?;
+            }
+            FrameType::Goodbye => self.finishing = true,
+            // A slot never receives the daemon-to-client or handshake
+            // frame types mid-stream; drop them rather than die.
+            _ => {}
+        }
+        Ok(())
+    }
+
+    /// Flushes buffered results, trailed by a fresh sensor reading.
+    fn flush_results(&mut self) -> std::io::Result<()> {
+        if self.unflushed == 0 {
+            return self.writer.flush();
+        }
+        let blob = self.sensor_blob();
+        self.writer.push(FrameType::Sensors, 0, &blob);
+        self.unflushed = 0;
+        self.writer.flush()
+    }
+
+    /// Drains every frame currently available without blocking.
+    /// Returns `true` on EOF.
+    fn drain_nonblocking(&mut self) -> std::io::Result<bool> {
+        self.reader.stream().set_nonblocking(true)?;
+        let eof = loop {
+            match self.reader.try_next() {
+                Ok(Some(f)) => {
+                    self.handle_frame(f)?;
+                    continue;
+                }
+                Ok(None) => {}
+                Err(e) => {
+                    self.reader.stream().set_nonblocking(false)?;
+                    return Err(std::io::Error::new(std::io::ErrorKind::InvalidData, e));
+                }
+            }
+            match self.reader.fill_once()? {
+                FillStatus::Bytes => {}
+                FillStatus::WouldBlock => break false,
+                FillStatus::Eof => break true,
+            }
+        };
+        self.reader.stream().set_nonblocking(false)?;
+        Ok(eof)
+    }
+
+    fn serve(&mut self) -> std::io::Result<()> {
+        loop {
+            let eof = if self.pending.is_empty() && !self.finishing {
+                // Idle: push out whatever is buffered, then sleep on the
+                // socket until the client speaks.
+                self.flush_results()?;
+                match self.reader.next_blocking()? {
+                    None => true,
+                    Some(f) => {
+                        self.handle_frame(f)?;
+                        false
+                    }
+                }
+            } else {
+                self.drain_nonblocking()?
+            };
+
+            if let Some((seq, bytes)) = self.pending.pop_front() {
+                let t0 = Instant::now();
+                let result = catch_unwind(AssertUnwindSafe(|| self.workload.apply(&bytes)));
+                let dt = t0.elapsed().as_secs_f64();
+                match result {
+                    Ok(out) => {
+                        self.service.update(dt);
+                        self.done += 1;
+                        self.writer.push(FrameType::Result, seq, &out);
+                    }
+                    Err(_) => self.writer.push(FrameType::Lost, seq, &[]),
+                }
+                self.unflushed += 1;
+                if self.unflushed >= FLUSH_EVERY || self.pending.is_empty() {
+                    self.flush_results()?;
+                }
+            }
+
+            if eof {
+                return Ok(());
+            }
+            if self.finishing && self.pending.is_empty() {
+                self.flush_results()?;
+                self.writer.send(FrameType::Goodbye, 0, &[])?;
+                return Ok(());
+            }
+        }
+    }
+}
+
+/// Serves one accepted connection: handshake, then the slot loop.
+fn handle_conn(stream: TcpStream) -> std::io::Result<()> {
+    stream.set_nodelay(true).ok();
+    let mut reader = FrameReader::new(stream.try_clone()?);
+    let mut writer = FrameWriter::new(stream.try_clone()?);
+
+    let hello = match reader.next_blocking()? {
+        Some(f) if f.ftype == FrameType::Hello => decode_hello(&f.payload),
+        _ => None,
+    };
+    let Some(hello) = hello else {
+        writer.send(
+            FrameType::HelloAck,
+            0,
+            &encode_hello_ack(&HelloAck {
+                ok: false,
+                secure: false,
+                nonce: 0,
+                error: "expected a Hello frame first".into(),
+            }),
+        )?;
+        return Ok(());
+    };
+    let Some(workload) = Workload::parse(&hello.workload) else {
+        writer.send(
+            FrameType::HelloAck,
+            0,
+            &encode_hello_ack(&HelloAck {
+                ok: false,
+                secure: false,
+                nonce: 0,
+                error: format!("unknown workload {:?}", hello.workload),
+            }),
+        )?;
+        return Ok(());
+    };
+
+    // Not a secret: the nonce only varies the toy session keys per
+    // connection (see crate::secure for why that is fine here).
+    let server_nonce = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0x5EED)
+        ^ (std::process::id() as u64) << 32;
+    writer.send(
+        FrameType::HelloAck,
+        0,
+        &encode_hello_ack(&HelloAck {
+            ok: true,
+            secure: hello.secure,
+            nonce: server_nonce,
+            error: String::new(),
+        }),
+    )?;
+    if hello.secure {
+        let meter = Arc::new(CostMeter::new());
+        let (c2s, s2c) = meter.time_handshake(|| derive_session_keys(hello.nonce, server_nonce));
+        reader.secure(StreamCipher::new(c2s), Arc::clone(&meter));
+        writer.secure(StreamCipher::new(s2c), meter);
+    }
+
+    let mut conn = Conn {
+        reader,
+        writer,
+        workload,
+        pending: VecDeque::new(),
+        service: Welford::new(),
+        done: 0,
+        finishing: false,
+        unflushed: 0,
+    };
+    conn.serve()
+}
+
+/// Accept loop: one thread per connection, forever.
+pub fn serve(listener: TcpListener) {
+    for stream in listener.incoming() {
+        let Ok(stream) = stream else { continue };
+        std::thread::Builder::new()
+            .name("bskel-workerd-slot".into())
+            .spawn(move || {
+                // A dropped connection is the client's business (the pool
+                // detects it via heartbeat/EOF); nothing useful to do here.
+                let _ = handle_conn(stream);
+            })
+            .expect("spawn slot thread");
+    }
+}
+
+/// Starts an in-process daemon on `addr` (use port 0 for an ephemeral
+/// port) and returns the bound address. The accept loop runs on a
+/// detached thread for the life of the process — intended for tests and
+/// benches that want a loopback daemon without a child process.
+pub fn spawn_local(addr: &str) -> std::io::Result<SocketAddr> {
+    let listener = TcpListener::bind(addr)?;
+    let bound = listener.local_addr()?;
+    std::thread::Builder::new()
+        .name("bskel-workerd-local".into())
+        .spawn(move || serve(listener))?;
+    Ok(bound)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_parse() {
+        assert_eq!(Workload::parse("echo"), Some(Workload::Echo));
+        assert_eq!(Workload::parse("double"), Some(Workload::DoubleU64));
+        assert_eq!(Workload::parse("spin:250"), Some(Workload::SpinUs(250)));
+        assert_eq!(Workload::parse("sleep:10"), Some(Workload::SleepUs(10)));
+        assert_eq!(Workload::parse("panic_on:7"), Some(Workload::PanicOn(7)));
+        assert_eq!(Workload::parse("nope"), None);
+        assert_eq!(Workload::parse("spin:abc"), None);
+    }
+
+    #[test]
+    fn workload_apply() {
+        assert_eq!(Workload::Echo.apply(b"xyz"), b"xyz");
+        assert_eq!(
+            Workload::DoubleU64.apply(&21u64.to_le_bytes()),
+            42u64.to_le_bytes()
+        );
+        assert_eq!(
+            Workload::PanicOn(7).apply(&8u64.to_le_bytes()),
+            8u64.to_le_bytes()
+        );
+        assert!(catch_unwind(|| Workload::PanicOn(7).apply(&7u64.to_le_bytes())).is_err());
+    }
+}

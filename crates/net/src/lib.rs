@@ -1,0 +1,44 @@
+//! # bskel-net — the distributed farm substrate
+//!
+//! This crate extends the threaded skeleton runtime across machine
+//! boundaries: a farm whose workers are *slots* hosted by remote
+//! `bskel-workerd` daemons, speaking a dependency-free length-prefixed
+//! binary protocol over `std::net::TcpStream`.
+//!
+//! The paper's behavioural-skeleton premise is that the management layer
+//! must not care where the workers run: the pool here implements the
+//! same `FarmControl` surface as the in-process farm, ships the remote
+//! workers' sensor beans (service time, queue depth) piggybacked on
+//! result frames, and merges them into the standard `SensorSnapshot` —
+//! so the *unchanged* rule programs and contracts of the autonomic
+//! manager drive remote elasticity (`ADD_EXECUTOR` connects a daemon
+//! slot, `REMOVE_EXECUTOR` retires one) and self-healing (heartbeat
+//! deadline → slot death → in-flight replay onto survivors).
+//!
+//! Modules:
+//!
+//! * [`proto`] — the wire format: framed, partial-read and garbage
+//!   tolerant, with oversized-length rejection;
+//! * [`wire`] — `FrameWriter`/`FrameReader` over a socket, with optional
+//!   metered ciphering;
+//! * [`secure`] — the *toy* secure channel (NOT cryptography): a
+//!   keystream cipher and a deliberately expensive handshake whose cost
+//!   meter calibrates the simulator's `SslCostModel`;
+//! * [`daemon`] — the worker-daemon serve loop and workload registry;
+//! * [`pool`] — [`RemoteWorkerPool`]: the distributed farm.
+
+#![warn(missing_docs)]
+
+pub mod daemon;
+pub mod pool;
+pub mod proto;
+pub mod secure;
+pub mod wire;
+
+pub use daemon::{serve, spawn_local, Workload};
+pub use pool::{DecodeFn, EncodeFn, Endpoint, RemotePoolBuilder, RemoteWorkerPool};
+pub use proto::{Decoder, Frame, FrameType, ProtoError, MAGIC, MAX_PAYLOAD, VERSION};
+pub use secure::{CostMeter, CostReport};
+
+// Convenience re-export: the statistic shipped in `proto::SensorBlob`.
+pub use bskel_monitor::Welford;

@@ -1,0 +1,1324 @@
+//! The distributed worker pool: farm semantics over TCP remote workers.
+//!
+//! [`RemoteWorkerPool`] mirrors the threaded farm's architecture exactly —
+//! an emitter dispatching batched tasks over per-slot queues through an
+//! RCU-published table, a collector restoring stream order, the same
+//! publish-before-close loss-freedom invariant — but each *slot* is a
+//! connection to a `bskel-workerd` daemon instead of a local thread:
+//!
+//! * a **writer thread** per slot drains the slot's local
+//!   [`WorkerQueue`] in batches and ships them as `Task` frames in a
+//!   single flush (wire batching: one syscall per batch, like one lock
+//!   per batch locally). Every task is recorded in the slot's *in-flight
+//!   map before it touches the wire*, so a crash can never lose a task
+//!   that was sent but not yet answered;
+//! * a **reader thread** per slot decodes `Result`/`Lost` frames back
+//!   into the collector channel and folds the daemon's piggybacked
+//!   sensor beans (service time, queue depth) into the slot; it is the
+//!   *single* thread that resolves in-flight entries, which is what makes
+//!   crash recovery duplicate-free (see below);
+//! * a **failure detector thread** sends heartbeats and enforces a
+//!   deadline: a slot whose last frame is older than the failure timeout
+//!   has its socket severed, which wakes its reader into the death path.
+//!
+//! **Crash recovery** reuses the farm's worker-death protocol: the dying
+//! slot is removed from the published table *before* its queue closes
+//! (bounced emitters re-dispatch onto survivors), then its queued backlog
+//! *and* its in-flight map are replayed onto the surviving slots — or
+//! parked until `add_workers` restores capacity. Harvesting the in-flight
+//! map is safe from duplicates precisely because it happens on the reader
+//! thread itself after it has stopped consuming frames: no result for a
+//! harvested task can ever be forwarded afterwards.
+//!
+//! The pool implements [`FarmControl`], so the existing `FarmAbc`, rule
+//! programs and contracts drive remote elasticity (ADD_WORKER connects a
+//! new daemon slot, REMOVE_WORKER retires one cooperatively) with no rule
+//! changes — remote workers are just workers with beans.
+
+use std::collections::{BTreeMap, HashMap};
+use std::net::{Shutdown, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Weak};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use bskel_monitor::{
+    queue_variance, AtomicRateEstimator, Clock, RealClock, SensorSnapshot, Time, Welford,
+};
+use bskel_skel::farm::{FarmControl, FarmEvent, FarmEventKind, ShutdownReport};
+use bskel_skel::queue::{Task, WorkerQueue};
+use bskel_skel::rcu::{Published, ReadHandle};
+use bskel_skel::stream::{ReorderBuffer, StreamMsg};
+use bskel_skel::{GatherPolicy, SchedPolicy};
+use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
+use parking_lot::Mutex;
+
+use crate::proto::{decode_hello_ack, decode_sensors, encode_hello, FrameType, Hello, ProtoError};
+use crate::secure::{derive_session_keys, CostMeter, CostReport, StreamCipher};
+use crate::wire::{FillStatus, FrameReader, FrameWriter};
+
+/// Most inputs the emitter drains (and dispatches) per wake-up.
+const DISPATCH_BATCH: usize = 32;
+/// Most tasks a writer ships per flush (one syscall per wire batch).
+const WIRE_BATCH: usize = 32;
+/// How long a connect + handshake may take before the endpoint is
+/// declared unreachable.
+const HANDSHAKE_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// Encodes one input item to its wire payload.
+pub type EncodeFn<In> = Arc<dyn Fn(In) -> Vec<u8> + Send + Sync>;
+/// Decodes one result payload back to the output type.
+pub type DecodeFn<Out> = Arc<dyn Fn(&[u8]) -> Out + Send + Sync>;
+
+/// A `bskel-workerd` address the pool may open slots against.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Endpoint {
+    /// `host:port` of the daemon.
+    pub addr: String,
+    /// Whether slots on this endpoint run the secure channel.
+    pub secure: bool,
+}
+
+impl Endpoint {
+    /// A plain (clear-channel) endpoint.
+    pub fn plain(addr: impl Into<String>) -> Self {
+        Self {
+            addr: addr.into(),
+            secure: false,
+        }
+    }
+
+    /// A secured endpoint (toy cipher + metered handshake).
+    pub fn secure(addr: impl Into<String>) -> Self {
+        Self {
+            addr: addr.into(),
+            secure: true,
+        }
+    }
+}
+
+enum PoolMsg<Out> {
+    Batch(Vec<(u64, Out)>),
+    Lost(u64),
+    Total(u64),
+}
+
+/// Everything a remote slot's threads share. The RCU table holds `Arc`s
+/// of these.
+struct SlotShared {
+    id: u64,
+    endpoint: Endpoint,
+    /// Local staging queue the emitter dispatches into; the slot's writer
+    /// thread drains it onto the wire.
+    queue: WorkerQueue<Vec<u8>>,
+    /// Tasks sent but not yet resolved by a `Result`/`Lost` frame, keyed
+    /// by sequence number. Entries are inserted by the writer *before*
+    /// the bytes hit the wire and removed only by the reader.
+    inflight: Mutex<BTreeMap<u64, Vec<u8>>>,
+    inflight_count: AtomicUsize,
+    /// Serialises all wire writes on this connection (the cipher keystream
+    /// is order-dependent, and frames must not interleave).
+    writer: Mutex<FrameWriter>,
+    /// Kept for `shutdown()`: severing it wakes the reader.
+    stream: TcpStream,
+    /// Latest daemon-reported cumulative service statistic.
+    service: Mutex<Welford>,
+    /// Latest daemon-reported queue depth (tasks at the daemon).
+    remote_depth: AtomicUsize,
+    /// Heartbeat round-trip time, milliseconds (f64 bits; 0 = none yet).
+    rtt_ms_bits: AtomicU64,
+    /// When the last frame (any type) arrived from this slot.
+    last_seen: Mutex<Instant>,
+    /// Outstanding heartbeat pings: id → send time.
+    pings: Mutex<HashMap<u64, Instant>>,
+    /// Cooperative retirement in progress (`remove_workers`).
+    retiring: AtomicBool,
+    /// The death path has run (single-shot guard).
+    dead: AtomicBool,
+    /// Why the failure detector severed this slot, if it did.
+    suspect_reason: Mutex<Option<String>>,
+}
+
+impl SlotShared {
+    /// Tasks this slot is responsible for: staged locally, on the wire,
+    /// or queued at the daemon.
+    fn backlog(&self) -> usize {
+        self.queue.len()
+            + self.inflight_count.load(Ordering::Relaxed)
+            + self.remote_depth.load(Ordering::Relaxed)
+    }
+
+    fn rtt_ms(&self) -> f64 {
+        f64::from_bits(self.rtt_ms_bits.load(Ordering::Relaxed))
+    }
+
+    fn touch(&self) {
+        *self.last_seen.lock() = Instant::now();
+    }
+}
+
+/// Membership record: the slot plus its two service threads.
+struct SlotHandle {
+    slot: Arc<SlotShared>,
+    writer: JoinHandle<()>,
+    reader: JoinHandle<()>,
+}
+
+struct PoolMetrics {
+    clock: Arc<dyn Clock>,
+    arrivals: AtomicRateEstimator,
+    departures: AtomicRateEstimator,
+    end_of_stream: AtomicBool,
+    reconfiguring: AtomicBool,
+    blackout_until_bits: AtomicU64,
+    last_arrival_bits: AtomicU64,
+    workers_lost: AtomicU64,
+}
+
+impl PoolMetrics {
+    fn now(&self) -> Time {
+        self.clock.now()
+    }
+
+    fn set_blackout_until(&self, t: Time) {
+        self.blackout_until_bits
+            .store(t.to_bits(), Ordering::SeqCst);
+    }
+
+    fn in_blackout(&self, now: Time) -> bool {
+        now < f64::from_bits(self.blackout_until_bits.load(Ordering::SeqCst))
+    }
+}
+
+struct PoolShared<Out> {
+    name: String,
+    self_ref: Weak<PoolShared<Out>>,
+    metrics: PoolMetrics,
+    /// The RCU-published dispatch table (same invariants as the farm's).
+    table: Arc<Published<Vec<Arc<SlotShared>>>>,
+    /// Membership and the reconfiguration serialisation point.
+    slots: Mutex<Vec<SlotHandle>>,
+    /// Cooperatively retired slots: their service statistic keeps counting
+    /// and their threads are joined at shutdown.
+    retired_slots: Mutex<Vec<Arc<SlotShared>>>,
+    retired_threads: Mutex<Vec<JoinHandle<()>>>,
+    /// Threads of slots that died abruptly; reaped at shutdown.
+    dead_threads: Mutex<Vec<JoinHandle<()>>>,
+    /// Tasks stranded while no live slot exists.
+    parked: Mutex<Vec<Task<Vec<u8>>>>,
+    panics: Mutex<Vec<String>>,
+    events: Mutex<Vec<FarmEvent>>,
+    disconnects: Mutex<Vec<String>>,
+    terminating: AtomicBool,
+    next_slot_id: AtomicU64,
+    next_endpoint: AtomicUsize,
+    next_ping: AtomicU64,
+    rr_cursor: AtomicUsize,
+    results_tx: Sender<PoolMsg<Out>>,
+    decode: DecodeFn<Out>,
+    endpoints: Vec<Endpoint>,
+    workload: String,
+    meter: Arc<CostMeter>,
+    max_workers: u32,
+    rate_window: f64,
+}
+
+impl<Out: Send + 'static> PoolShared<Out> {
+    // -- connection establishment -------------------------------------
+
+    /// Connects one slot against `endpoint` and spawns its threads.
+    /// Performed *outside* the membership lock (connects can be slow).
+    fn connect_slot(&self, endpoint: &Endpoint) -> Result<SlotHandle, String> {
+        let id = self.next_slot_id.fetch_add(1, Ordering::Relaxed);
+        let stream = TcpStream::connect(&endpoint.addr)
+            .map_err(|e| format!("connect {}: {e}", endpoint.addr))?;
+        stream.set_nodelay(true).ok();
+        let err = |e: &dyn std::fmt::Display| format!("handshake {}: {e}", endpoint.addr);
+        let mut writer = FrameWriter::new(stream.try_clone().map_err(|e| err(&e))?);
+        let mut reader = FrameReader::new(stream.try_clone().map_err(|e| err(&e))?);
+
+        // Not a secret — see crate::secure. Only varies keys per slot.
+        let client_nonce = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0xC11E)
+            ^ id.rotate_left(48);
+        writer
+            .send(
+                FrameType::Hello,
+                0,
+                &encode_hello(&Hello {
+                    secure: endpoint.secure,
+                    nonce: client_nonce,
+                    workload: self.workload.clone(),
+                }),
+            )
+            .map_err(|e| err(&e))?;
+
+        // Bounded wait for the HelloAck: a short read timeout polled
+        // against a deadline (next_blocking would spin past timeouts).
+        stream
+            .set_read_timeout(Some(Duration::from_millis(100)))
+            .map_err(|e| err(&e))?;
+        let deadline = Instant::now() + HANDSHAKE_TIMEOUT;
+        let ack = loop {
+            match reader.try_next() {
+                Ok(Some(f)) if f.ftype == FrameType::HelloAck => {
+                    break decode_hello_ack(&f.payload)
+                        .ok_or_else(|| err(&"malformed HelloAck"))?;
+                }
+                Ok(Some(_)) => return Err(err(&"unexpected frame before HelloAck")),
+                Ok(None) => {}
+                Err(e) => return Err(err(&e)),
+            }
+            match reader.fill_once().map_err(|e| err(&e))? {
+                FillStatus::Eof => return Err(err(&"connection closed during handshake")),
+                FillStatus::Bytes => {}
+                FillStatus::WouldBlock => {
+                    if Instant::now() > deadline {
+                        return Err(err(&"timed out waiting for HelloAck"));
+                    }
+                }
+            }
+        };
+        stream.set_read_timeout(None).map_err(|e| err(&e))?;
+        if !ack.ok {
+            return Err(format!("{} refused slot: {}", endpoint.addr, ack.error));
+        }
+        if endpoint.secure {
+            let (c2s, s2c) = self
+                .meter
+                .time_handshake(|| derive_session_keys(client_nonce, ack.nonce));
+            writer.secure(StreamCipher::new(c2s), Arc::clone(&self.meter));
+            reader.secure(StreamCipher::new(s2c), Arc::clone(&self.meter));
+        }
+
+        let slot = Arc::new(SlotShared {
+            id,
+            endpoint: endpoint.clone(),
+            queue: WorkerQueue::new(),
+            inflight: Mutex::new(BTreeMap::new()),
+            inflight_count: AtomicUsize::new(0),
+            writer: Mutex::new(writer),
+            stream,
+            service: Mutex::new(Welford::new()),
+            remote_depth: AtomicUsize::new(0),
+            rtt_ms_bits: AtomicU64::new(0),
+            last_seen: Mutex::new(Instant::now()),
+            pings: Mutex::new(HashMap::new()),
+            retiring: AtomicBool::new(false),
+            dead: AtomicBool::new(false),
+            suspect_reason: Mutex::new(None),
+        });
+
+        let writer_thread = {
+            let slot = Arc::clone(&slot);
+            let weak = self.self_ref.clone();
+            std::thread::Builder::new()
+                .name(format!("{}-slot{id}-writer", self.name))
+                .spawn(move || Self::writer_loop(&slot, &weak))
+                .map_err(|e| format!("spawn writer: {e}"))?
+        };
+        let reader_thread = {
+            let slot = Arc::clone(&slot);
+            let weak = self.self_ref.clone();
+            std::thread::Builder::new()
+                .name(format!("{}-slot{id}-reader", self.name))
+                .spawn(move || Self::reader_loop(reader, &slot, &weak))
+                .map_err(|e| format!("spawn reader: {e}"))?
+        };
+        Ok(SlotHandle {
+            slot,
+            writer: writer_thread,
+            reader: reader_thread,
+        })
+    }
+
+    // -- per-slot threads ---------------------------------------------
+
+    /// Drains the slot's staging queue onto the wire, batch by batch.
+    fn writer_loop(slot: &Arc<SlotShared>, shared: &Weak<PoolShared<Out>>) {
+        let mut batch: Vec<Task<Vec<u8>>> = Vec::with_capacity(WIRE_BATCH);
+        while slot.queue.pop_batch(WIRE_BATCH, &mut batch) {
+            // Record in-flight BEFORE writing: if the connection dies
+            // mid-flush there is no window in which a task exists only as
+            // wire bytes. The `dead` check sits inside the in-flight
+            // critical section to close a race with the death path: the
+            // death path sets `dead` before harvesting under this same
+            // lock, so either we observe `dead == false` here and our
+            // entries are included in the (necessarily later) harvest, or
+            // we observe `dead == true` and replay the batch ourselves.
+            let inserted = {
+                let mut inflight = slot.inflight.lock();
+                if slot.dead.load(Ordering::SeqCst) {
+                    false
+                } else {
+                    for t in &batch {
+                        inflight.insert(t.seq, t.item.clone());
+                    }
+                    true
+                }
+            };
+            if !inserted {
+                // The slot died under us before these tasks were recorded
+                // anywhere the harvest could see: replay them directly.
+                if let Some(shared) = shared.upgrade() {
+                    let slots = shared.slots.lock();
+                    let tasks = std::mem::take(&mut batch);
+                    shared.recover_tasks(&slots, tasks);
+                }
+                return;
+            }
+            slot.inflight_count.fetch_add(batch.len(), Ordering::SeqCst);
+            let flushed = {
+                let mut w = slot.writer.lock();
+                for t in batch.drain(..) {
+                    w.push(FrameType::Task, t.seq, &t.item);
+                }
+                w.flush()
+            };
+            if flushed.is_err() {
+                // Dead connection: sever it so the reader (the single
+                // death-path owner) wakes and runs recovery.
+                let _ = slot.stream.shutdown(Shutdown::Both);
+                return;
+            }
+        }
+        // Queue closed: retirement or pool shutdown. Tell the daemon to
+        // finish pending work and close — unless the slot already died
+        // (a goodbye on a severed socket is just noise).
+        if !slot.dead.load(Ordering::SeqCst) {
+            let res = slot.writer.lock().send(FrameType::Goodbye, 0, &[]);
+            if let Err(e) = res {
+                if !slot.dead.load(Ordering::SeqCst) {
+                    if let Some(shared) = shared.upgrade() {
+                        shared.disconnects.lock().push(format!(
+                            "slot {} ({}): goodbye failed: {e}",
+                            slot.id, slot.endpoint.addr
+                        ));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Consumes the slot's result stream; on EOF/error decides between a
+    /// quiet cooperative exit and the crash-recovery death path.
+    fn reader_loop(
+        mut reader: FrameReader,
+        slot: &Arc<SlotShared>,
+        shared: &Weak<PoolShared<Out>>,
+    ) {
+        let mut out: Vec<(u64, Out)> = Vec::new();
+        let reason: String = 'conn: loop {
+            // Drain every frame the decoder already holds...
+            loop {
+                match reader.try_next() {
+                    Ok(Some(f)) => {
+                        if let Some(shared) = shared.upgrade() {
+                            shared.handle_slot_frame(slot, f, &mut out);
+                        }
+                    }
+                    Ok(None) => break,
+                    Err(ProtoError::Oversized { len }) => {
+                        break 'conn format!("protocol violation: frame announcing {len} bytes");
+                    }
+                }
+            }
+            // ...forward the decoded batch before blocking again.
+            if !out.is_empty() {
+                if let Some(shared) = shared.upgrade() {
+                    let now = shared.metrics.now();
+                    shared.metrics.departures.record_n(now, out.len() as u64);
+                    let _ = shared
+                        .results_tx
+                        .send(PoolMsg::Batch(std::mem::take(&mut out)));
+                } else {
+                    out.clear();
+                }
+            }
+            match reader.fill_once() {
+                Ok(FillStatus::Bytes) | Ok(FillStatus::WouldBlock) => {}
+                Ok(FillStatus::Eof) => break 'conn "connection closed".to_owned(),
+                Err(e) => break 'conn format!("read error: {e}"),
+            }
+        };
+
+        let Some(shared) = shared.upgrade() else {
+            return;
+        };
+        let reason = slot.suspect_reason.lock().take().unwrap_or(reason);
+        if shared.terminating.load(Ordering::SeqCst) {
+            return; // pool shutdown: the stream already completed.
+        }
+        let unresolved = slot.inflight_count.load(Ordering::SeqCst) > 0 || !slot.queue.is_empty();
+        if slot.retiring.load(Ordering::SeqCst) && !unresolved {
+            return; // clean cooperative retirement.
+        }
+        // Abrupt death (or a retiring daemon that crashed with work still
+        // unresolved): recover everything this slot held.
+        shared.on_slot_death(slot, &reason);
+    }
+
+    /// Applies one received frame to the slot / the result stream.
+    fn handle_slot_frame(
+        &self,
+        slot: &Arc<SlotShared>,
+        f: crate::proto::Frame,
+        out: &mut Vec<(u64, Out)>,
+    ) {
+        slot.touch();
+        match f.ftype {
+            FrameType::Result => {
+                // `remove` guards against duplicates by construction: a
+                // result for an already-harvested (recovered) task is
+                // dropped rather than delivered twice.
+                let claimed = slot.inflight.lock().remove(&f.seq).is_some();
+                if claimed {
+                    slot.inflight_count.fetch_sub(1, Ordering::SeqCst);
+                    out.push((f.seq, (self.decode)(&f.payload)));
+                }
+            }
+            FrameType::Lost => {
+                // The remote worker panicked on this task: poisoned, no
+                // result will ever exist. Propagate the hole.
+                let claimed = slot.inflight.lock().remove(&f.seq).is_some();
+                if claimed {
+                    slot.inflight_count.fetch_sub(1, Ordering::SeqCst);
+                    let _ = self.results_tx.send(PoolMsg::Lost(f.seq));
+                    let now = self.metrics.now();
+                    self.metrics.departures.record_n(now, 1);
+                    let msg = format!(
+                        "remote worker panicked on task {} (slot {}, {})",
+                        f.seq, slot.id, slot.endpoint.addr
+                    );
+                    self.events.lock().push(FarmEvent {
+                        at: now,
+                        kind: FarmEventKind::WorkerPanic,
+                        detail: msg.clone(),
+                    });
+                    self.panics.lock().push(msg);
+                }
+            }
+            FrameType::Sensors => {
+                if let Some(blob) = decode_sensors(&f.payload) {
+                    *slot.service.lock() = blob.service;
+                    slot.remote_depth
+                        .store(blob.queue_depth as usize, Ordering::Relaxed);
+                }
+            }
+            FrameType::HeartbeatAck => {
+                if let Some(blob) = decode_sensors(&f.payload) {
+                    *slot.service.lock() = blob.service;
+                    slot.remote_depth
+                        .store(blob.queue_depth as usize, Ordering::Relaxed);
+                }
+                if let Some(sent) = slot.pings.lock().remove(&f.seq) {
+                    let rtt_ms = sent.elapsed().as_secs_f64() * 1e3;
+                    slot.rtt_ms_bits.store(rtt_ms.to_bits(), Ordering::Relaxed);
+                }
+            }
+            // Goodbye: the daemon acknowledged retirement; EOF follows.
+            // Handshake/task frames are never valid daemon→pool.
+            _ => {}
+        }
+    }
+
+    // -- failure detection --------------------------------------------
+
+    /// One detector sweep: sever deadline-breaching slots, ping the rest.
+    fn detector_sweep(&self, timeout: Duration) {
+        let table = self.table.load();
+        for slot in table.iter() {
+            if slot.dead.load(Ordering::SeqCst) || slot.retiring.load(Ordering::SeqCst) {
+                continue;
+            }
+            let silent_for = slot.last_seen.lock().elapsed();
+            if silent_for > timeout {
+                *slot.suspect_reason.lock() = Some(format!(
+                    "heartbeat deadline missed: silent for {silent_for:?} (timeout {timeout:?})"
+                ));
+                // Severing the socket wakes the reader, which owns the
+                // death path — a single recovery code path for every way
+                // a slot can die.
+                let _ = slot.stream.shutdown(Shutdown::Both);
+                continue;
+            }
+            let ping = self.next_ping.fetch_add(1, Ordering::Relaxed);
+            slot.pings.lock().insert(ping, Instant::now());
+            // A send failure means a dying connection; the reader notices.
+            let _ = slot.writer.lock().send(FrameType::Heartbeat, ping, &[]);
+        }
+    }
+
+    // -- death & recovery ---------------------------------------------
+
+    /// The single death path: deregisters a crashed slot and replays
+    /// every task it held (staged backlog + in-flight map) onto the
+    /// survivors. Runs on the dying slot's own reader thread, *after* the
+    /// read loop exited — so no harvested task can also be resolved.
+    fn on_slot_death(&self, slot: &Arc<SlotShared>, reason: &str) {
+        if slot.dead.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        let now = self.metrics.now();
+        let mut slots = self.slots.lock();
+        let mut leftover: Vec<Task<Vec<u8>>> = Vec::new();
+        if let Some(pos) = slots.iter().position(|h| h.slot.id == slot.id) {
+            let victim = slots.remove(pos);
+            // Publish the shrunken table BEFORE closing the dead queue —
+            // the farm's loss-freedom invariant, verbatim.
+            self.publish_table(&slots);
+            self.dead_threads.lock().push(victim.writer);
+            self.dead_threads.lock().push(victim.reader);
+        }
+        // In-flight first (oldest sequence numbers), then staged backlog.
+        let harvested: Vec<Task<Vec<u8>>> = {
+            let mut inflight = slot.inflight.lock();
+            let drained = std::mem::take(&mut *inflight);
+            drained
+                .into_iter()
+                .map(|(seq, item)| Task { seq, item })
+                .collect()
+        };
+        slot.inflight_count.store(0, Ordering::SeqCst);
+        leftover.extend(harvested);
+        leftover.extend(slot.queue.close());
+        let replayed = leftover.len();
+        // The slot's completed work keeps counting toward the service
+        // statistic.
+        self.retired_slots.lock().push(Arc::clone(slot));
+        self.metrics.workers_lost.fetch_add(1, Ordering::SeqCst);
+        self.events.lock().push(FarmEvent {
+            at: now,
+            kind: FarmEventKind::WorkerLost,
+            detail: format!(
+                "remote slot {} ({}) lost: {reason}; {replayed} tasks replayed",
+                slot.id, slot.endpoint.addr
+            ),
+        });
+        self.recover_tasks(&slots, leftover);
+        drop(slots);
+    }
+
+    /// Re-dispatches recovered tasks round-robin onto the survivors, or
+    /// parks them when no live slot exists. Caller holds the membership
+    /// lock.
+    fn recover_tasks(&self, survivors: &[SlotHandle], tasks: Vec<Task<Vec<u8>>>) {
+        if tasks.is_empty() {
+            return;
+        }
+        if survivors.is_empty() {
+            if !self.terminating.load(Ordering::SeqCst) {
+                self.parked.lock().extend(tasks);
+            }
+            return;
+        }
+        for (i, task) in tasks.into_iter().enumerate() {
+            let target = &survivors[i % survivors.len()];
+            let mut one = vec![task];
+            let accepted = target.slot.queue.push_batch(&mut one);
+            debug_assert!(accepted, "survivor queues are open under the lock");
+        }
+    }
+
+    // -- reconfiguration (the FarmControl actuators) ------------------
+
+    fn publish_table(&self, slots: &[SlotHandle]) {
+        self.table
+            .publish(slots.iter().map(|h| Arc::clone(&h.slot)).collect());
+    }
+
+    fn add_workers_impl(&self, n: u32) -> Result<u32, String> {
+        let current = self.slots.lock().len() as u32;
+        if current + n > self.max_workers {
+            return Err(format!(
+                "worker limit reached ({current}+{n} > {})",
+                self.max_workers
+            ));
+        }
+        self.metrics.reconfiguring.store(true, Ordering::SeqCst);
+        // Connect outside the membership lock: a slow or dead endpoint
+        // must not stall sensing or the death path.
+        let mut connected: Vec<SlotHandle> = Vec::new();
+        let mut last_err = String::new();
+        let mut attempts = 0;
+        while connected.len() < n as usize && attempts < n as usize * self.endpoints.len() {
+            let i = self.next_endpoint.fetch_add(1, Ordering::Relaxed) % self.endpoints.len();
+            attempts += 1;
+            match self.connect_slot(&self.endpoints[i]) {
+                Ok(h) => connected.push(h),
+                Err(e) => last_err = e,
+            }
+        }
+        let added = connected.len() as u32;
+        if added == 0 {
+            self.metrics.reconfiguring.store(false, Ordering::SeqCst);
+            return Err(format!("no endpoint accepted a slot: {last_err}"));
+        }
+        let mut slots = self.slots.lock();
+        slots.extend(connected);
+        self.publish_table(&slots);
+        // Tasks stranded by a total-failure episode resume here.
+        let parked: Vec<Task<Vec<u8>>> = std::mem::take(&mut *self.parked.lock());
+        self.recover_tasks(&slots, parked);
+        drop(slots);
+        let now = self.metrics.now();
+        self.metrics.departures.reset(now);
+        self.metrics.set_blackout_until(now + self.rate_window);
+        self.metrics.reconfiguring.store(false, Ordering::SeqCst);
+        Ok(added)
+    }
+
+    fn remove_workers_impl(&self, n: u32) -> Result<u32, String> {
+        let mut slots = self.slots.lock();
+        if slots.len() as u32 <= n {
+            return Err(format!(
+                "cannot remove {n} of {} workers (at least one must remain)",
+                slots.len()
+            ));
+        }
+        let victims: Vec<SlotHandle> = {
+            let keep = slots.len() - n as usize;
+            slots.split_off(keep)
+        };
+        // Publish-before-close, as everywhere.
+        self.publish_table(&slots);
+        let mut removed = 0;
+        for victim in victims {
+            victim.slot.retiring.store(true, Ordering::SeqCst);
+            // Staged tasks move to survivors; in-flight tasks finish at
+            // the daemon and flow back through the still-running reader.
+            let mut stolen = victim.slot.queue.close();
+            for (i, task) in stolen.drain(..).enumerate() {
+                let target = &slots[i % slots.len()];
+                let mut one = vec![task];
+                let accepted = target.slot.queue.push_batch(&mut one);
+                debug_assert!(accepted, "survivor queues are open under the lock");
+            }
+            self.retired_slots.lock().push(Arc::clone(&victim.slot));
+            let mut retired = self.retired_threads.lock();
+            retired.push(victim.writer);
+            retired.push(victim.reader);
+            removed += 1;
+        }
+        drop(slots);
+        let now = self.metrics.now();
+        self.metrics.departures.reset(now);
+        self.metrics.set_blackout_until(now + self.rate_window);
+        Ok(removed)
+    }
+
+    fn rebalance_impl(&self) -> bool {
+        let slots = self.slots.lock();
+        if slots.len() < 2 {
+            return false;
+        }
+        // Only the *local* staging queues can be rebalanced; what is on
+        // the wire or at a daemon is committed.
+        let lens: Vec<usize> = slots.iter().map(|h| h.slot.queue.len()).collect();
+        let max = *lens.iter().max().expect("non-empty");
+        let min = *lens.iter().min().expect("non-empty");
+        if max - min <= 1 {
+            return false;
+        }
+        let mut all: Vec<Task<Vec<u8>>> = Vec::new();
+        for h in slots.iter() {
+            all.extend(h.slot.queue.drain_open());
+        }
+        let moved = !all.is_empty();
+        let mut per: Vec<Vec<Task<Vec<u8>>>> = slots.iter().map(|_| Vec::new()).collect();
+        for (i, task) in all.into_iter().enumerate() {
+            per[i % slots.len()].push(task);
+        }
+        for (h, mut chunk) in slots.iter().zip(per) {
+            let accepted = h.slot.queue.push_batch(&mut chunk);
+            debug_assert!(accepted, "open under the membership lock");
+        }
+        moved
+    }
+
+    /// Fault injection: severs `n` slots' sockets. Recovery is
+    /// asynchronous (each reader runs the death path when it wakes), so
+    /// callers observe the loss through `workers_lost`, like an external
+    /// daemon crash.
+    fn kill_workers_impl(&self, n: u32) -> Result<u32, String> {
+        let victims: Vec<Arc<SlotShared>> = {
+            let slots = self.slots.lock();
+            let live: Vec<&SlotHandle> = slots
+                .iter()
+                .filter(|h| !h.slot.dead.load(Ordering::SeqCst))
+                .collect();
+            if (live.len() as u32) < n {
+                return Err(format!("cannot kill {n} of {} slots", live.len()));
+            }
+            live[live.len() - n as usize..]
+                .iter()
+                .map(|h| Arc::clone(&h.slot))
+                .collect()
+        };
+        for slot in victims {
+            *slot.suspect_reason.lock() = Some("connection severed (fault injection)".into());
+            let _ = slot.stream.shutdown(Shutdown::Both);
+        }
+        Ok(n)
+    }
+
+    fn sense_impl(&self, now: Time) -> SensorSnapshot {
+        let table = self.table.load();
+        let backlogs: Vec<u64> = table.iter().map(|s| s.backlog() as u64).collect();
+        let mut snap = SensorSnapshot::empty(now);
+        snap.arrival_rate = self.metrics.arrivals.rate(now);
+        snap.departure_rate = self.metrics.departures.rate(now);
+        snap.num_workers = table.len() as u32;
+        snap.remote_workers = table.len() as u32;
+        snap.queue_variance = queue_variance(&backlogs);
+        snap.queued_tasks = backlogs.iter().sum();
+        let mut service = Welford::new();
+        let mut rtt_sum = 0.0;
+        let mut rtt_n = 0u32;
+        for slot in table.iter() {
+            service.merge(&slot.service.lock());
+            let rtt = slot.rtt_ms();
+            if rtt > 0.0 {
+                rtt_sum += rtt;
+                rtt_n += 1;
+            }
+        }
+        for slot in self.retired_slots.lock().iter() {
+            service.merge(&slot.service.lock());
+        }
+        snap.service_time = service.mean();
+        if rtt_n > 0 {
+            snap.net_rtt_ms = rtt_sum / f64::from(rtt_n);
+        }
+        snap.end_of_stream = self.metrics.end_of_stream.load(Ordering::SeqCst);
+        snap.workers_lost = self.metrics.workers_lost.load(Ordering::SeqCst);
+        snap.reconfiguring =
+            self.metrics.reconfiguring.load(Ordering::SeqCst) || self.metrics.in_blackout(now);
+        let bits = self.metrics.last_arrival_bits.load(Ordering::Relaxed);
+        if bits != 0 {
+            snap.idle_for = (now - f64::from_bits(bits)).max(0.0);
+        }
+        snap
+    }
+
+    // -- dispatch (the emitter's task path; the farm's logic verbatim) --
+
+    fn dispatch(
+        &self,
+        reader: &mut ReadHandle<Vec<Arc<SlotShared>>>,
+        sched: SchedPolicy,
+        items: &mut Vec<Task<Vec<u8>>>,
+    ) {
+        while !items.is_empty() {
+            let generation = self.table.generation();
+            let table = Arc::clone(reader.get());
+            if table.is_empty() {
+                if self.terminating.load(Ordering::SeqCst) {
+                    items.clear();
+                    return;
+                }
+                self.parked.lock().append(items);
+                if self.table.generation() == generation {
+                    return;
+                }
+                items.append(&mut self.parked.lock());
+                continue;
+            }
+            let n = table.len();
+            let mut per: Vec<Vec<Task<Vec<u8>>>> = (0..n).map(|_| Vec::new()).collect();
+            match sched {
+                SchedPolicy::RoundRobin => {
+                    for task in items.drain(..) {
+                        let i = self.rr_cursor.fetch_add(1, Ordering::Relaxed) % n;
+                        per[i].push(task);
+                    }
+                }
+                SchedPolicy::ShortestQueue => {
+                    let mut lens: Vec<usize> = table.iter().map(|s| s.backlog()).collect();
+                    for task in items.drain(..) {
+                        let i = (0..n).min_by_key(|&i| lens[i]).expect("non-empty");
+                        lens[i] += 1;
+                        per[i].push(task);
+                    }
+                }
+            }
+            for (i, chunk) in per.iter_mut().enumerate() {
+                if !table[i].queue.push_batch(chunk) {
+                    items.append(chunk);
+                }
+            }
+            if items.is_empty() {
+                return;
+            }
+            if self.table.generation() == generation {
+                items.clear();
+                return;
+            }
+        }
+    }
+}
+
+impl<Out: Send + 'static> FarmControl for PoolShared<Out> {
+    fn sense(&self, now: Time) -> SensorSnapshot {
+        self.sense_impl(now)
+    }
+
+    fn add_workers(&self, n: u32) -> Result<u32, String> {
+        self.add_workers_impl(n)
+    }
+
+    fn remove_workers(&self, n: u32) -> Result<u32, String> {
+        self.remove_workers_impl(n)
+    }
+
+    fn rebalance(&self) -> bool {
+        self.rebalance_impl()
+    }
+
+    fn num_workers(&self) -> usize {
+        self.table.load().len()
+    }
+
+    fn kill_workers(&self, n: u32) -> Result<u32, String> {
+        self.kill_workers_impl(n)
+    }
+
+    fn workers_lost(&self) -> u64 {
+        self.metrics.workers_lost.load(Ordering::SeqCst)
+    }
+
+    fn events(&self) -> Vec<FarmEvent> {
+        self.events.lock().clone()
+    }
+}
+
+/// Builder for a [`RemoteWorkerPool`].
+pub struct RemotePoolBuilder<In, Out> {
+    name: String,
+    endpoints: Vec<Endpoint>,
+    workload: String,
+    encode: EncodeFn<In>,
+    decode: DecodeFn<Out>,
+    initial_workers: u32,
+    max_workers: u32,
+    sched: SchedPolicy,
+    gather: GatherPolicy,
+    clock: Arc<dyn Clock>,
+    rate_window: f64,
+    heartbeat_period: Duration,
+    failure_timeout: Duration,
+}
+
+impl<In: Send + 'static, Out: Send + 'static> RemotePoolBuilder<In, Out> {
+    /// A builder over the daemon workload name and the item codecs.
+    pub fn new(
+        workload: impl Into<String>,
+        encode: impl Fn(In) -> Vec<u8> + Send + Sync + 'static,
+        decode: impl Fn(&[u8]) -> Out + Send + Sync + 'static,
+    ) -> Self {
+        Self {
+            name: "rfarm".into(),
+            endpoints: Vec::new(),
+            workload: workload.into(),
+            encode: Arc::new(encode),
+            decode: Arc::new(decode),
+            initial_workers: 1,
+            max_workers: 64,
+            sched: SchedPolicy::default(),
+            gather: GatherPolicy::default(),
+            clock: Arc::new(RealClock::new()),
+            rate_window: 2.0,
+            heartbeat_period: Duration::from_millis(50),
+            failure_timeout: Duration::from_millis(500),
+        }
+    }
+
+    /// Adds a daemon endpoint the pool may open slots against. Slots are
+    /// placed round-robin over all registered endpoints.
+    pub fn endpoint(mut self, e: Endpoint) -> Self {
+        self.endpoints.push(e);
+        self
+    }
+
+    /// Pool name (thread names, diagnostics).
+    pub fn name(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+
+    /// Initial number of remote slots (≥ 1).
+    pub fn initial_workers(mut self, n: u32) -> Self {
+        self.initial_workers = n.max(1);
+        self
+    }
+
+    /// Maximum number of remote slots.
+    pub fn max_workers(mut self, n: u32) -> Self {
+        self.max_workers = n.max(1);
+        self
+    }
+
+    /// Emitter scheduling policy.
+    pub fn sched(mut self, p: SchedPolicy) -> Self {
+        self.sched = p;
+        self
+    }
+
+    /// Collector gathering policy.
+    pub fn gather(mut self, p: GatherPolicy) -> Self {
+        self.gather = p;
+        self
+    }
+
+    /// Time source for metrics.
+    pub fn clock(mut self, clock: Arc<dyn Clock>) -> Self {
+        self.clock = clock;
+        self
+    }
+
+    /// Window length of the rate estimators, seconds.
+    pub fn rate_window(mut self, secs: f64) -> Self {
+        self.rate_window = secs;
+        self
+    }
+
+    /// Heartbeat send period. The failure timeout should be several
+    /// periods *and* longer than one task's worst-case service time plus
+    /// a round trip (the daemon answers heartbeats between tasks, not
+    /// mid-task).
+    pub fn heartbeat_period(mut self, d: Duration) -> Self {
+        self.heartbeat_period = d;
+        self
+    }
+
+    /// Silence deadline after which a slot is declared dead.
+    pub fn failure_timeout(mut self, d: Duration) -> Self {
+        self.failure_timeout = d;
+        self
+    }
+
+    /// Connects the initial slots and starts the pool.
+    ///
+    /// Fails if no endpoint was registered or fewer than the requested
+    /// initial slots could be connected.
+    pub fn build(self) -> Result<RemoteWorkerPool<In, Out>, String> {
+        if self.endpoints.is_empty() {
+            return Err("no endpoints registered".into());
+        }
+        let (input_tx, input_rx) = unbounded::<StreamMsg<In>>();
+        let (results_tx, results_rx) = unbounded::<PoolMsg<Out>>();
+        let (output_tx, output_rx) = unbounded::<StreamMsg<Out>>();
+
+        let shared = Arc::new_cyclic(|self_ref| PoolShared {
+            name: self.name.clone(),
+            self_ref: self_ref.clone(),
+            metrics: PoolMetrics {
+                clock: Arc::clone(&self.clock),
+                arrivals: AtomicRateEstimator::new(self.rate_window),
+                departures: AtomicRateEstimator::new(self.rate_window),
+                end_of_stream: AtomicBool::new(false),
+                reconfiguring: AtomicBool::new(false),
+                blackout_until_bits: AtomicU64::new(0),
+                last_arrival_bits: AtomicU64::new(0),
+                workers_lost: AtomicU64::new(0),
+            },
+            table: Arc::new(Published::new(Vec::new())),
+            slots: Mutex::new(Vec::new()),
+            retired_slots: Mutex::new(Vec::new()),
+            retired_threads: Mutex::new(Vec::new()),
+            dead_threads: Mutex::new(Vec::new()),
+            parked: Mutex::new(Vec::new()),
+            panics: Mutex::new(Vec::new()),
+            events: Mutex::new(Vec::new()),
+            disconnects: Mutex::new(Vec::new()),
+            terminating: AtomicBool::new(false),
+            next_slot_id: AtomicU64::new(0),
+            next_endpoint: AtomicUsize::new(0),
+            next_ping: AtomicU64::new(0),
+            rr_cursor: AtomicUsize::new(0),
+            results_tx: results_tx.clone(),
+            decode: Arc::clone(&self.decode),
+            endpoints: self.endpoints.clone(),
+            workload: self.workload.clone(),
+            meter: Arc::new(CostMeter::new()),
+            max_workers: self.max_workers,
+            rate_window: self.rate_window,
+        });
+
+        {
+            // Initial slots: all-or-nothing so a misconfigured endpoint
+            // fails loudly at build time.
+            let mut handles = Vec::new();
+            for i in 0..self.initial_workers {
+                let e = &self.endpoints[i as usize % self.endpoints.len()];
+                handles.push(shared.connect_slot(e)?);
+            }
+            let mut slots = shared.slots.lock();
+            *slots = handles;
+            shared.publish_table(&slots);
+        }
+
+        // Emitter: encode + batch + RCU dispatch (the farm's loop with an
+        // encode step fused in).
+        let emitter = {
+            let shared = Arc::clone(&shared);
+            let encode = Arc::clone(&self.encode);
+            let sched = self.sched;
+            std::thread::Builder::new()
+                .name(format!("{}-emitter", self.name))
+                .spawn(move || {
+                    let mut reader = ReadHandle::new(Arc::clone(&shared.table));
+                    let mut dispatched = 0u64;
+                    let mut batch: Vec<Task<Vec<u8>>> = Vec::with_capacity(DISPATCH_BATCH);
+                    'stream: loop {
+                        let mut end = false;
+                        match input_rx.recv() {
+                            Ok(StreamMsg::Item { seq, payload }) => batch.push(Task {
+                                seq,
+                                item: encode(payload),
+                            }),
+                            Ok(StreamMsg::End) => end = true,
+                            Err(_) => break 'stream,
+                        }
+                        while !end && batch.len() < DISPATCH_BATCH {
+                            match input_rx.try_recv() {
+                                Ok(StreamMsg::Item { seq, payload }) => batch.push(Task {
+                                    seq,
+                                    item: encode(payload),
+                                }),
+                                Ok(StreamMsg::End) => end = true,
+                                Err(TryRecvError::Empty) | Err(TryRecvError::Disconnected) => break,
+                            }
+                        }
+                        if !batch.is_empty() {
+                            let now = shared.metrics.now();
+                            shared.metrics.arrivals.record_n(now, batch.len() as u64);
+                            shared
+                                .metrics
+                                .last_arrival_bits
+                                .store(now.to_bits(), Ordering::Relaxed);
+                            dispatched += batch.len() as u64;
+                            shared.dispatch(&mut reader, sched, &mut batch);
+                        }
+                        if end {
+                            shared.metrics.end_of_stream.store(true, Ordering::SeqCst);
+                            let _ = shared.results_tx.send(PoolMsg::Total(dispatched));
+                            break 'stream;
+                        }
+                    }
+                })
+                .map_err(|e| format!("spawn emitter: {e}"))?
+        };
+
+        // Collector: identical convergence protocol to the farm's.
+        let collector = {
+            let gather = self.gather;
+            std::thread::Builder::new()
+                .name(format!("{}-collector", self.name))
+                .spawn(move || {
+                    let mut reorder = ReorderBuffer::new();
+                    let mut done = 0u64;
+                    let mut emitted = 0u64;
+                    let mut expected: Option<u64> = None;
+                    for msg in results_rx.iter() {
+                        match msg {
+                            PoolMsg::Batch(results) => {
+                                done += results.len() as u64;
+                                for (seq, out) in results {
+                                    match gather {
+                                        GatherPolicy::Unordered => {
+                                            let _ = output_tx.send(StreamMsg::item(seq, out));
+                                        }
+                                        GatherPolicy::Ordered => {
+                                            for item in reorder.push(seq, out) {
+                                                let _ =
+                                                    output_tx.send(StreamMsg::item(emitted, item));
+                                                emitted += 1;
+                                            }
+                                        }
+                                    }
+                                }
+                            }
+                            PoolMsg::Lost(seq) => {
+                                done += 1;
+                                if gather == GatherPolicy::Ordered {
+                                    for item in reorder.skip(seq) {
+                                        let _ = output_tx.send(StreamMsg::item(emitted, item));
+                                        emitted += 1;
+                                    }
+                                }
+                            }
+                            PoolMsg::Total(n) => expected = Some(n),
+                        }
+                        if expected == Some(done) {
+                            let _ = output_tx.send(StreamMsg::End);
+                            break;
+                        }
+                    }
+                })
+                .map_err(|e| format!("spawn collector: {e}"))?
+        };
+
+        // Failure detector: heartbeat + deadline sweep.
+        let detector = {
+            let shared = Arc::clone(&shared);
+            let period = self.heartbeat_period;
+            let timeout = self.failure_timeout;
+            std::thread::Builder::new()
+                .name(format!("{}-detector", self.name))
+                .spawn(move || {
+                    while !shared.terminating.load(Ordering::SeqCst) {
+                        shared.detector_sweep(timeout);
+                        std::thread::sleep(period);
+                    }
+                })
+                .map_err(|e| format!("spawn detector: {e}"))?
+        };
+
+        Ok(RemoteWorkerPool {
+            input: input_tx,
+            output: output_rx,
+            shared,
+            emitter: Some(emitter),
+            collector: Some(collector),
+            detector: Some(detector),
+        })
+    }
+}
+
+/// A running distributed farm over remote `bskel-workerd` slots.
+///
+/// Same interface as the local `Farm`: an input/output stream pair and a
+/// [`FarmControl`] surface for the autonomic manager.
+pub struct RemoteWorkerPool<In, Out> {
+    input: Sender<StreamMsg<In>>,
+    output: Receiver<StreamMsg<Out>>,
+    shared: Arc<PoolShared<Out>>,
+    emitter: Option<JoinHandle<()>>,
+    collector: Option<JoinHandle<()>>,
+    detector: Option<JoinHandle<()>>,
+}
+
+impl<In: Send + 'static, Out: Send + 'static> RemoteWorkerPool<In, Out> {
+    /// The input channel: send `StreamMsg::Item`s then `StreamMsg::End`.
+    pub fn input(&self) -> Sender<StreamMsg<In>> {
+        self.input.clone()
+    }
+
+    /// The output channel: items followed by `StreamMsg::End`.
+    pub fn output(&self) -> Receiver<StreamMsg<Out>> {
+        self.output.clone()
+    }
+
+    /// The control surface an ABC binds to.
+    pub fn control(&self) -> Arc<dyn FarmControl> {
+        Arc::clone(&self.shared) as Arc<dyn FarmControl>
+    }
+
+    /// Current number of live remote slots.
+    pub fn num_workers(&self) -> usize {
+        self.shared.table.load().len()
+    }
+
+    /// Cumulative slots lost to failures.
+    pub fn workers_lost(&self) -> u64 {
+        self.shared.metrics.workers_lost.load(Ordering::SeqCst)
+    }
+
+    /// Accumulated secure-channel costs (zero for plain endpoints) — the
+    /// measured counterpart of the simulator's `SslCostModel`.
+    pub fn cost_report(&self) -> CostReport {
+        self.shared.meter.report()
+    }
+
+    fn record_join(&self, who: &str, res: std::thread::Result<()>) {
+        if let Err(payload) = res {
+            let msg = if let Some(s) = payload.downcast_ref::<&str>() {
+                format!("{who}: {s}")
+            } else if let Some(s) = payload.downcast_ref::<String>() {
+                format!("{who}: {s}")
+            } else {
+                format!("{who}: panicked (non-string payload)")
+            };
+            self.shared.panics.lock().push(msg);
+        }
+    }
+
+    /// Waits for the stream to complete, retires every connection with a
+    /// `Goodbye`, and tears all threads down. Connection-teardown errors
+    /// are surfaced in [`ShutdownReport::disconnects`] instead of being
+    /// silently dropped.
+    pub fn shutdown(mut self) -> ShutdownReport {
+        // Stream completion first (mirrors Farm::shutdown): the caller
+        // sent End, the collector exits once all results converged.
+        if let Some(e) = self.emitter.take() {
+            self.record_join("emitter", e.join());
+        }
+        if let Some(c) = self.collector.take() {
+            self.record_join("collector", c.join());
+        }
+        self.shared.terminating.store(true, Ordering::SeqCst);
+        let handles: Vec<SlotHandle> = std::mem::take(&mut *self.shared.slots.lock());
+        // Closing the queues sends each writer into its Goodbye path.
+        for h in &handles {
+            h.slot.queue.close();
+        }
+        self.shared.table.publish(Vec::new());
+        // Writers finish first: they own the goodbye flush.
+        let mut readers = Vec::new();
+        for h in handles {
+            self.record_join("slot writer", h.writer.join());
+            // All results are in (collector joined): severing the read
+            // side is safe and bounds shutdown on a wedged daemon.
+            let _ = h.slot.stream.shutdown(Shutdown::Both);
+            readers.push(h.reader);
+        }
+        for r in readers {
+            self.record_join("slot reader", r.join());
+        }
+        if let Some(d) = self.detector.take() {
+            self.record_join("detector", d.join());
+        }
+        for t in std::mem::take(&mut *self.shared.retired_threads.lock()) {
+            self.record_join("retired slot", t.join());
+        }
+        for t in std::mem::take(&mut *self.shared.dead_threads.lock()) {
+            self.record_join("dead slot", t.join());
+        }
+        ShutdownReport {
+            worker_panics: std::mem::take(&mut *self.shared.panics.lock()),
+            workers_lost: self.shared.metrics.workers_lost.load(Ordering::SeqCst),
+            events: std::mem::take(&mut *self.shared.events.lock()),
+            disconnects: std::mem::take(&mut *self.shared.disconnects.lock()),
+        }
+    }
+}
+
+impl<In, Out> Drop for RemoteWorkerPool<In, Out> {
+    fn drop(&mut self) {
+        // Best-effort teardown when shutdown() was not called: sever
+        // everything and reap what we can without blocking on the stream.
+        self.shared.terminating.store(true, Ordering::SeqCst);
+        let handles: Vec<SlotHandle> = std::mem::take(&mut *self.shared.slots.lock());
+        for h in &handles {
+            h.slot.queue.close();
+            let _ = h.slot.stream.shutdown(Shutdown::Both);
+        }
+        self.shared.table.publish(Vec::new());
+        for h in handles {
+            let _ = h.writer.join();
+            let _ = h.reader.join();
+        }
+        if let Some(d) = self.detector.take() {
+            let _ = d.join();
+        }
+        for t in std::mem::take(&mut *self.shared.dead_threads.lock()) {
+            let _ = t.join();
+        }
+        for t in std::mem::take(&mut *self.shared.retired_threads.lock()) {
+            let _ = t.join();
+        }
+    }
+}

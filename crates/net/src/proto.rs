@@ -1,0 +1,479 @@
+//! The `bskel_net` wire protocol: dependency-free, length-prefixed binary
+//! frames.
+//!
+//! Every message between a [`crate::pool::RemoteWorkerPool`] and a
+//! `bskel-workerd` daemon is one *frame*:
+//!
+//! ```text
+//! offset  size  field
+//!      0     2  magic      0xB5E7, little-endian (resynchronisation mark)
+//!      2     1  version    protocol version (currently 1)
+//!      3     1  frame type (see FrameType)
+//!      4     8  seq        u64 LE — task sequence number / heartbeat id
+//!     12     4  len        u32 LE — payload length, <= MAX_PAYLOAD
+//!     16   len  payload
+//! ```
+//!
+//! The [`Decoder`] is incremental and tolerant by design:
+//!
+//! * **partial reads** — frames may arrive a byte at a time; the decoder
+//!   buffers until a whole frame is present;
+//! * **garbage** — bytes that do not parse as a frame header (wrong magic,
+//!   unknown version or frame type) are skipped one position at a time
+//!   until the magic realigns, and counted in
+//!   [`Decoder::garbage_bytes`] so the connection owner can decide to cut
+//!   a noisy peer loose;
+//! * **oversized lengths** — a syntactically valid header announcing more
+//!   than [`MAX_PAYLOAD`] bytes is rejected with
+//!   [`ProtoError::Oversized`]; resynchronising past it is hopeless
+//!   (the stream position is ambiguous), so callers must drop the
+//!   connection.
+
+use bskel_monitor::Welford;
+
+/// Frame-start marker (little-endian on the wire: `E7 B5`).
+pub const MAGIC: u16 = 0xB5E7;
+/// Current protocol version byte.
+pub const VERSION: u8 = 1;
+/// Fixed frame-header length in bytes.
+pub const HEADER_LEN: usize = 16;
+/// Largest payload a frame may announce (16 MiB).
+pub const MAX_PAYLOAD: u32 = 16 * 1024 * 1024;
+
+/// What a frame carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum FrameType {
+    /// Client → daemon: open a worker slot (payload: [`Hello`]).
+    Hello = 0,
+    /// Daemon → client: accept/refuse a slot (payload: [`HelloAck`]).
+    HelloAck = 1,
+    /// Client → daemon: one task; `seq` is the stream sequence number,
+    /// payload the encoded task.
+    Task = 2,
+    /// Daemon → client: one result; `seq` echoes the task's.
+    Result = 3,
+    /// Daemon → client: the task at `seq` is poisoned (the remote worker
+    /// panicked computing it); no result will ever exist.
+    Lost = 4,
+    /// Client → daemon: liveness probe; `seq` is a ping id.
+    Heartbeat = 5,
+    /// Daemon → client: probe echo; `seq` echoes the ping id, payload is
+    /// a [`SensorBlob`].
+    HeartbeatAck = 6,
+    /// Daemon → client: sensor beans piggybacked on a result batch
+    /// (payload: [`SensorBlob`]).
+    Sensors = 7,
+    /// Either direction: cooperative close; the daemon finishes pending
+    /// tasks, flushes, and closes the connection.
+    Goodbye = 8,
+}
+
+impl FrameType {
+    /// Parses a wire byte; `None` for unknown types.
+    pub fn from_u8(b: u8) -> Option<Self> {
+        Some(match b {
+            0 => FrameType::Hello,
+            1 => FrameType::HelloAck,
+            2 => FrameType::Task,
+            3 => FrameType::Result,
+            4 => FrameType::Lost,
+            5 => FrameType::Heartbeat,
+            6 => FrameType::HeartbeatAck,
+            7 => FrameType::Sensors,
+            8 => FrameType::Goodbye,
+            _ => return None,
+        })
+    }
+}
+
+/// One decoded frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// What the frame carries.
+    pub ftype: FrameType,
+    /// Sequence number / heartbeat id (frame-type dependent).
+    pub seq: u64,
+    /// The payload bytes.
+    pub payload: Vec<u8>,
+}
+
+/// Connection-fatal protocol errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProtoError {
+    /// A frame header announced a payload larger than [`MAX_PAYLOAD`].
+    Oversized {
+        /// The announced length.
+        len: u32,
+    },
+}
+
+impl std::fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtoError::Oversized { len } => {
+                write!(f, "frame announces {len} payload bytes (max {MAX_PAYLOAD})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+/// Appends one encoded frame to `out`.
+///
+/// # Panics
+/// Panics if `payload` exceeds [`MAX_PAYLOAD`] — senders size their own
+/// frames; only a *received* oversized length is a recoverable condition.
+pub fn encode_frame(out: &mut Vec<u8>, ftype: FrameType, seq: u64, payload: &[u8]) {
+    assert!(
+        payload.len() <= MAX_PAYLOAD as usize,
+        "outgoing frame payload of {} bytes exceeds MAX_PAYLOAD",
+        payload.len()
+    );
+    out.reserve(HEADER_LEN + payload.len());
+    out.extend_from_slice(&MAGIC.to_le_bytes());
+    out.push(VERSION);
+    out.push(ftype as u8);
+    out.extend_from_slice(&seq.to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(payload);
+}
+
+/// Incremental, garbage-tolerant frame decoder (see module docs).
+#[derive(Debug, Default)]
+pub struct Decoder {
+    buf: Vec<u8>,
+    start: usize,
+    garbage: u64,
+}
+
+impl Decoder {
+    /// An empty decoder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Feeds received bytes into the decode buffer.
+    pub fn extend(&mut self, bytes: &[u8]) {
+        // Compact lazily so the buffer does not grow without bound while
+        // the consumed prefix does.
+        if self.start > 4096 && self.start * 2 >= self.buf.len() {
+            self.buf.drain(..self.start);
+            self.start = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes skipped so far while resynchronising past garbage.
+    pub fn garbage_bytes(&self) -> u64 {
+        self.garbage
+    }
+
+    /// Bytes currently buffered but not yet consumed.
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.start
+    }
+
+    /// Pops the next complete frame, if any.
+    ///
+    /// `Ok(None)` means "need more bytes" (truncated frame or empty
+    /// buffer). Garbage is skipped silently (counted in
+    /// [`Decoder::garbage_bytes`]); only an oversized length is an error,
+    /// and it is sticky — the connection cannot be trusted afterwards.
+    pub fn next_frame(&mut self) -> Result<Option<Frame>, ProtoError> {
+        let magic = MAGIC.to_le_bytes();
+        loop {
+            let b = &self.buf[self.start..];
+            if b.len() < HEADER_LEN {
+                return Ok(None);
+            }
+            if b[0] != magic[0] || b[1] != magic[1] {
+                self.start += 1;
+                self.garbage += 1;
+                continue;
+            }
+            let version = b[2];
+            let ftype = FrameType::from_u8(b[3]);
+            if version != VERSION || ftype.is_none() {
+                // A magic that fronts an unparseable header is line noise
+                // that happened to contain the marker: step past it.
+                self.start += 2;
+                self.garbage += 2;
+                continue;
+            }
+            let seq = u64::from_le_bytes(b[4..12].try_into().expect("8 bytes"));
+            let len = u32::from_le_bytes(b[12..16].try_into().expect("4 bytes"));
+            if len > MAX_PAYLOAD {
+                return Err(ProtoError::Oversized { len });
+            }
+            let total = HEADER_LEN + len as usize;
+            if b.len() < total {
+                return Ok(None);
+            }
+            let payload = b[HEADER_LEN..total].to_vec();
+            self.start += total;
+            return Ok(Some(Frame {
+                ftype: ftype.expect("checked above"),
+                seq,
+                payload,
+            }));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Typed payloads
+// ---------------------------------------------------------------------------
+
+/// The slot-opening request a client sends first (in clear).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Hello {
+    /// Whether the client wants the channel secured after the handshake.
+    pub secure: bool,
+    /// Client key-exchange nonce (secure mode).
+    pub nonce: u64,
+    /// Workload the slot should run (see `crate::daemon::Workload`).
+    pub workload: String,
+}
+
+/// Encodes a [`Hello`] payload.
+pub fn encode_hello(h: &Hello) -> Vec<u8> {
+    let wl = h.workload.as_bytes();
+    let mut out = Vec::with_capacity(11 + wl.len());
+    out.push(u8::from(h.secure));
+    out.extend_from_slice(&h.nonce.to_le_bytes());
+    out.extend_from_slice(&(wl.len() as u16).to_le_bytes());
+    out.extend_from_slice(wl);
+    out
+}
+
+/// Decodes a [`Hello`] payload.
+pub fn decode_hello(b: &[u8]) -> Option<Hello> {
+    if b.len() < 11 {
+        return None;
+    }
+    let secure = b[0] != 0;
+    let nonce = u64::from_le_bytes(b[1..9].try_into().ok()?);
+    let wl_len = u16::from_le_bytes(b[9..11].try_into().ok()?) as usize;
+    let wl = b.get(11..11 + wl_len)?;
+    Some(Hello {
+        secure,
+        nonce,
+        workload: String::from_utf8(wl.to_vec()).ok()?,
+    })
+}
+
+/// The daemon's handshake reply (in clear).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HelloAck {
+    /// Whether the slot was accepted.
+    pub ok: bool,
+    /// Whether the channel is secured from the next byte on.
+    pub secure: bool,
+    /// Server key-exchange nonce (secure mode).
+    pub nonce: u64,
+    /// Refusal reason when `ok` is false.
+    pub error: String,
+}
+
+/// Encodes a [`HelloAck`] payload.
+pub fn encode_hello_ack(a: &HelloAck) -> Vec<u8> {
+    let err = a.error.as_bytes();
+    let mut out = Vec::with_capacity(12 + err.len());
+    out.push(u8::from(a.ok));
+    out.push(u8::from(a.secure));
+    out.extend_from_slice(&a.nonce.to_le_bytes());
+    out.extend_from_slice(&(err.len() as u16).to_le_bytes());
+    out.extend_from_slice(err);
+    out
+}
+
+/// Decodes a [`HelloAck`] payload.
+pub fn decode_hello_ack(b: &[u8]) -> Option<HelloAck> {
+    if b.len() < 12 {
+        return None;
+    }
+    let ok = b[0] != 0;
+    let secure = b[1] != 0;
+    let nonce = u64::from_le_bytes(b[2..10].try_into().ok()?);
+    let err_len = u16::from_le_bytes(b[10..12].try_into().ok()?) as usize;
+    let err = b.get(12..12 + err_len)?;
+    Some(HelloAck {
+        ok,
+        secure,
+        nonce,
+        error: String::from_utf8(err.to_vec()).ok()?,
+    })
+}
+
+/// The sensor beans a remote worker ships back piggybacked on result
+/// batches and heartbeat acks: its cumulative service-time statistic, its
+/// local queue depth, and how many tasks it has completed.
+#[derive(Debug, Clone)]
+pub struct SensorBlob {
+    /// Cumulative service-time statistic, daemon-measured (pure compute
+    /// time: the network is excluded by construction).
+    pub service: Welford,
+    /// Tasks received but not yet computed at the daemon.
+    pub queue_depth: u32,
+    /// Cumulative tasks completed by this slot.
+    pub done: u64,
+}
+
+/// Encodes a [`SensorBlob`] payload (52 bytes).
+pub fn encode_sensors(s: &SensorBlob) -> Vec<u8> {
+    let mut out = Vec::with_capacity(52);
+    out.extend_from_slice(&s.service.count().to_le_bytes());
+    out.extend_from_slice(&s.service.mean().to_le_bytes());
+    out.extend_from_slice(&s.service.m2().to_le_bytes());
+    out.extend_from_slice(&s.service.min().unwrap_or(f64::INFINITY).to_le_bytes());
+    out.extend_from_slice(&s.service.max().unwrap_or(f64::NEG_INFINITY).to_le_bytes());
+    out.extend_from_slice(&s.queue_depth.to_le_bytes());
+    out.extend_from_slice(&s.done.to_le_bytes());
+    out
+}
+
+/// Decodes a [`SensorBlob`] payload.
+pub fn decode_sensors(b: &[u8]) -> Option<SensorBlob> {
+    if b.len() < 52 {
+        return None;
+    }
+    let f = |i: usize| f64::from_bits(u64::from_le_bytes(b[i..i + 8].try_into().expect("8")));
+    let n = u64::from_le_bytes(b[0..8].try_into().expect("8"));
+    let service = Welford::from_parts(n, f(8), f(16), f(24), f(32));
+    let queue_depth = u32::from_le_bytes(b[40..44].try_into().expect("4"));
+    let done = u64::from_le_bytes(b[44..52].try_into().expect("8"));
+    Some(SensorBlob {
+        service,
+        queue_depth,
+        done,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frame_bytes(ftype: FrameType, seq: u64, payload: &[u8]) -> Vec<u8> {
+        let mut out = Vec::new();
+        encode_frame(&mut out, ftype, seq, payload);
+        out
+    }
+
+    #[test]
+    fn roundtrip_single_frame() {
+        let mut d = Decoder::new();
+        d.extend(&frame_bytes(FrameType::Task, 42, b"payload"));
+        let f = d.next_frame().unwrap().unwrap();
+        assert_eq!(f.ftype, FrameType::Task);
+        assert_eq!(f.seq, 42);
+        assert_eq!(f.payload, b"payload");
+        assert_eq!(d.next_frame().unwrap(), None);
+        assert_eq!(d.garbage_bytes(), 0);
+    }
+
+    #[test]
+    fn partial_feed_byte_by_byte() {
+        let bytes = frame_bytes(FrameType::Result, 7, b"abc");
+        let mut d = Decoder::new();
+        for (i, b) in bytes.iter().enumerate() {
+            d.extend(std::slice::from_ref(b));
+            let got = d.next_frame().unwrap();
+            if i + 1 < bytes.len() {
+                assert!(got.is_none(), "frame complete early at byte {i}");
+            } else {
+                assert_eq!(got.unwrap().payload, b"abc");
+            }
+        }
+    }
+
+    #[test]
+    fn garbage_prefix_is_skipped() {
+        let mut d = Decoder::new();
+        d.extend(&[0x00, 0xFF, 0xE7, 0x13, 0x37]); // noise, incl. a stray magic byte
+        d.extend(&frame_bytes(FrameType::Heartbeat, 3, b""));
+        let f = d.next_frame().unwrap().unwrap();
+        assert_eq!(f.ftype, FrameType::Heartbeat);
+        assert!(d.garbage_bytes() >= 5);
+    }
+
+    #[test]
+    fn bad_version_resyncs() {
+        let mut bytes = frame_bytes(FrameType::Task, 1, b"x");
+        bytes[2] = 99; // corrupt the version byte
+        let mut d = Decoder::new();
+        d.extend(&bytes);
+        d.extend(&frame_bytes(FrameType::Task, 2, b"y"));
+        let f = d.next_frame().unwrap().unwrap();
+        assert_eq!(f.seq, 2);
+        assert!(d.garbage_bytes() > 0);
+    }
+
+    #[test]
+    fn oversized_length_rejected() {
+        let mut bytes = frame_bytes(FrameType::Task, 1, b"x");
+        bytes[12..16].copy_from_slice(&(MAX_PAYLOAD + 1).to_le_bytes());
+        let mut d = Decoder::new();
+        d.extend(&bytes);
+        assert_eq!(
+            d.next_frame(),
+            Err(ProtoError::Oversized {
+                len: MAX_PAYLOAD + 1
+            })
+        );
+    }
+
+    #[test]
+    fn hello_roundtrip() {
+        let h = Hello {
+            secure: true,
+            nonce: 0xDEAD_BEEF,
+            workload: "spin:250".into(),
+        };
+        assert_eq!(decode_hello(&encode_hello(&h)), Some(h));
+        assert_eq!(decode_hello(b"xx"), None);
+    }
+
+    #[test]
+    fn hello_ack_roundtrip() {
+        let a = HelloAck {
+            ok: false,
+            secure: false,
+            nonce: 1,
+            error: "unknown workload".into(),
+        };
+        assert_eq!(decode_hello_ack(&encode_hello_ack(&a)), Some(a));
+    }
+
+    #[test]
+    fn sensors_roundtrip() {
+        let mut w = Welford::new();
+        for x in [0.001, 0.004, 0.002] {
+            w.update(x);
+        }
+        let s = SensorBlob {
+            service: w,
+            queue_depth: 5,
+            done: 3,
+        };
+        let got = decode_sensors(&encode_sensors(&s)).unwrap();
+        assert_eq!(got.queue_depth, 5);
+        assert_eq!(got.done, 3);
+        assert_eq!(got.service.count(), 3);
+        assert!((got.service.mean() - w.mean()).abs() < 1e-12);
+        assert!((got.service.variance() - w.variance()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_sensors_roundtrip() {
+        let s = SensorBlob {
+            service: Welford::new(),
+            queue_depth: 0,
+            done: 0,
+        };
+        let got = decode_sensors(&encode_sensors(&s)).unwrap();
+        assert_eq!(got.service.count(), 0);
+        assert_eq!(got.service.mean(), 0.0);
+    }
+}

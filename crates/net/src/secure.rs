@@ -1,0 +1,221 @@
+//! Toy secure channel: a keystream cipher plus a deliberately expensive
+//! handshake, with per-byte and per-handshake cost metering.
+//!
+//! **This is NOT cryptography.** The cipher is an xorshift64* keystream and
+//! the "key exchange" is two nonces mixed through splitmix64 — trivially
+//! breakable. Its purpose is to be a *measurable stand-in* for a real
+//! secure channel so the simulator's `SslCostModel` (handshake latency +
+//! per-byte throughput tax) can be calibrated against an implementation
+//! with the same cost *shape*: a fixed up-front handshake cost and a
+//! per-byte streaming cost on every frame. The key-stretch loop in
+//! [`derive_session_keys`] exists purely to make the handshake cost
+//! visible on a loopback benchmark.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// splitmix64 mixing step — used to scramble seeds and stretch keys.
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Iterations of the deliberate key-stretch loop. Tuned so a handshake
+/// costs a measurable fraction of a millisecond — big enough to show up
+/// in the `net_farm` bench, small enough not to slow tests.
+const KEY_STRETCH_ROUNDS: u64 = 250_000;
+
+/// Derives the two directional session keys from the handshake nonces.
+///
+/// Returns `(client_to_server, server_to_client)`. Both sides call this
+/// with the same nonce pair and get the same keys. The stretch loop is
+/// the *point*: it models the asymmetric-crypto cost of a real TLS
+/// handshake as CPU time.
+pub fn derive_session_keys(client_nonce: u64, server_nonce: u64) -> (u64, u64) {
+    let mut state = client_nonce ^ server_nonce.rotate_left(32) ^ 0xA5A5_5A5A_DEAD_F00D;
+    let mut acc = 0u64;
+    for _ in 0..KEY_STRETCH_ROUNDS {
+        acc ^= splitmix64(&mut state);
+    }
+    let c2s = splitmix64(&mut state) ^ acc;
+    let s2c = splitmix64(&mut state) ^ acc.rotate_left(17);
+    (c2s, s2c)
+}
+
+/// One direction of the toy stream cipher: an xorshift64* keystream XORed
+/// over the byte stream. Order-dependent — all bytes of a direction must
+/// pass through a single cipher instance in wire order.
+#[derive(Debug)]
+pub struct StreamCipher {
+    state: u64,
+}
+
+impl StreamCipher {
+    /// A cipher keyed from one of the [`derive_session_keys`] outputs.
+    pub fn new(key: u64) -> Self {
+        // Scramble once so a zero key doesn't produce a zero keystream.
+        let mut s = key ^ 0x6A09_E667_F3BC_C908;
+        let _ = splitmix64(&mut s);
+        Self {
+            state: if s == 0 { 1 } else { s },
+        }
+    }
+
+    #[inline]
+    fn next_byte(&mut self) -> u8 {
+        // xorshift64* — the multiply output's high byte has good mixing.
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        (x.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 56) as u8
+    }
+
+    /// XORs the keystream over `buf` in place. Encryption and decryption
+    /// are the same operation.
+    pub fn apply(&mut self, buf: &mut [u8]) {
+        for b in buf.iter_mut() {
+            *b ^= self.next_byte();
+        }
+    }
+}
+
+/// Atomic accounting of secure-channel costs, shared across connections.
+///
+/// [`CostReport`] turns the raw totals into the two numbers the
+/// simulator's `SslCostModel` wants: seconds per handshake and seconds
+/// per ciphered byte.
+#[derive(Debug, Default)]
+pub struct CostMeter {
+    bytes: AtomicU64,
+    cipher_nanos: AtomicU64,
+    handshakes: AtomicU64,
+    handshake_nanos: AtomicU64,
+}
+
+impl CostMeter {
+    /// A zeroed meter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one cipher pass over `n` bytes taking `nanos`.
+    pub fn record_cipher(&self, n: u64, nanos: u64) {
+        self.bytes.fetch_add(n, Ordering::Relaxed);
+        self.cipher_nanos.fetch_add(nanos, Ordering::Relaxed);
+    }
+
+    /// Records one completed handshake taking `nanos`.
+    pub fn record_handshake(&self, nanos: u64) {
+        self.handshakes.fetch_add(1, Ordering::Relaxed);
+        self.handshake_nanos.fetch_add(nanos, Ordering::Relaxed);
+    }
+
+    /// Times `f` as a handshake and records it.
+    pub fn time_handshake<T>(&self, f: impl FnOnce() -> T) -> T {
+        let t0 = Instant::now();
+        let out = f();
+        self.record_handshake(t0.elapsed().as_nanos() as u64);
+        out
+    }
+
+    /// Snapshot of the accumulated costs.
+    pub fn report(&self) -> CostReport {
+        CostReport {
+            bytes: self.bytes.load(Ordering::Relaxed),
+            cipher_nanos: self.cipher_nanos.load(Ordering::Relaxed),
+            handshakes: self.handshakes.load(Ordering::Relaxed),
+            handshake_nanos: self.handshake_nanos.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Accumulated secure-channel costs (see [`CostMeter`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CostReport {
+    /// Total bytes passed through the cipher.
+    pub bytes: u64,
+    /// Total nanoseconds spent ciphering.
+    pub cipher_nanos: u64,
+    /// Handshakes completed.
+    pub handshakes: u64,
+    /// Total nanoseconds spent in handshakes.
+    pub handshake_nanos: u64,
+}
+
+impl CostReport {
+    /// Mean seconds of CPU per ciphered byte (0 if nothing ciphered).
+    pub fn per_byte_seconds(&self) -> f64 {
+        if self.bytes == 0 {
+            0.0
+        } else {
+            self.cipher_nanos as f64 * 1e-9 / self.bytes as f64
+        }
+    }
+
+    /// Mean seconds per handshake (0 if none).
+    pub fn handshake_seconds(&self) -> f64 {
+        if self.handshakes == 0 {
+            0.0
+        } else {
+            self.handshake_nanos as f64 * 1e-9 / self.handshakes as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cipher_roundtrip() {
+        let (c2s, _) = derive_session_keys(11, 22);
+        let mut enc = StreamCipher::new(c2s);
+        let mut dec = StreamCipher::new(c2s);
+        let original: Vec<u8> = (0..=255u8).cycle().take(1000).collect();
+        let mut buf = original.clone();
+        enc.apply(&mut buf);
+        assert_ne!(buf, original, "cipher must actually change the bytes");
+        dec.apply(&mut buf);
+        assert_eq!(buf, original);
+    }
+
+    #[test]
+    fn cipher_is_order_dependent_stream() {
+        // Splitting the stream across two apply() calls must equal one
+        // contiguous pass — that's what lets us cipher frame-by-frame.
+        let mut one = StreamCipher::new(42);
+        let mut two = StreamCipher::new(42);
+        let mut a = [7u8; 64];
+        let mut b = [7u8; 64];
+        one.apply(&mut a);
+        two.apply(&mut b[..20]);
+        two.apply(&mut b[20..]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn keys_agree_and_directions_differ() {
+        let (a1, b1) = derive_session_keys(1, 2);
+        let (a2, b2) = derive_session_keys(1, 2);
+        assert_eq!((a1, b1), (a2, b2));
+        assert_ne!(a1, b1);
+        assert_ne!(derive_session_keys(3, 4), (a1, b1));
+    }
+
+    #[test]
+    fn meter_reports_sane_rates() {
+        let m = CostMeter::new();
+        m.record_cipher(1000, 2000);
+        m.record_handshake(5_000_000);
+        let r = m.report();
+        assert!((r.per_byte_seconds() - 2e-9).abs() < 1e-15);
+        assert!((r.handshake_seconds() - 5e-3).abs() < 1e-12);
+        assert_eq!(CostMeter::new().report().per_byte_seconds(), 0.0);
+    }
+}

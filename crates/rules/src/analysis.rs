@@ -173,9 +173,11 @@ impl EffectTable {
             .actuator(op::INC_RATE, "outputRate", Dir::Up)
             .actuator(op::DEC_RATE, "outputRate", Dir::Down)
             .bean_effect(op::ADD_EXECUTOR, "numWorkers", Dir::Up)
+            .bean_effect(op::ADD_EXECUTOR, "remoteWorkers", Dir::Up)
             .bean_effect(op::ADD_EXECUTOR, "departureRate", Dir::Up)
             .bean_effect(op::ADD_EXECUTOR, "queuedTasks", Dir::Down)
             .bean_effect(op::REMOVE_EXECUTOR, "numWorkers", Dir::Down)
+            .bean_effect(op::REMOVE_EXECUTOR, "remoteWorkers", Dir::Down)
             .bean_effect(op::REMOVE_EXECUTOR, "departureRate", Dir::Down)
             .bean_effect(op::REMOVE_EXECUTOR, "queuedTasks", Dir::Up)
             .bean_effect(op::BALANCE_LOAD, "queueVariance", Dir::Down)

@@ -129,12 +129,18 @@ pub struct ShutdownReport {
     pub workers_lost: u64,
     /// The recorded fault events, in order.
     pub events: Vec<FarmEvent>,
+    /// Errors tearing down remote connections (distributed substrates
+    /// only; a purely local farm always leaves this empty). Mirrors the
+    /// join-error capture: a failed goodbye/socket close is surfaced here
+    /// instead of being silently dropped.
+    pub disconnects: Vec<String>,
 }
 
 impl ShutdownReport {
-    /// True when no worker ever panicked or was lost.
+    /// True when no worker ever panicked or was lost and every connection
+    /// closed cleanly.
     pub fn is_clean(&self) -> bool {
-        self.worker_panics.is_empty() && self.workers_lost == 0
+        self.worker_panics.is_empty() && self.workers_lost == 0 && self.disconnects.is_empty()
     }
 }
 
@@ -1052,6 +1058,7 @@ impl<In: Send + 'static, Out: Send + 'static> Farm<In, Out> {
             worker_panics: std::mem::take(&mut *self.shared.panics.lock()),
             workers_lost: self.shared.metrics.workers_lost.load(Ordering::SeqCst),
             events: std::mem::take(&mut *self.shared.events.lock()),
+            disconnects: Vec::new(),
         }
     }
 }

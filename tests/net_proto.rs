@@ -1,0 +1,188 @@
+//! Property tests for the `bskel_net` wire protocol.
+//!
+//! The decoder's contract (see `bskel_net::proto`): any byte stream that
+//! *contains* well-formed frames yields exactly those frames regardless of
+//! how the bytes are chunked (partial reads), what garbage surrounds them
+//! (resynchronisation), or where the stream is cut (truncation is "need
+//! more bytes", never an error) — and a header announcing an oversized
+//! payload is rejected as connection-fatal rather than resynchronised
+//! past.
+
+use proptest::prelude::*;
+
+use bskel_net::proto::{
+    decode_hello, decode_sensors, encode_frame, encode_hello, encode_sensors, Decoder, Frame,
+    FrameType, Hello, ProtoError, SensorBlob, HEADER_LEN, MAX_PAYLOAD,
+};
+use bskel_net::Welford;
+
+/// A strategy-friendly frame description.
+fn build_frames(descrs: &[(u8, u64, Vec<u8>)]) -> (Vec<Frame>, Vec<u8>) {
+    let mut frames = Vec::new();
+    let mut bytes = Vec::new();
+    for (t, seq, payload) in descrs {
+        let ftype = FrameType::from_u8(t % 9).expect("0..9 are valid frame types");
+        encode_frame(&mut bytes, ftype, *seq, payload);
+        frames.push(Frame {
+            ftype,
+            seq: *seq,
+            payload: payload.clone(),
+        });
+    }
+    (frames, bytes)
+}
+
+/// Feeds `bytes` into `dec` chunked by cycling through `chunks` sizes,
+/// collecting every decoded frame.
+fn feed_chunked(dec: &mut Decoder, bytes: &[u8], chunks: &[usize]) -> Vec<Frame> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    let mut c = 0;
+    while i < bytes.len() {
+        let n = if chunks.is_empty() {
+            1
+        } else {
+            chunks[c % chunks.len()].max(1)
+        };
+        c += 1;
+        let end = (i + n).min(bytes.len());
+        dec.extend(&bytes[i..end]);
+        i = end;
+        while let Some(f) = dec.next_frame().expect("well-formed stream") {
+            out.push(f);
+        }
+    }
+    out
+}
+
+proptest! {
+    /// Every frame survives an encode→chunked-decode roundtrip, in order,
+    /// no matter how the byte stream is sliced into reads.
+    #[test]
+    fn roundtrip_any_chunking(
+        descrs in proptest::collection::vec(
+            (0u8..9, 0u64..1_000_000, proptest::collection::vec(0u8..255, 0..200)),
+            0..20,
+        ),
+        chunks in proptest::collection::vec(1usize..64, 0..40),
+    ) {
+        let (frames, bytes) = build_frames(&descrs);
+        let mut dec = Decoder::new();
+        let got = feed_chunked(&mut dec, &bytes, &chunks);
+        prop_assert_eq!(got, frames);
+        prop_assert_eq!(dec.garbage_bytes(), 0);
+    }
+
+    /// Garbage between frames is skipped (and counted) without losing a
+    /// single real frame. Garbage bytes avoid the magic's first byte so a
+    /// false header can never start inside the noise.
+    #[test]
+    fn garbage_between_frames_is_skipped(
+        descrs in proptest::collection::vec(
+            (0u8..9, 0u64..1_000_000, proptest::collection::vec(0u8..255, 0..64)),
+            1..8,
+        ),
+        noise in proptest::collection::vec(
+            proptest::collection::vec(0u8..0xE7, 0..32),
+            1..9,
+        ),
+        chunks in proptest::collection::vec(1usize..48, 0..16),
+    ) {
+        let (frames, _) = build_frames(&descrs);
+        // Interleave: noise, frame, noise, frame, …
+        let mut bytes = Vec::new();
+        let mut total_noise = 0u64;
+        for (i, (t, seq, payload)) in descrs.iter().enumerate() {
+            let n = &noise[i % noise.len()];
+            bytes.extend_from_slice(n);
+            total_noise += n.len() as u64;
+            encode_frame(
+                &mut bytes,
+                FrameType::from_u8(t % 9).expect("valid"),
+                *seq,
+                payload,
+            );
+        }
+        let mut dec = Decoder::new();
+        let got = feed_chunked(&mut dec, &bytes, &chunks);
+        prop_assert_eq!(got, frames);
+        prop_assert_eq!(dec.garbage_bytes(), total_noise);
+    }
+
+    /// A truncated frame is "need more bytes", never an error and never a
+    /// partial frame — and completing the bytes completes the frame.
+    #[test]
+    fn truncation_is_never_an_error(
+        t in 0u8..9,
+        seq in 0u64..u64::MAX,
+        payload in proptest::collection::vec(0u8..255, 0..200),
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let ftype = FrameType::from_u8(t % 9).expect("valid");
+        let mut bytes = Vec::new();
+        encode_frame(&mut bytes, ftype, seq, &payload);
+        let cut = ((bytes.len() - 1) as f64 * cut_frac) as usize;
+        let mut dec = Decoder::new();
+        dec.extend(&bytes[..cut]);
+        prop_assert_eq!(dec.next_frame(), Ok(None), "truncated at {}/{}", cut, bytes.len());
+        dec.extend(&bytes[cut..]);
+        let got = dec.next_frame().expect("completed").expect("one frame");
+        prop_assert_eq!((got.ftype, got.seq, got.payload), (ftype, seq, payload));
+    }
+
+    /// Any header announcing more than MAX_PAYLOAD bytes is rejected with
+    /// `Oversized` — not resynchronised past, not buffered for.
+    #[test]
+    fn oversized_length_always_rejected(
+        seq in 0u64..u64::MAX,
+        excess in 1u32..1_000_000,
+        t in 0u8..9,
+    ) {
+        let ftype = FrameType::from_u8(t % 9).expect("valid");
+        let mut bytes = Vec::new();
+        encode_frame(&mut bytes, ftype, seq, b"x");
+        let bad_len = MAX_PAYLOAD + excess;
+        bytes[HEADER_LEN - 4..HEADER_LEN].copy_from_slice(&bad_len.to_le_bytes());
+        let mut dec = Decoder::new();
+        dec.extend(&bytes);
+        prop_assert_eq!(dec.next_frame(), Err(ProtoError::Oversized { len: bad_len }));
+    }
+
+    /// Hello payloads roundtrip for any workload string the builder can
+    /// produce.
+    #[test]
+    fn hello_roundtrips(
+        secure in any::<bool>(),
+        nonce in 0u64..u64::MAX,
+        workload in "[a-z_]{1,16}",
+    ) {
+        let h = Hello { secure, nonce, workload };
+        let back = decode_hello(&encode_hello(&h)).expect("roundtrip");
+        prop_assert_eq!(back, h);
+    }
+
+    /// Sensor blobs preserve the Welford statistic exactly (count, mean,
+    /// variance) across the wire.
+    #[test]
+    fn sensors_roundtrip_statistics(
+        samples in proptest::collection::vec(0.000001f64..10.0, 0..50),
+        depth in 0u32..10_000,
+        done in 0u64..1_000_000,
+    ) {
+        let mut w = Welford::new();
+        for &s in &samples {
+            w.update(s);
+        }
+        let blob = SensorBlob { service: w, queue_depth: depth, done };
+        let back = decode_sensors(&encode_sensors(&blob)).expect("52-byte blob");
+        prop_assert_eq!(back.queue_depth, depth);
+        prop_assert_eq!(back.done, done);
+        prop_assert_eq!(back.service.count(), w.count());
+        prop_assert!((back.service.mean() - w.mean()).abs() < 1e-12);
+        prop_assert!((back.service.variance() - w.variance()).abs() < 1e-12);
+        if !samples.is_empty() {
+            prop_assert_eq!(back.service.min(), w.min());
+            prop_assert_eq!(back.service.max(), w.max());
+        }
+    }
+}
