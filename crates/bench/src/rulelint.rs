@@ -243,6 +243,7 @@ mod tests {
             ("producer.rules", stdlib::PRODUCER_RULES_TEXT),
             ("fault.rules", stdlib::FAULT_RULES_TEXT),
             ("migrate.rules", stdlib::MIGRATE_RULES_TEXT),
+            ("resilience.rules", stdlib::RESILIENCE_RULES_TEXT),
         ] {
             let report = lint_rules_text(name, text);
             assert!(report.is_clean(), "{name}:\n{}", report.render());

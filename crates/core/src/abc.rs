@@ -35,6 +35,10 @@ pub fn standard_schema() -> BeanSchema {
         .bean(beans::FT_MIN_WORKERS, BeanType::Count)
         .bean(beans::REMOTE_WORKERS, BeanType::Count)
         .bean(beans::NET_RTT_MS, BeanType::Rate)
+        .bean(beans::CIRCUIT_OPEN_COUNT, BeanType::Count)
+        .bean(beans::RECONNECT_BACKOFF_MS, BeanType::Rate)
+        .bean(beans::TASKS_RETRIED, BeanType::Count)
+        .bean(beans::SPECULATIVE_WINS, BeanType::Count)
         .bean(hier_beans::VIOL_NOT_ENOUGH, BeanType::Flag)
         .bean(hier_beans::VIOL_TOO_MUCH, BeanType::Flag)
         .bean(hier_beans::END_STREAM, BeanType::Flag)

@@ -44,6 +44,17 @@ pub mod beans {
     /// Mean heartbeat round-trip time to remote workers, milliseconds
     /// (0.0 when no remote worker has answered a heartbeat yet).
     pub const NET_RTT_MS: &str = "netRttMs";
+    /// Endpoints currently quarantined by an open circuit breaker.
+    pub const CIRCUIT_OPEN_COUNT: &str = "circuitOpenCount";
+    /// Largest current reconnect backoff delay across endpoints,
+    /// milliseconds (0.0 when every endpoint is healthy).
+    pub const RECONNECT_BACKOFF_MS: &str = "reconnectBackoffMs";
+    /// Cumulative tasks re-dispatched speculatively after missing their
+    /// soft deadline.
+    pub const TASKS_RETRIED: &str = "tasksRetried";
+    /// Cumulative speculative retries that beat the original attempt to
+    /// the result.
+    pub const SPECULATIVE_WINS: &str = "speculativeWins";
 }
 
 /// A point-in-time reading of every sensor a skeleton ABC exposes.
@@ -80,6 +91,14 @@ pub struct SensorSnapshot {
     pub remote_workers: u32,
     /// Mean heartbeat round-trip time to remote workers, milliseconds.
     pub net_rtt_ms: f64,
+    /// Endpoints currently quarantined by an open circuit breaker.
+    pub circuit_open_count: u32,
+    /// Largest current reconnect backoff delay across endpoints (ms).
+    pub reconnect_backoff_ms: f64,
+    /// Cumulative speculative re-dispatches of straggling tasks.
+    pub tasks_retried: u64,
+    /// Cumulative speculative retries that won the race to the result.
+    pub speculative_wins: u64,
     /// Additional substrate-specific beans.
     pub extra: Vec<(String, f64)>,
 }
@@ -102,6 +121,10 @@ impl SensorSnapshot {
             ft_min_workers: 0,
             remote_workers: 0,
             net_rtt_ms: 0.0,
+            circuit_open_count: 0,
+            reconnect_backoff_ms: 0.0,
+            tasks_retried: 0,
+            speculative_wins: 0,
             extra: Vec::new(),
         }
     }
@@ -115,7 +138,7 @@ impl SensorSnapshot {
     /// Flattens the snapshot to `(bean name, value)` pairs for a rule
     /// engine's working memory. Booleans encode as 0.0/1.0.
     pub fn to_beans(&self) -> Vec<(String, f64)> {
-        let mut out = Vec::with_capacity(13 + self.extra.len());
+        let mut out = Vec::with_capacity(17 + self.extra.len());
         out.push((beans::ARRIVAL_RATE.to_owned(), self.arrival_rate));
         out.push((beans::DEPARTURE_RATE.to_owned(), self.departure_rate));
         out.push((beans::NUM_WORKERS.to_owned(), f64::from(self.num_workers)));
@@ -141,6 +164,19 @@ impl SensorSnapshot {
             f64::from(self.remote_workers),
         ));
         out.push((beans::NET_RTT_MS.to_owned(), self.net_rtt_ms));
+        out.push((
+            beans::CIRCUIT_OPEN_COUNT.to_owned(),
+            f64::from(self.circuit_open_count),
+        ));
+        out.push((
+            beans::RECONNECT_BACKOFF_MS.to_owned(),
+            self.reconnect_backoff_ms,
+        ));
+        out.push((beans::TASKS_RETRIED.to_owned(), self.tasks_retried as f64));
+        out.push((
+            beans::SPECULATIVE_WINS.to_owned(),
+            self.speculative_wins as f64,
+        ));
         out.extend(self.extra.iter().cloned());
         out
     }
@@ -219,6 +255,10 @@ mod tests {
             beans::FT_MIN_WORKERS,
             beans::REMOTE_WORKERS,
             beans::NET_RTT_MS,
+            beans::CIRCUIT_OPEN_COUNT,
+            beans::RECONNECT_BACKOFF_MS,
+            beans::TASKS_RETRIED,
+            beans::SPECULATIVE_WINS,
         ] {
             assert_eq!(
                 all.iter().filter(|(n, _)| n == name).count(),

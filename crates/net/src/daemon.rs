@@ -8,12 +8,15 @@
 //!    keys and cipher everything from the next byte on.
 //! 2. **Serve loop**: tasks queue in a pending deque; between tasks the
 //!    daemon opportunistically drains the socket without blocking so
-//!    heartbeats are answered promptly even while busy (the pool's
-//!    failure timeout therefore only needs to exceed one task's service
-//!    time, not a whole batch). Results are written back buffered and
-//!    flushed in batches, each batch trailed by a `Sensors` frame
-//!    carrying daemon-measured service time, queue depth, and the
-//!    completed-task count.
+//!    heartbeats are answered promptly, and a **busy-pulse sidecar
+//!    thread** emits unsolicited `Heartbeat` frames *while a task is
+//!    executing* — any frame refreshes the pool's liveness deadline, so
+//!    a legitimately long task no longer reads as a dead slot and the
+//!    pool's failure timeout can be chosen independently of worst-case
+//!    service time. Results are written back buffered and flushed in
+//!    batches, each batch trailed by a `Sensors` frame carrying
+//!    daemon-measured service time, queue depth, and the completed-task
+//!    count.
 //! 3. **Failure semantics**: a panicking workload poisons only its own
 //!    task — the panic is caught and a `Lost` frame tells the pool that
 //!    `seq` will never produce a result. `Goodbye` drains the pending
@@ -25,10 +28,12 @@
 use std::collections::VecDeque;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use bskel_monitor::Welford;
+use parking_lot::Mutex;
 
 use crate::proto::{
     decode_hello, encode_hello_ack, encode_sensors, Frame, FrameType, HelloAck, SensorBlob,
@@ -38,6 +43,10 @@ use crate::wire::{FillStatus, FrameReader, FrameWriter};
 
 /// Results buffered before a flush forces them onto the wire.
 const FLUSH_EVERY: usize = 32;
+/// Period of the busy pulse: how often the sidecar thread proves
+/// liveness while a task is executing. Must sit well under any sane
+/// pool failure timeout.
+const BUSY_PULSE_PERIOD: Duration = Duration::from_millis(20);
 
 /// The computations a worker slot can host, named on the wire in `Hello`
 /// (see [`Workload::parse`] for the syntax).
@@ -113,8 +122,13 @@ impl Workload {
 
 struct Conn {
     reader: FrameReader,
-    writer: FrameWriter,
+    /// Shared with the busy-pulse sidecar: the mutex serialises frame
+    /// writes (the cipher keystream is order-dependent and frames must
+    /// not interleave), exactly like the pool's per-slot writer lock.
+    writer: Arc<Mutex<FrameWriter>>,
     workload: Workload,
+    /// True while a task executes; the sidecar pulses only then.
+    busy: Arc<AtomicBool>,
     pending: VecDeque<(u64, Vec<u8>)>,
     service: Welford,
     done: u64,
@@ -138,8 +152,9 @@ impl Conn {
                 // Answer immediately — liveness must not wait for the
                 // result batch to fill up.
                 let blob = self.sensor_blob();
-                self.writer.push(FrameType::HeartbeatAck, f.seq, &blob);
-                self.writer.flush()?;
+                let mut w = self.writer.lock();
+                w.push(FrameType::HeartbeatAck, f.seq, &blob);
+                w.flush()?;
             }
             FrameType::Goodbye => self.finishing = true,
             // A slot never receives the daemon-to-client or handshake
@@ -152,12 +167,13 @@ impl Conn {
     /// Flushes buffered results, trailed by a fresh sensor reading.
     fn flush_results(&mut self) -> std::io::Result<()> {
         if self.unflushed == 0 {
-            return self.writer.flush();
+            return self.writer.lock().flush();
         }
         let blob = self.sensor_blob();
-        self.writer.push(FrameType::Sensors, 0, &blob);
+        let mut w = self.writer.lock();
+        w.push(FrameType::Sensors, 0, &blob);
         self.unflushed = 0;
-        self.writer.flush()
+        w.flush()
     }
 
     /// Drains every frame currently available without blocking.
@@ -205,15 +221,19 @@ impl Conn {
 
             if let Some((seq, bytes)) = self.pending.pop_front() {
                 let t0 = Instant::now();
+                // The busy window is what the pulse sidecar watches: a
+                // long-running task keeps proving liveness from there.
+                self.busy.store(true, Ordering::SeqCst);
                 let result = catch_unwind(AssertUnwindSafe(|| self.workload.apply(&bytes)));
+                self.busy.store(false, Ordering::SeqCst);
                 let dt = t0.elapsed().as_secs_f64();
                 match result {
                     Ok(out) => {
                         self.service.update(dt);
                         self.done += 1;
-                        self.writer.push(FrameType::Result, seq, &out);
+                        self.writer.lock().push(FrameType::Result, seq, &out);
                     }
-                    Err(_) => self.writer.push(FrameType::Lost, seq, &[]),
+                    Err(_) => self.writer.lock().push(FrameType::Lost, seq, &[]),
                 }
                 self.unflushed += 1;
                 if self.unflushed >= FLUSH_EVERY || self.pending.is_empty() {
@@ -226,7 +246,7 @@ impl Conn {
             }
             if self.finishing && self.pending.is_empty() {
                 self.flush_results()?;
-                self.writer.send(FrameType::Goodbye, 0, &[])?;
+                self.writer.lock().send(FrameType::Goodbye, 0, &[])?;
                 return Ok(());
             }
         }
@@ -294,17 +314,49 @@ fn handle_conn(stream: TcpStream) -> std::io::Result<()> {
         writer.secure(StreamCipher::new(s2c), meter);
     }
 
+    let writer = Arc::new(Mutex::new(writer));
+    let busy = Arc::new(AtomicBool::new(false));
+    let stop = Arc::new(AtomicBool::new(false));
+    // Busy-pulse sidecar: while the serve thread is inside a workload,
+    // nobody drains the socket or answers heartbeats — historically a
+    // task longer than the pool's failure timeout read as a dead slot
+    // and got its connection severed mid-computation. The sidecar sends
+    // unsolicited `Heartbeat` frames (seq 0, ignored by the pool's
+    // frame handler beyond the liveness touch) for the duration of the
+    // busy window, so silence once again implies death.
+    let pulse = {
+        let writer = Arc::clone(&writer);
+        let busy = Arc::clone(&busy);
+        let stop = Arc::clone(&stop);
+        std::thread::Builder::new()
+            .name("bskel-workerd-pulse".into())
+            .spawn(move || {
+                while !stop.load(Ordering::SeqCst) {
+                    if busy.load(Ordering::SeqCst) {
+                        // A failed pulse means the connection is going
+                        // away; the serve thread finds out on its own.
+                        let _ = writer.lock().send(FrameType::Heartbeat, 0, &[]);
+                    }
+                    std::thread::sleep(BUSY_PULSE_PERIOD);
+                }
+            })?
+    };
+
     let mut conn = Conn {
         reader,
         writer,
         workload,
+        busy,
         pending: VecDeque::new(),
         service: Welford::new(),
         done: 0,
         finishing: false,
         unflushed: 0,
     };
-    conn.serve()
+    let served = conn.serve();
+    stop.store(true, Ordering::SeqCst);
+    let _ = pulse.join();
+    served
 }
 
 /// Accept loop: one thread per connection, forever.

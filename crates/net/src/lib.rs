@@ -25,18 +25,30 @@
 //!   keystream cipher and a deliberately expensive handshake whose cost
 //!   meter calibrates the simulator's `SslCostModel`;
 //! * [`daemon`] — the worker-daemon serve loop and workload registry;
-//! * [`pool`] — [`RemoteWorkerPool`]: the distributed farm.
+//! * [`pool`] — [`RemoteWorkerPool`]: the distributed farm, with
+//!   endpoint circuit breakers, backoff-with-jitter reconnects and
+//!   soft task deadlines with speculative re-execution;
+//! * [`chaos`] — seeded, deterministic fault injection (a frame-level
+//!   proxy for drop/delay/dup/corrupt/refuse/disconnect/stall) that the
+//!   soak tests drive the pool's resilience policies with.
 
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod daemon;
 pub mod pool;
 pub mod proto;
 pub mod secure;
 pub mod wire;
 
+pub use chaos::{
+    corrupt_frame_bytes, frame_decision, spawn_chaos_local, ChaosPlan, ChaosPolicy, ChaosProxy,
+    ChaosRng, Direction, FaultKind, FrameFate, InjectedFault,
+};
 pub use daemon::{serve, spawn_local, Workload};
-pub use pool::{DecodeFn, EncodeFn, Endpoint, RemotePoolBuilder, RemoteWorkerPool};
+pub use pool::{
+    DecodeFn, EncodeFn, Endpoint, RemotePoolBuilder, RemoteWorkerPool, ResilienceConfig,
+};
 pub use proto::{Decoder, Frame, FrameType, ProtoError, MAGIC, MAX_PAYLOAD, VERSION};
 pub use secure::{CostMeter, CostReport};
 

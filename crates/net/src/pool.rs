@@ -30,12 +30,31 @@
 //! thread itself after it has stopped consuming frames: no result for a
 //! harvested task can ever be forwarded afterwards.
 //!
+//! **Resilience policies** (see [`ResilienceConfig`]) sit between the
+//! death/recovery machinery and the endpoints:
+//!
+//! * every endpoint carries a **circuit breaker** (Closed → Open →
+//!   Half-Open): repeated connect failures or slot deaths inside a
+//!   failure window open the circuit, after which `add_workers` stops
+//!   hammering the endpoint until the cooldown elapses and a single
+//!   Half-Open probe either closes the circuit or re-opens it with a
+//!   longer backoff;
+//! * reconnect attempts back off exponentially with **decorrelated
+//!   jitter** (seeded, so schedules replay under a fixed
+//!   [`ResilienceConfig::seed`]);
+//! * an optional **soft task deadline** speculatively re-executes
+//!   overdue in-flight tasks on a second slot. The speculation registry
+//!   resolves the race: the first copy home wins, every other copy's
+//!   in-flight entry is stripped (so death harvests cannot replay it)
+//!   and late duplicates are counted and dropped — the collector's
+//!   ordered stream never sees a sequence number twice.
+//!
 //! The pool implements [`FarmControl`], so the existing `FarmAbc`, rule
 //! programs and contracts drive remote elasticity (ADD_WORKER connects a
 //! new daemon slot, REMOVE_WORKER retires one cooperatively) with no rule
 //! changes — remote workers are just workers with beans.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::net::{Shutdown, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Weak};
@@ -53,6 +72,7 @@ use bskel_skel::{GatherPolicy, SchedPolicy};
 use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
 use parking_lot::Mutex;
 
+use crate::chaos::ChaosRng;
 use crate::proto::{decode_hello_ack, decode_sensors, encode_hello, FrameType, Hello, ProtoError};
 use crate::secure::{derive_session_keys, CostMeter, CostReport, StreamCipher};
 use crate::wire::{FillStatus, FrameReader, FrameWriter};
@@ -61,9 +81,16 @@ use crate::wire::{FillStatus, FrameReader, FrameWriter};
 const DISPATCH_BATCH: usize = 32;
 /// Most tasks a writer ships per flush (one syscall per wire batch).
 const WIRE_BATCH: usize = 32;
-/// How long a connect + handshake may take before the endpoint is
-/// declared unreachable.
-const HANDSHAKE_TIMEOUT: Duration = Duration::from_secs(5);
+/// Most overdue tasks one slot may speculate per deadline sweep, so a
+/// stalled slot with a deep in-flight map cannot flood the survivors.
+const SPEC_SWEEP_LIMIT: usize = 16;
+
+/// Clamps a builder-supplied duration into sane territory instead of
+/// panicking — the `RateKnob::sanitize` idiom: actuator and builder
+/// paths absorb nonsense, they do not abort the program.
+fn clamp_duration(d: Duration) -> Duration {
+    d.clamp(Duration::from_millis(1), Duration::from_secs(3600))
+}
 
 /// Encodes one input item to its wire payload.
 pub type EncodeFn<In> = Arc<dyn Fn(In) -> Vec<u8> + Send + Sync>;
@@ -97,6 +124,168 @@ impl Endpoint {
     }
 }
 
+/// Resilience policy knobs for a [`RemoteWorkerPool`]: reconnect backoff,
+/// per-endpoint circuit breaking and soft task deadlines.
+///
+/// All durations are clamped (never panicking) into `[1ms, 1h]` when the
+/// pool is built; `reconnect_cap` is raised to at least `reconnect_base`.
+#[derive(Debug, Clone)]
+pub struct ResilienceConfig {
+    /// First reconnect backoff step after an endpoint failure.
+    pub reconnect_base: Duration,
+    /// Upper bound the jittered backoff saturates at.
+    pub reconnect_cap: Duration,
+    /// Failures inside the window (10× the cooldown) that open the
+    /// circuit. A failed Half-Open probe re-opens it regardless.
+    pub breaker_threshold: u32,
+    /// Minimum quarantine before an Open circuit is offered a Half-Open
+    /// probe (the actual wait is `max(backoff, cooldown)`).
+    pub breaker_cooldown: Duration,
+    /// Soft per-task deadline: an in-flight task older than this is
+    /// speculatively re-executed on a second slot. `None` disables
+    /// speculation entirely (the default).
+    pub task_deadline: Option<Duration>,
+    /// Seed for the backoff jitter, so reconnect schedules replay
+    /// exactly under a fixed seed.
+    pub seed: u64,
+}
+
+impl Default for ResilienceConfig {
+    fn default() -> Self {
+        Self {
+            reconnect_base: Duration::from_millis(50),
+            reconnect_cap: Duration::from_secs(2),
+            breaker_threshold: 3,
+            breaker_cooldown: Duration::from_millis(500),
+            task_deadline: None,
+            seed: 0xB5E7,
+        }
+    }
+}
+
+impl ResilienceConfig {
+    /// Clamps every knob into sane territory (see the type docs).
+    fn sanitize(mut self) -> Self {
+        self.reconnect_base = clamp_duration(self.reconnect_base);
+        self.reconnect_cap = clamp_duration(self.reconnect_cap).max(self.reconnect_base);
+        self.breaker_threshold = self.breaker_threshold.max(1);
+        self.breaker_cooldown = clamp_duration(self.breaker_cooldown);
+        self.task_deadline = self.task_deadline.map(clamp_duration);
+        self
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BreakerState {
+    /// Traffic admitted (after `retry_at`, which a recent failure pushes
+    /// out by the current backoff).
+    Closed,
+    /// Quarantined: no connect attempts until `retry_at`.
+    Open,
+    /// One probe connect is in flight; its outcome decides the state.
+    HalfOpen,
+}
+
+/// Per-endpoint failure accounting: consecutive-failure window,
+/// decorrelated-jitter backoff and the circuit state machine.
+struct Breaker {
+    state: BreakerState,
+    /// Failures inside the window; reset only by a successful Half-Open
+    /// probe or by window expiry — a *connect* success alone does not
+    /// clear it, so an endpoint that accepts connects and then kills the
+    /// slot (a flapper) still accumulates toward Open.
+    failures: u32,
+    backoff: Duration,
+    retry_at: Instant,
+    last_failure: Option<Instant>,
+    rng: ChaosRng,
+}
+
+impl Breaker {
+    fn new(cfg: &ResilienceConfig, seed: u64) -> Self {
+        Self {
+            state: BreakerState::Closed,
+            failures: 0,
+            backoff: cfg.reconnect_base,
+            retry_at: Instant::now(),
+            last_failure: None,
+            rng: ChaosRng::new(seed),
+        }
+    }
+
+    /// Records a connect failure or a slot death on this endpoint.
+    fn on_failure(&mut self, cfg: &ResilienceConfig) {
+        let now = Instant::now();
+        let window = cfg.breaker_cooldown * 10;
+        self.failures = match self.last_failure {
+            Some(prev) if now.duration_since(prev) > window => 1,
+            _ => self.failures.saturating_add(1),
+        };
+        self.last_failure = Some(now);
+        // Decorrelated jitter: next = min(cap, rand[base, 3*prev)).
+        let lo = cfg.reconnect_base.as_millis() as u64;
+        let hi = (self.backoff.as_millis() as u64)
+            .saturating_mul(3)
+            .max(lo + 1);
+        self.backoff = Duration::from_millis(self.rng.range_u64(lo, hi)).min(cfg.reconnect_cap);
+        if self.state == BreakerState::HalfOpen || self.failures >= cfg.breaker_threshold {
+            self.state = BreakerState::Open;
+            self.retry_at = now + self.backoff.max(cfg.breaker_cooldown);
+        } else {
+            self.retry_at = now + self.backoff;
+        }
+    }
+
+    /// Records a successful connect. A Half-Open probe success closes
+    /// the circuit and forgets the failure history; a plain Closed-state
+    /// success only resets the backoff (see `failures`).
+    fn on_success(&mut self, cfg: &ResilienceConfig) {
+        if self.state != BreakerState::Closed {
+            self.failures = 0;
+            self.last_failure = None;
+        }
+        self.state = BreakerState::Closed;
+        self.backoff = cfg.reconnect_base;
+        self.retry_at = Instant::now();
+    }
+
+    /// Whether ordinary (non-probe) traffic may try this endpoint now.
+    fn admits(&self, now: Instant) -> bool {
+        self.state == BreakerState::Closed && now >= self.retry_at
+    }
+}
+
+/// An endpoint plus its breaker: what the pool's connect paths consult.
+struct EndpointState {
+    endpoint: Endpoint,
+    breaker: Mutex<Breaker>,
+}
+
+/// One task recorded in a slot's in-flight map.
+struct InflightEntry {
+    item: Vec<u8>,
+    /// When the writer shipped it — what the deadline sweep ages.
+    sent_at: Instant,
+}
+
+/// A task being speculatively re-executed: every slot holding a copy,
+/// which one got the latest copy, and when.
+struct SpecEntry {
+    holders: Vec<(u64, Weak<SlotShared>)>,
+    last_retry_slot: u64,
+    retried_at: Instant,
+}
+
+/// The speculation registry: the single source of truth that makes
+/// "first copy home wins" race-free. `resolved` remembers speculated
+/// sequence numbers that already produced an answer, so late copies are
+/// dropped; only speculated tasks ever enter it, so it stays small.
+#[derive(Default)]
+struct SpecRegistry {
+    active: HashMap<u64, SpecEntry>,
+    resolved: HashSet<u64>,
+}
+
 enum PoolMsg<Out> {
     Batch(Vec<(u64, Out)>),
     Lost(u64),
@@ -113,8 +302,9 @@ struct SlotShared {
     queue: WorkerQueue<Vec<u8>>,
     /// Tasks sent but not yet resolved by a `Result`/`Lost` frame, keyed
     /// by sequence number. Entries are inserted by the writer *before*
-    /// the bytes hit the wire and removed only by the reader.
-    inflight: Mutex<BTreeMap<u64, Vec<u8>>>,
+    /// the bytes hit the wire and removed only by the reader (or by the
+    /// speculation registry stripping a superseded copy).
+    inflight: Mutex<BTreeMap<u64, InflightEntry>>,
     inflight_count: AtomicUsize,
     /// Serialises all wire writes on this connection (the cipher keystream
     /// is order-dependent, and frames must not interleave).
@@ -173,6 +363,12 @@ struct PoolMetrics {
     blackout_until_bits: AtomicU64,
     last_arrival_bits: AtomicU64,
     workers_lost: AtomicU64,
+    /// Speculative re-executions dispatched by the deadline sweep.
+    tasks_retried: AtomicU64,
+    /// Speculated tasks whose *retry copy* resolved first.
+    spec_wins: AtomicU64,
+    /// Late answers for already-resolved speculated tasks, dropped.
+    spec_dups: AtomicU64,
 }
 
 impl PoolMetrics {
@@ -216,11 +412,20 @@ struct PoolShared<Out> {
     rr_cursor: AtomicUsize,
     results_tx: Sender<PoolMsg<Out>>,
     decode: DecodeFn<Out>,
-    endpoints: Vec<Endpoint>,
+    endpoints: Vec<EndpointState>,
     workload: String,
     meter: Arc<CostMeter>,
     max_workers: u32,
     rate_window: f64,
+    /// How long a connect + handshake may take before the endpoint is
+    /// declared unreachable (builder-configurable, clamped non-zero).
+    handshake_timeout: Duration,
+    resilience: ResilienceConfig,
+    spec: Mutex<SpecRegistry>,
+    /// Fast-out for the frame hot path: readers consult the speculation
+    /// registry only after the first task has ever been speculated, so a
+    /// fault-free run never takes the `spec` lock per frame.
+    spec_touched: AtomicBool,
 }
 
 impl<Out: Send + 'static> PoolShared<Out> {
@@ -260,7 +465,7 @@ impl<Out: Send + 'static> PoolShared<Out> {
         stream
             .set_read_timeout(Some(Duration::from_millis(100)))
             .map_err(|e| err(&e))?;
-        let deadline = Instant::now() + HANDSHAKE_TIMEOUT;
+        let deadline = Instant::now() + self.handshake_timeout;
         let ack = loop {
             match reader.try_next() {
                 Ok(Some(f)) if f.ftype == FrameType::HelloAck => {
@@ -351,15 +556,27 @@ impl<Out: Send + 'static> PoolShared<Out> {
             let inserted = {
                 let mut inflight = slot.inflight.lock();
                 if slot.dead.load(Ordering::SeqCst) {
-                    false
+                    None
                 } else {
+                    let now = Instant::now();
+                    // Count only *fresh* inserts: a recovery replay can
+                    // route the same sequence number back onto this slot
+                    // while a stale copy is still recorded, and counting
+                    // it twice would leak `inflight_count` forever.
+                    let mut fresh = 0usize;
                     for t in &batch {
-                        inflight.insert(t.seq, t.item.clone());
+                        let entry = InflightEntry {
+                            item: t.item.clone(),
+                            sent_at: now,
+                        };
+                        if inflight.insert(t.seq, entry).is_none() {
+                            fresh += 1;
+                        }
                     }
-                    true
+                    Some(fresh)
                 }
             };
-            if !inserted {
+            let Some(fresh) = inserted else {
                 // The slot died under us before these tasks were recorded
                 // anywhere the harvest could see: replay them directly.
                 if let Some(shared) = shared.upgrade() {
@@ -368,8 +585,8 @@ impl<Out: Send + 'static> PoolShared<Out> {
                     shared.recover_tasks(&slots, tasks);
                 }
                 return;
-            }
-            slot.inflight_count.fetch_add(batch.len(), Ordering::SeqCst);
+            };
+            slot.inflight_count.fetch_add(fresh, Ordering::SeqCst);
             let flushed = {
                 let mut w = slot.writer.lock();
                 for t in batch.drain(..) {
@@ -476,6 +693,8 @@ impl<Out: Send + 'static> PoolShared<Out> {
                 let claimed = slot.inflight.lock().remove(&f.seq).is_some();
                 if claimed {
                     slot.inflight_count.fetch_sub(1, Ordering::SeqCst);
+                }
+                if self.resolve_answer(slot, f.seq, claimed) {
                     out.push((f.seq, (self.decode)(&f.payload)));
                 }
             }
@@ -485,6 +704,8 @@ impl<Out: Send + 'static> PoolShared<Out> {
                 let claimed = slot.inflight.lock().remove(&f.seq).is_some();
                 if claimed {
                     slot.inflight_count.fetch_sub(1, Ordering::SeqCst);
+                }
+                if self.resolve_answer(slot, f.seq, claimed) {
                     let _ = self.results_tx.send(PoolMsg::Lost(f.seq));
                     let now = self.metrics.now();
                     self.metrics.departures.record_n(now, 1);
@@ -524,6 +745,43 @@ impl<Out: Send + 'static> PoolShared<Out> {
         }
     }
 
+    /// Decides whether an answer (Result or Lost) for `seq` may be
+    /// forwarded. Without speculation this is just `claimed`; once the
+    /// registry has been touched, the first answer for a speculated task
+    /// wins — it strips every other copy's in-flight entry (so a later
+    /// death harvest cannot replay the task) and marks the sequence
+    /// resolved so late copies are dropped, never double-delivered.
+    fn resolve_answer(&self, slot: &Arc<SlotShared>, seq: u64, claimed: bool) -> bool {
+        if !self.spec_touched.load(Ordering::SeqCst) {
+            return claimed;
+        }
+        let mut spec = self.spec.lock();
+        if let Some(entry) = spec.active.remove(&seq) {
+            spec.resolved.insert(seq);
+            if claimed && slot.id == entry.last_retry_slot {
+                self.metrics.spec_wins.fetch_add(1, Ordering::SeqCst);
+            }
+            for (holder_id, holder) in entry.holders {
+                if holder_id == slot.id {
+                    continue;
+                }
+                if let Some(h) = holder.upgrade() {
+                    if h.inflight.lock().remove(&seq).is_some() {
+                        h.inflight_count.fetch_sub(1, Ordering::SeqCst);
+                    }
+                }
+            }
+            true
+        } else if spec.resolved.contains(&seq) {
+            if claimed {
+                self.metrics.spec_dups.fetch_add(1, Ordering::SeqCst);
+            }
+            false
+        } else {
+            claimed
+        }
+    }
+
     // -- failure detection --------------------------------------------
 
     /// One detector sweep: sever deadline-breaching slots, ping the rest.
@@ -549,6 +807,104 @@ impl<Out: Send + 'static> PoolShared<Out> {
             // A send failure means a dying connection; the reader notices.
             let _ = slot.writer.lock().send(FrameType::Heartbeat, ping, &[]);
         }
+    }
+
+    // -- task deadlines & speculative re-execution --------------------
+
+    /// One deadline sweep: re-executes overdue in-flight tasks on a
+    /// second slot. Needs at least two live slots (speculating back onto
+    /// the only slot that already holds the task is pointless), and is a
+    /// no-op unless a [`ResilienceConfig::task_deadline`] is configured.
+    fn deadline_sweep(&self) {
+        let Some(deadline) = self.resilience.task_deadline else {
+            return;
+        };
+        let table = self.table.load();
+        if table.len() < 2 {
+            return;
+        }
+        for slot in table.iter() {
+            if slot.dead.load(Ordering::SeqCst) || slot.retiring.load(Ordering::SeqCst) {
+                continue;
+            }
+            // Snapshot the overdue entries; the real decision is re-made
+            // under the spec lock in `speculate`.
+            let overdue: Vec<(u64, Vec<u8>)> = {
+                let inflight = slot.inflight.lock();
+                inflight
+                    .iter()
+                    .filter(|(_, e)| e.sent_at.elapsed() > deadline)
+                    .take(SPEC_SWEEP_LIMIT)
+                    .map(|(seq, e)| (*seq, e.item.clone()))
+                    .collect()
+            };
+            for (seq, item) in overdue {
+                self.speculate(slot, seq, item, &table, deadline);
+            }
+        }
+    }
+
+    /// Dispatches one speculative copy of `seq` (held by `source`) onto
+    /// the least-loaded live slot that does not already hold a copy.
+    /// Runs entirely under the spec lock, which is what makes the push
+    /// and the registration atomic with respect to `resolve_answer`.
+    fn speculate(
+        &self,
+        source: &Arc<SlotShared>,
+        seq: u64,
+        item: Vec<u8>,
+        table: &[Arc<SlotShared>],
+        deadline: Duration,
+    ) {
+        use std::collections::hash_map::Entry;
+        let mut spec = self.spec.lock();
+        // Flip the hot-path gate *before* the copy can produce an
+        // answer: any reader claiming this task afterwards must consult
+        // the registry (it will block on the lock we hold).
+        self.spec_touched.store(true, Ordering::SeqCst);
+        // Re-check under the lock: the reader may have claimed the task
+        // since the sweep's snapshot, or an earlier copy may have won.
+        if spec.resolved.contains(&seq) || !source.inflight.lock().contains_key(&seq) {
+            return;
+        }
+        let holders: Vec<u64> = match spec.active.get(&seq) {
+            // Already speculated recently: give the copy its own
+            // deadline before adding yet another.
+            Some(e) if e.retried_at.elapsed() <= deadline => return,
+            Some(e) => e.holders.iter().map(|(id, _)| *id).collect(),
+            None => vec![source.id],
+        };
+        let target = table
+            .iter()
+            .filter(|s| !s.dead.load(Ordering::SeqCst) && !s.retiring.load(Ordering::SeqCst))
+            .filter(|s| !holders.contains(&s.id))
+            .min_by_key(|s| s.backlog());
+        let Some(target) = target else {
+            return; // every live slot already holds a copy
+        };
+        let mut one = vec![Task { seq, item }];
+        if !target.queue.push_batch(&mut one) {
+            return; // target raced into its death path; next sweep retries
+        }
+        match spec.active.entry(seq) {
+            Entry::Occupied(mut o) => {
+                let e = o.get_mut();
+                e.holders.push((target.id, Arc::downgrade(target)));
+                e.last_retry_slot = target.id;
+                e.retried_at = Instant::now();
+            }
+            Entry::Vacant(v) => {
+                v.insert(SpecEntry {
+                    holders: vec![
+                        (source.id, Arc::downgrade(source)),
+                        (target.id, Arc::downgrade(target)),
+                    ],
+                    last_retry_slot: target.id,
+                    retried_at: Instant::now(),
+                });
+            }
+        }
+        self.metrics.tasks_retried.fetch_add(1, Ordering::SeqCst);
     }
 
     // -- death & recovery ---------------------------------------------
@@ -578,7 +934,7 @@ impl<Out: Send + 'static> PoolShared<Out> {
             let drained = std::mem::take(&mut *inflight);
             drained
                 .into_iter()
-                .map(|(seq, item)| Task { seq, item })
+                .map(|(seq, e)| Task { seq, item: e.item })
                 .collect()
         };
         slot.inflight_count.store(0, Ordering::SeqCst);
@@ -588,6 +944,10 @@ impl<Out: Send + 'static> PoolShared<Out> {
         // The slot's completed work keeps counting toward the service
         // statistic.
         self.retired_slots.lock().push(Arc::clone(slot));
+        // A slot death is an endpoint failure: a daemon that accepts
+        // connects and then drops them (a flapper) must still open its
+        // circuit, not just fail the occasional connect.
+        self.record_endpoint_failure(&slot.endpoint);
         self.metrics.workers_lost.fetch_add(1, Ordering::SeqCst);
         self.events.lock().push(FarmEvent {
             at: now,
@@ -629,6 +989,59 @@ impl<Out: Send + 'static> PoolShared<Out> {
             .publish(slots.iter().map(|h| Arc::clone(&h.slot)).collect());
     }
 
+    /// Records a connect failure or slot death against the endpoint's
+    /// breaker.
+    fn record_endpoint_failure(&self, endpoint: &Endpoint) {
+        if let Some(es) = self.endpoints.iter().find(|es| es.endpoint == *endpoint) {
+            es.breaker.lock().on_failure(&self.resilience);
+        }
+    }
+
+    /// Number of endpoints currently quarantined (breaker Open).
+    fn open_circuits(&self) -> u32 {
+        self.endpoints
+            .iter()
+            .filter(|es| es.breaker.lock().state == BreakerState::Open)
+            .count() as u32
+    }
+
+    /// Picks the next endpoint a connect attempt should target, or
+    /// `None` when every endpoint is quarantined.
+    ///
+    /// A *due* Open circuit gets its Half-Open probe first (recovering a
+    /// quarantined endpoint beats spreading load; the probe transition
+    /// happens under the breaker lock, so only one caller wins it). Then
+    /// ordinary round-robin over endpoints whose breakers admit traffic.
+    /// If nothing admits but some breaker is still Closed (merely backing
+    /// off), the one closest to its retry time is used anyway:
+    /// availability beats backoff purity when there is no alternative.
+    /// Open circuits before their cooldown are never returned.
+    fn pick_endpoint(&self) -> Option<usize> {
+        let now = Instant::now();
+        for (i, es) in self.endpoints.iter().enumerate() {
+            let mut b = es.breaker.lock();
+            if b.state == BreakerState::Open && now >= b.retry_at {
+                b.state = BreakerState::HalfOpen;
+                return Some(i);
+            }
+        }
+        let n = self.endpoints.len();
+        for _ in 0..n {
+            let i = self.next_endpoint.fetch_add(1, Ordering::Relaxed) % n;
+            if self.endpoints[i].breaker.lock().admits(now) {
+                return Some(i);
+            }
+        }
+        let mut best: Option<(usize, Instant)> = None;
+        for (i, es) in self.endpoints.iter().enumerate() {
+            let b = es.breaker.lock();
+            if b.state == BreakerState::Closed && best.map_or(true, |(_, t)| b.retry_at < t) {
+                best = Some((i, b.retry_at));
+            }
+        }
+        best.map(|(i, _)| i)
+    }
+
     fn add_workers_impl(&self, n: u32) -> Result<u32, String> {
         let current = self.slots.lock().len() as u32;
         if current + n > self.max_workers {
@@ -639,21 +1052,38 @@ impl<Out: Send + 'static> PoolShared<Out> {
         }
         self.metrics.reconfiguring.store(true, Ordering::SeqCst);
         // Connect outside the membership lock: a slow or dead endpoint
-        // must not stall sensing or the death path.
+        // must not stall sensing or the death path. The breaker decides
+        // which endpoints may be attempted at all, which is what bounds
+        // the connect traffic a flapping endpoint sees while Open.
         let mut connected: Vec<SlotHandle> = Vec::new();
         let mut last_err = String::new();
         let mut attempts = 0;
         while connected.len() < n as usize && attempts < n as usize * self.endpoints.len() {
-            let i = self.next_endpoint.fetch_add(1, Ordering::Relaxed) % self.endpoints.len();
+            let Some(i) = self.pick_endpoint() else {
+                break; // every endpoint quarantined, no probe due
+            };
             attempts += 1;
-            match self.connect_slot(&self.endpoints[i]) {
-                Ok(h) => connected.push(h),
-                Err(e) => last_err = e,
+            let es = &self.endpoints[i];
+            match self.connect_slot(&es.endpoint) {
+                Ok(h) => {
+                    es.breaker.lock().on_success(&self.resilience);
+                    connected.push(h);
+                }
+                Err(e) => {
+                    es.breaker.lock().on_failure(&self.resilience);
+                    last_err = e;
+                }
             }
         }
         let added = connected.len() as u32;
         if added == 0 {
             self.metrics.reconfiguring.store(false, Ordering::SeqCst);
+            if last_err.is_empty() {
+                return Err(format!(
+                    "no endpoint accepted a slot: {} circuit(s) open (quarantined), no probe due",
+                    self.open_circuits()
+                ));
+            }
             return Err(format!("no endpoint accepted a slot: {last_err}"));
         }
         let mut slots = self.slots.lock();
@@ -794,6 +1224,23 @@ impl<Out: Send + 'static> PoolShared<Out> {
         }
         snap.end_of_stream = self.metrics.end_of_stream.load(Ordering::SeqCst);
         snap.workers_lost = self.metrics.workers_lost.load(Ordering::SeqCst);
+        let mut open = 0u32;
+        let mut backoff_ms = 0.0f64;
+        for es in &self.endpoints {
+            let b = es.breaker.lock();
+            if b.state == BreakerState::Open {
+                open += 1;
+            }
+            // Report the worst backoff among endpoints with a live
+            // failure history — endpoints at rest contribute nothing.
+            if b.failures > 0 {
+                backoff_ms = backoff_ms.max(b.backoff.as_secs_f64() * 1e3);
+            }
+        }
+        snap.circuit_open_count = open;
+        snap.reconnect_backoff_ms = backoff_ms;
+        snap.tasks_retried = self.metrics.tasks_retried.load(Ordering::SeqCst);
+        snap.speculative_wins = self.metrics.spec_wins.load(Ordering::SeqCst);
         snap.reconfiguring =
             self.metrics.reconfiguring.load(Ordering::SeqCst) || self.metrics.in_blackout(now);
         let bits = self.metrics.last_arrival_bits.load(Ordering::Relaxed);
@@ -909,6 +1356,8 @@ pub struct RemotePoolBuilder<In, Out> {
     rate_window: f64,
     heartbeat_period: Duration,
     failure_timeout: Duration,
+    handshake_timeout: Duration,
+    resilience: ResilienceConfig,
 }
 
 impl<In: Send + 'static, Out: Send + 'static> RemotePoolBuilder<In, Out> {
@@ -932,6 +1381,8 @@ impl<In: Send + 'static, Out: Send + 'static> RemotePoolBuilder<In, Out> {
             rate_window: 2.0,
             heartbeat_period: Duration::from_millis(50),
             failure_timeout: Duration::from_millis(500),
+            handshake_timeout: Duration::from_secs(5),
+            resilience: ResilienceConfig::default(),
         }
     }
 
@@ -985,9 +1436,8 @@ impl<In: Send + 'static, Out: Send + 'static> RemotePoolBuilder<In, Out> {
     }
 
     /// Heartbeat send period. The failure timeout should be several
-    /// periods *and* longer than one task's worst-case service time plus
-    /// a round trip (the daemon answers heartbeats between tasks, not
-    /// mid-task).
+    /// periods; the daemon's busy pulse answers even mid-task, so the
+    /// timeout need *not* exceed one task's service time.
     pub fn heartbeat_period(mut self, d: Duration) -> Self {
         self.heartbeat_period = d;
         self
@@ -999,6 +1449,55 @@ impl<In: Send + 'static, Out: Send + 'static> RemotePoolBuilder<In, Out> {
         self
     }
 
+    /// How long a connect + handshake may take before the endpoint is
+    /// declared unreachable. Clamped (not panicking) into `[1ms, 1h]` at
+    /// build time, like every other duration knob.
+    pub fn handshake_timeout(mut self, d: Duration) -> Self {
+        self.handshake_timeout = d;
+        self
+    }
+
+    /// Replaces the whole resilience policy (backoff, breaker, deadline).
+    pub fn resilience(mut self, cfg: ResilienceConfig) -> Self {
+        self.resilience = cfg;
+        self
+    }
+
+    /// Reconnect backoff bounds: first step and saturation cap for the
+    /// decorrelated-jitter schedule.
+    pub fn reconnect_backoff(mut self, base: Duration, cap: Duration) -> Self {
+        self.resilience.reconnect_base = base;
+        self.resilience.reconnect_cap = cap;
+        self
+    }
+
+    /// Endpoint failures (within the failure window) that open the
+    /// circuit.
+    pub fn breaker_threshold(mut self, n: u32) -> Self {
+        self.resilience.breaker_threshold = n;
+        self
+    }
+
+    /// Minimum quarantine an Open circuit serves before a Half-Open
+    /// probe is due.
+    pub fn breaker_cooldown(mut self, d: Duration) -> Self {
+        self.resilience.breaker_cooldown = d;
+        self
+    }
+
+    /// Soft per-task deadline enabling speculative re-execution of
+    /// overdue in-flight tasks.
+    pub fn task_deadline(mut self, d: Duration) -> Self {
+        self.resilience.task_deadline = Some(d);
+        self
+    }
+
+    /// Seed for the reconnect-jitter RNG (deterministic replay).
+    pub fn resilience_seed(mut self, seed: u64) -> Self {
+        self.resilience.seed = seed;
+        self
+    }
+
     /// Connects the initial slots and starts the pool.
     ///
     /// Fails if no endpoint was registered or fewer than the requested
@@ -1007,6 +1506,26 @@ impl<In: Send + 'static, Out: Send + 'static> RemotePoolBuilder<In, Out> {
         if self.endpoints.is_empty() {
             return Err("no endpoints registered".into());
         }
+        let resilience = self.resilience.sanitize();
+        let heartbeat_period = clamp_duration(self.heartbeat_period);
+        let failure_timeout = clamp_duration(self.failure_timeout);
+        let handshake_timeout = clamp_duration(self.handshake_timeout);
+        // One jitter stream per endpoint, derived from the policy seed,
+        // so a fixed seed replays the whole reconnect schedule.
+        let endpoint_states: Vec<EndpointState> = self
+            .endpoints
+            .iter()
+            .enumerate()
+            .map(|(i, e)| EndpointState {
+                endpoint: e.clone(),
+                breaker: Mutex::new(Breaker::new(
+                    &resilience,
+                    resilience
+                        .seed
+                        .wrapping_add((i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+                )),
+            })
+            .collect();
         let (input_tx, input_rx) = unbounded::<StreamMsg<In>>();
         let (results_tx, results_rx) = unbounded::<PoolMsg<Out>>();
         let (output_tx, output_rx) = unbounded::<StreamMsg<Out>>();
@@ -1023,6 +1542,9 @@ impl<In: Send + 'static, Out: Send + 'static> RemotePoolBuilder<In, Out> {
                 blackout_until_bits: AtomicU64::new(0),
                 last_arrival_bits: AtomicU64::new(0),
                 workers_lost: AtomicU64::new(0),
+                tasks_retried: AtomicU64::new(0),
+                spec_wins: AtomicU64::new(0),
+                spec_dups: AtomicU64::new(0),
             },
             table: Arc::new(Published::new(Vec::new())),
             slots: Mutex::new(Vec::new()),
@@ -1040,20 +1562,27 @@ impl<In: Send + 'static, Out: Send + 'static> RemotePoolBuilder<In, Out> {
             rr_cursor: AtomicUsize::new(0),
             results_tx: results_tx.clone(),
             decode: Arc::clone(&self.decode),
-            endpoints: self.endpoints.clone(),
+            endpoints: endpoint_states,
             workload: self.workload.clone(),
             meter: Arc::new(CostMeter::new()),
             max_workers: self.max_workers,
             rate_window: self.rate_window,
+            handshake_timeout,
+            resilience,
+            spec: Mutex::new(SpecRegistry::default()),
+            spec_touched: AtomicBool::new(false),
         });
 
         {
             // Initial slots: all-or-nothing so a misconfigured endpoint
-            // fails loudly at build time.
+            // fails loudly at build time (no breaker second-guessing —
+            // the caller asked for exactly this capacity).
             let mut handles = Vec::new();
             for i in 0..self.initial_workers {
-                let e = &self.endpoints[i as usize % self.endpoints.len()];
-                handles.push(shared.connect_slot(e)?);
+                let idx = i as usize % shared.endpoints.len();
+                let es = &shared.endpoints[idx];
+                handles.push(shared.connect_slot(&es.endpoint)?);
+                es.breaker.lock().on_success(&shared.resilience);
             }
             let mut slots = shared.slots.lock();
             *slots = handles;
@@ -1161,16 +1690,17 @@ impl<In: Send + 'static, Out: Send + 'static> RemotePoolBuilder<In, Out> {
                 .map_err(|e| format!("spawn collector: {e}"))?
         };
 
-        // Failure detector: heartbeat + deadline sweep.
+        // Failure detector: heartbeat + failure deadline + task deadline.
         let detector = {
             let shared = Arc::clone(&shared);
-            let period = self.heartbeat_period;
-            let timeout = self.failure_timeout;
+            let period = heartbeat_period;
+            let timeout = failure_timeout;
             std::thread::Builder::new()
                 .name(format!("{}-detector", self.name))
                 .spawn(move || {
                     while !shared.terminating.load(Ordering::SeqCst) {
                         shared.detector_sweep(timeout);
+                        shared.deadline_sweep();
                         std::thread::sleep(period);
                     }
                 })
@@ -1225,6 +1755,27 @@ impl<In: Send + 'static, Out: Send + 'static> RemoteWorkerPool<In, Out> {
     /// Cumulative slots lost to failures.
     pub fn workers_lost(&self) -> u64 {
         self.shared.metrics.workers_lost.load(Ordering::SeqCst)
+    }
+
+    /// Speculative re-executions the deadline sweep has dispatched.
+    pub fn tasks_retried(&self) -> u64 {
+        self.shared.metrics.tasks_retried.load(Ordering::SeqCst)
+    }
+
+    /// Speculated tasks whose retry copy answered first.
+    pub fn speculative_wins(&self) -> u64 {
+        self.shared.metrics.spec_wins.load(Ordering::SeqCst)
+    }
+
+    /// Late answers for already-resolved speculated tasks that were
+    /// dropped instead of double-delivered.
+    pub fn duplicates_dropped(&self) -> u64 {
+        self.shared.metrics.spec_dups.load(Ordering::SeqCst)
+    }
+
+    /// Endpoints currently quarantined by their circuit breaker.
+    pub fn circuit_open_count(&self) -> u32 {
+        self.shared.open_circuits()
     }
 
     /// Accumulated secure-channel costs (zero for plain endpoints) — the

@@ -176,6 +176,10 @@ impl EffectTable {
             .bean_effect(op::ADD_EXECUTOR, "remoteWorkers", Dir::Up)
             .bean_effect(op::ADD_EXECUTOR, "departureRate", Dir::Up)
             .bean_effect(op::ADD_EXECUTOR, "queuedTasks", Dir::Down)
+            // Recruiting a slot probes quarantined endpoints: a successful
+            // probe closes the circuit and resets its reconnect backoff.
+            .bean_effect(op::ADD_EXECUTOR, "circuitOpenCount", Dir::Down)
+            .bean_effect(op::ADD_EXECUTOR, "reconnectBackoffMs", Dir::Down)
             .bean_effect(op::REMOVE_EXECUTOR, "numWorkers", Dir::Down)
             .bean_effect(op::REMOVE_EXECUTOR, "remoteWorkers", Dir::Down)
             .bean_effect(op::REMOVE_EXECUTOR, "departureRate", Dir::Down)

@@ -28,6 +28,8 @@ pub const PRODUCER_RULES_TEXT: &str = include_str!("../rules/producer.rules");
 pub const FAULT_RULES_TEXT: &str = include_str!("../rules/fault.rules");
 /// Text of the worker-migration rule program.
 pub const MIGRATE_RULES_TEXT: &str = include_str!("../rules/migrate.rules");
+/// Text of the distributed-farm resilience rule program.
+pub const RESILIENCE_RULES_TEXT: &str = include_str!("../rules/resilience.rules");
 
 /// Parameter names referenced by the standard programs.
 pub mod params {
@@ -110,6 +112,26 @@ pub fn farm_rules_with_ft() -> RuleSet {
 /// Builds the fault-tolerance parameter table.
 pub fn fault_params(min_workers: u32) -> ParamTable {
     ParamTable::new().with(params::FT_MIN_WORKERS, f64::from(min_workers))
+}
+
+/// The distributed-farm resilience rule program (reacts to the pool's
+/// circuit-breaker and speculative-retry beans).
+pub fn resilience_rules() -> RuleSet {
+    parse_rules(RESILIENCE_RULES_TEXT).expect("embedded resilience.rules must parse")
+}
+
+/// Fault-tolerance + resilience rules merged — the self-healing program
+/// for the distributed pool (replace lost slots, route growth around
+/// quarantined endpoints, smooth queues after retries).
+pub fn fault_rules_with_resilience() -> RuleSet {
+    let mut set = fault_rules();
+    set.extend(resilience_rules());
+    set
+}
+
+/// Builds the resilience parameter table.
+pub fn resilience_params(max_workers: u32) -> ParamTable {
+    ParamTable::new().with(params::FARM_MAX_NUM_WORKERS, f64::from(max_workers))
 }
 
 /// The worker-migration rule program.
@@ -415,6 +437,61 @@ mod tests {
             ("queueVariance", 6.0),
         ]);
         assert!(e.cycle_ops(&skewed_no_loss, &p).unwrap().is_empty());
+    }
+
+    #[test]
+    fn resilience_rules_recruit_around_open_circuit() {
+        let mut e = RuleEngine::new(resilience_rules());
+        let p = resilience_params(8);
+        let quarantined = WorkingMemory::from_beans([
+            ("circuitOpenCount", 1.0),
+            ("numWorkers", 3.0),
+            ("tasksRetried", 0.0),
+            ("queueVariance", 0.0),
+        ]);
+        let ops = e.cycle_ops(&quarantined, &p).unwrap();
+        assert_eq!(ops.len(), 1);
+        assert_eq!(ops[0].operation, op::ADD_EXECUTOR);
+        assert_eq!(ops[0].data.as_deref(), Some("circuitOpen"));
+        // Circuit closed again: nothing to do.
+        let healthy = WorkingMemory::from_beans([
+            ("circuitOpenCount", 0.0),
+            ("numWorkers", 3.0),
+            ("tasksRetried", 0.0),
+            ("queueVariance", 0.0),
+        ]);
+        assert!(e.cycle_ops(&healthy, &p).unwrap().is_empty());
+        // Already at the ceiling: quarantine alone must not overgrow.
+        let full = WorkingMemory::from_beans([
+            ("circuitOpenCount", 1.0),
+            ("numWorkers", 8.0),
+            ("tasksRetried", 0.0),
+            ("queueVariance", 0.0),
+        ]);
+        assert!(e.cycle_ops(&full, &p).unwrap().is_empty());
+    }
+
+    #[test]
+    fn resilience_rules_rebalance_after_retries() {
+        let mut e = RuleEngine::new(resilience_rules());
+        let p = resilience_params(8);
+        let skewed = WorkingMemory::from_beans([
+            ("circuitOpenCount", 0.0),
+            ("numWorkers", 4.0),
+            ("tasksRetried", 2.0),
+            ("queueVariance", 5.0),
+        ]);
+        let ops = e.cycle_ops(&skewed, &p).unwrap();
+        assert_eq!(ops.len(), 1);
+        assert_eq!(ops[0].operation, op::BALANCE_LOAD);
+        // Retries with even queues: leave the pool alone.
+        let even = WorkingMemory::from_beans([
+            ("circuitOpenCount", 0.0),
+            ("numWorkers", 4.0),
+            ("tasksRetried", 2.0),
+            ("queueVariance", 0.5),
+        ]);
+        assert!(e.cycle_ops(&even, &p).unwrap().is_empty());
     }
 
     #[test]
