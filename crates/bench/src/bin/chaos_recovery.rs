@@ -31,7 +31,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-const SEED: u64 = 0xC4A0_5;
+const SEED: u64 = 0xC4A05;
 const SPIN_US: u64 = 20;
 const WINDOW: u64 = 64;
 
@@ -94,7 +94,8 @@ fn run_class(name: &'static str, policy: ChaosPolicy, tasks: u64) -> ClassRun {
         std::thread::spawn(move || {
             let mut down_at: Option<Instant> = None;
             let mut recovery: Option<f64> = None;
-            let mut tick = 0u64;
+            // Fires on the first tick and every 5th after (10 ms cadence).
+            let mut until_nudge = 0u64;
             while !stop.load(Ordering::SeqCst) {
                 let workers = ctl.num_workers();
                 match (workers < 2, down_at) {
@@ -105,10 +106,13 @@ fn run_class(name: &'static str, policy: ChaosPolicy, tasks: u64) -> ClassRun {
                     }
                     _ => {}
                 }
-                if workers < 2 && tick % 5 == 0 {
+                if workers < 2 && until_nudge == 0 {
                     let _ = ctl.add_workers(1);
                 }
-                tick += 1;
+                if until_nudge == 0 {
+                    until_nudge = 5;
+                }
+                until_nudge -= 1;
                 std::thread::sleep(Duration::from_millis(2));
             }
             recovery

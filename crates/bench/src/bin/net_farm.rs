@@ -11,13 +11,21 @@
 //!   numbers that calibrate the simulator's `SslCostModel` (see
 //!   `SslCostModel::calibrated_loopback` and EXPERIMENTS.md).
 //!
+//! Besides throughput each run records per-task latency (enqueue to
+//! ordered delivery, so it includes queueing behind the burst producer —
+//! p50/p99 over the whole stream) and the peak file-descriptor / OS
+//! thread footprint of the hosting process, sampled during the drain.
+//!
 //! Results are printed and written to `BENCH_net_farm.json` at the
 //! workspace root. `--quick` shrinks the stream for CI smoke runs.
 
-use bskel_bench::table;
+use bskel_bench::procfs::{fd_count, thread_count};
+use bskel_bench::{quantile, table};
 use bskel_net::{spawn_local, CostReport, Endpoint, RemotePoolBuilder};
 use bskel_skel::farm::{FarmBuilder, GatherPolicy};
 use bskel_skel::stream::StreamMsg;
+use crossbeam::channel::Receiver;
+use std::sync::mpsc;
 use std::time::Instant;
 
 const WORKERS: u32 = 4;
@@ -26,6 +34,8 @@ const SPIN_US: u64 = 20;
 /// 24-byte Result frame back (8-byte `u64` payload each way), amortised
 /// batching overhead (heartbeats, sensor blobs) ignored.
 const TASK_BYTES: f64 = 48.0;
+/// Drain-side footprint sampling stride (procfs reads are not free).
+const SAMPLE_EVERY: u64 = 512;
 
 fn enc(x: u64) -> Vec<u8> {
     x.to_le_bytes().to_vec()
@@ -40,11 +50,53 @@ fn dec(b: &[u8]) -> u64 {
 struct Run {
     elapsed_s: f64,
     delivered: u64,
+    p50_us: f64,
+    p99_us: f64,
+    peak_fds: usize,
+    peak_threads: usize,
 }
 
 impl Run {
     fn throughput(&self) -> f64 {
         self.delivered as f64 / self.elapsed_s
+    }
+}
+
+/// Drains `output` until `End`, pairing each delivery with its send
+/// timestamp (ordered gather: arrival order == send order) and sampling
+/// the process footprint every [`SAMPLE_EVERY`] deliveries.
+fn drain(output: &Receiver<StreamMsg<u64>>, sent_at: &mpsc::Receiver<Instant>, t0: Instant) -> Run {
+    let mut delivered = 0u64;
+    let mut latencies_us = Vec::new();
+    let mut peak_fds = fd_count();
+    let mut peak_threads = thread_count();
+    let mut until_sample = SAMPLE_EVERY;
+    for msg in output.iter() {
+        match msg {
+            StreamMsg::Item { .. } => {
+                if let Ok(sent) = sent_at.try_recv() {
+                    latencies_us.push(sent.elapsed().as_secs_f64() * 1e6);
+                }
+                delivered += 1;
+                until_sample -= 1;
+                if until_sample == 0 {
+                    until_sample = SAMPLE_EVERY;
+                    peak_fds = peak_fds.max(fd_count());
+                    peak_threads = peak_threads.max(thread_count());
+                }
+            }
+            StreamMsg::End => break,
+        }
+    }
+    let elapsed_s = t0.elapsed().as_secs_f64();
+    latencies_us.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    Run {
+        elapsed_s,
+        delivered,
+        p50_us: quantile(&latencies_us, 0.50),
+        p99_us: quantile(&latencies_us, 0.99),
+        peak_fds,
+        peak_threads,
     }
 }
 
@@ -66,27 +118,19 @@ fn run_local(tasks: u64) -> Run {
     .gather(GatherPolicy::Ordered)
     .build();
     let tx = farm.input();
+    let (ts_tx, ts_rx) = mpsc::channel();
     let t0 = Instant::now();
     let producer = std::thread::spawn(move || {
         for i in 0..tasks {
+            ts_tx.send(Instant::now()).unwrap();
             tx.send(StreamMsg::item(i, i)).unwrap();
         }
         tx.send(StreamMsg::End).unwrap();
     });
-    let mut delivered = 0u64;
-    for msg in farm.output().iter() {
-        match msg {
-            StreamMsg::Item { .. } => delivered += 1,
-            StreamMsg::End => break,
-        }
-    }
-    let elapsed_s = t0.elapsed().as_secs_f64();
+    let run = drain(&farm.output(), &ts_rx, t0);
     producer.join().expect("producer");
     let _ = farm.shutdown();
-    Run {
-        elapsed_s,
-        delivered,
-    }
+    run
 }
 
 fn run_remote(tasks: u64, secure: bool) -> (Run, CostReport) {
@@ -107,21 +151,16 @@ fn run_remote(tasks: u64, secure: bool) -> (Run, CostReport) {
         .build()
         .expect("loopback daemon reachable");
     let tx = pool.input();
+    let (ts_tx, ts_rx) = mpsc::channel();
     let t0 = Instant::now();
     let producer = std::thread::spawn(move || {
         for i in 0..tasks {
+            ts_tx.send(Instant::now()).unwrap();
             tx.send(StreamMsg::item(i, i)).unwrap();
         }
         tx.send(StreamMsg::End).unwrap();
     });
-    let mut delivered = 0u64;
-    for msg in pool.output().iter() {
-        match msg {
-            StreamMsg::Item { .. } => delivered += 1,
-            StreamMsg::End => break,
-        }
-    }
-    let elapsed_s = t0.elapsed().as_secs_f64();
+    let run = drain(&pool.output(), &ts_rx, t0);
     producer.join().expect("producer");
     let cost = pool.cost_report();
     let report = pool.shutdown();
@@ -129,12 +168,37 @@ fn run_remote(tasks: u64, secure: bool) -> (Run, CostReport) {
         report.is_clean(),
         "bench run must be fault-free: {report:?}"
     );
-    (
-        Run {
-            elapsed_s,
-            delivered,
-        },
-        cost,
+    (run, cost)
+}
+
+fn run_row(label: &str, r: &Run) -> Vec<(String, String)> {
+    vec![
+        (
+            format!("{label}: throughput"),
+            format!("{:.0} tasks/s", r.throughput()),
+        ),
+        (
+            format!("{label}: latency"),
+            format!("p50 {:.0} µs, p99 {:.0} µs", r.p50_us, r.p99_us),
+        ),
+        (
+            format!("{label}: peak footprint"),
+            format!("{} fds, {} threads", r.peak_fds, r.peak_threads),
+        ),
+    ]
+}
+
+/// The run's JSON fields, brace-less so callers can extend the object.
+fn run_fields(r: &Run) -> String {
+    format!(
+        "\"elapsed_s\": {:.4}, \"throughput\": {:.1}, \"p50_us\": {:.1}, \
+         \"p99_us\": {:.1}, \"peak_fds\": {}, \"peak_threads\": {}",
+        r.elapsed_s,
+        r.throughput(),
+        r.p50_us,
+        r.p99_us,
+        r.peak_fds,
+        r.peak_threads,
     )
 }
 
@@ -156,62 +220,44 @@ fn main() {
     let secure_per_task_s = per_byte_s * TASK_BYTES;
 
     let pass = local.delivered == tasks && plain.delivered == tasks && secure.delivered == tasks;
-    println!(
-        "{}",
-        table(
-            "NET1 summary",
-            &[
-                (
-                    "local: throughput".into(),
-                    format!("{:.0} tasks/s", local.throughput())
-                ),
-                (
-                    "loopback plain: throughput".into(),
-                    format!("{:.0} tasks/s", plain.throughput())
-                ),
-                (
-                    "loopback secure: throughput".into(),
-                    format!("{:.0} tasks/s", secure.throughput())
-                ),
-                (
-                    "secure: handshake".into(),
-                    format!(
-                        "{:.3} ms each ({} stretches)",
-                        handshake_s * 1e3,
-                        cost.handshakes
-                    )
-                ),
-                (
-                    "secure: cipher".into(),
-                    format!("{:.2} ns/byte over {} bytes", per_byte_s * 1e9, cost.bytes)
-                ),
-                (
-                    "secure: per-task overhead".into(),
-                    format!("{:.3} µs ({TASK_BYTES:.0} B/task)", secure_per_task_s * 1e6)
-                ),
-                (
-                    "verdict".into(),
-                    if pass { "PASS".into() } else { "FAIL".into() }
-                ),
-            ]
-        )
-    );
+    let mut rows = Vec::new();
+    rows.extend(run_row("local", &local));
+    rows.extend(run_row("loopback plain", &plain));
+    rows.extend(run_row("loopback secure", &secure));
+    rows.push((
+        "secure: handshake".into(),
+        format!(
+            "{:.3} ms each ({} stretches)",
+            handshake_s * 1e3,
+            cost.handshakes
+        ),
+    ));
+    rows.push((
+        "secure: cipher".into(),
+        format!("{:.2} ns/byte over {} bytes", per_byte_s * 1e9, cost.bytes),
+    ));
+    rows.push((
+        "secure: per-task overhead".into(),
+        format!("{:.3} µs ({TASK_BYTES:.0} B/task)", secure_per_task_s * 1e6),
+    ));
+    rows.push((
+        "verdict".into(),
+        if pass { "PASS".into() } else { "FAIL".into() },
+    ));
+    println!("{}", table("NET1 summary", &rows));
 
     let json = format!(
         "{{\n  \"bench\": \"net_farm\",\n  \"tasks\": {tasks},\n  \"quick\": {quick},\n  \
          \"workers\": {WORKERS},\n  \"spin_us\": {SPIN_US},\n  \
-         \"local\": {{\"elapsed_s\": {:.4}, \"throughput\": {:.1}}},\n  \
-         \"loopback_plain\": {{\"elapsed_s\": {:.4}, \"throughput\": {:.1}}},\n  \
-         \"loopback_secure\": {{\"elapsed_s\": {:.4}, \"throughput\": {:.1}, \
+         \"local\": {{{}}},\n  \
+         \"loopback_plain\": {{{}}},\n  \
+         \"loopback_secure\": {{{}, \
          \"handshakes\": {}, \"handshake_ms\": {:.4}, \"cipher_bytes\": {}, \
          \"per_byte_ns\": {:.3}, \"per_task_overhead_us\": {:.4}}},\n  \
          \"pass\": {pass}\n}}\n",
-        local.elapsed_s,
-        local.throughput(),
-        plain.elapsed_s,
-        plain.throughput(),
-        secure.elapsed_s,
-        secure.throughput(),
+        run_fields(&local),
+        run_fields(&plain),
+        run_fields(&secure),
         cost.handshakes,
         handshake_s * 1e3,
         cost.bytes,

@@ -1,0 +1,94 @@
+//! Self-inspection via `/proc` for the resource-cost benches.
+//!
+//! The NET benches report what a farm *costs* the hosting process —
+//! open file descriptors, OS threads, resident memory — next to what it
+//! delivers (throughput, latency). Everything here reads Linux `procfs`
+//! for the current process; on read failure the helpers return 0 rather
+//! than panic, so benches degrade to "not measured" off-Linux.
+
+/// Number of file descriptors currently open in this process.
+///
+/// Counts `/proc/self/fd` entries, excluding the descriptor the
+/// directory scan itself holds open.
+pub fn fd_count() -> usize {
+    std::fs::read_dir("/proc/self/fd")
+        .map(|d| d.count().saturating_sub(1))
+        .unwrap_or(0)
+}
+
+/// Number of OS threads in this process (entries of `/proc/self/task`).
+pub fn thread_count() -> usize {
+    std::fs::read_dir("/proc/self/task")
+        .map(|d| d.count())
+        .unwrap_or(0)
+}
+
+/// Number of threads whose name (`comm`) starts with `prefix`.
+///
+/// Thread names come from `std::thread::Builder::name` and are truncated
+/// by the kernel to 15 bytes, so keep prefixes short (the benches name
+/// pools `nsN` so `nsN-` survives truncation).
+pub fn threads_named(prefix: &str) -> usize {
+    let Ok(tasks) = std::fs::read_dir("/proc/self/task") else {
+        return 0;
+    };
+    tasks
+        .flatten()
+        .filter(|t| {
+            std::fs::read_to_string(t.path().join("comm"))
+                .map(|comm| comm.trim_end().starts_with(prefix))
+                .unwrap_or(false)
+        })
+        .count()
+}
+
+/// Resident set size of this process in KiB (`VmRSS` from
+/// `/proc/self/status`).
+pub fn rss_kb() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    status
+        .lines()
+        .find_map(|l| l.strip_prefix("VmRSS:"))
+        .and_then(|rest| rest.split_whitespace().next())
+        .and_then(|n| n.parse().ok())
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fd_count_sees_new_descriptors() {
+        let before = fd_count();
+        let _keep = std::fs::File::open("/proc/self/status").expect("procfs");
+        assert_eq!(fd_count(), before + 1);
+    }
+
+    #[test]
+    fn thread_count_sees_spawned_thread() {
+        let before = thread_count();
+        let (tx, rx) = std::sync::mpsc::channel::<()>();
+        let (ready_tx, ready_rx) = std::sync::mpsc::channel::<()>();
+        let h = std::thread::Builder::new()
+            .name("procfs-probe".into())
+            .spawn(move || {
+                ready_tx.send(()).unwrap();
+                rx.recv().unwrap();
+            })
+            .unwrap();
+        ready_rx.recv().unwrap();
+        assert!(thread_count() > before);
+        assert_eq!(threads_named("procfs-probe"), 1);
+        assert_eq!(threads_named("no-such-thread"), 0);
+        tx.send(()).unwrap();
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn rss_is_nonzero_on_linux() {
+        assert!(rss_kb() > 0);
+    }
+}

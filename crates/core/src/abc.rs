@@ -39,6 +39,8 @@ pub fn standard_schema() -> BeanSchema {
         .bean(beans::RECONNECT_BACKOFF_MS, BeanType::Rate)
         .bean(beans::TASKS_RETRIED, BeanType::Count)
         .bean(beans::SPECULATIVE_WINS, BeanType::Count)
+        .bean(beans::REACTOR_LOOP_LAG_US, BeanType::Rate)
+        .bean(beans::NET_SEND_QUEUE_DEPTH, BeanType::Count)
         .bean(hier_beans::VIOL_NOT_ENOUGH, BeanType::Flag)
         .bean(hier_beans::VIOL_TOO_MUCH, BeanType::Flag)
         .bean(hier_beans::END_STREAM, BeanType::Flag)

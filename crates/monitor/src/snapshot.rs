@@ -55,6 +55,15 @@ pub mod beans {
     /// Cumulative speculative retries that beat the original attempt to
     /// the result.
     pub const SPECULATIVE_WINS: &str = "speculativeWins";
+    /// Worst lateness of the network reactor's timer duties in the last
+    /// loop iteration, microseconds (0.0 for non-reactor substrates). A
+    /// persistently high value means the single event-loop thread is
+    /// saturated.
+    pub const REACTOR_LOOP_LAG_US: &str = "reactorLoopLagUs";
+    /// Frames sitting in per-connection send queues, waiting for socket
+    /// writability (0 for non-networked substrates). Sustained growth
+    /// means the wire — not the workers — is the bottleneck.
+    pub const NET_SEND_QUEUE_DEPTH: &str = "netSendQueueDepth";
 }
 
 /// A point-in-time reading of every sensor a skeleton ABC exposes.
@@ -99,6 +108,10 @@ pub struct SensorSnapshot {
     pub tasks_retried: u64,
     /// Cumulative speculative retries that won the race to the result.
     pub speculative_wins: u64,
+    /// Worst reactor timer lateness in the last loop iteration (µs).
+    pub reactor_loop_lag_us: f64,
+    /// Frames pending in per-connection send queues.
+    pub net_send_queue_depth: u64,
     /// Additional substrate-specific beans.
     pub extra: Vec<(String, f64)>,
 }
@@ -125,6 +138,8 @@ impl SensorSnapshot {
             reconnect_backoff_ms: 0.0,
             tasks_retried: 0,
             speculative_wins: 0,
+            reactor_loop_lag_us: 0.0,
+            net_send_queue_depth: 0,
             extra: Vec::new(),
         }
     }
@@ -138,7 +153,7 @@ impl SensorSnapshot {
     /// Flattens the snapshot to `(bean name, value)` pairs for a rule
     /// engine's working memory. Booleans encode as 0.0/1.0.
     pub fn to_beans(&self) -> Vec<(String, f64)> {
-        let mut out = Vec::with_capacity(17 + self.extra.len());
+        let mut out = Vec::with_capacity(19 + self.extra.len());
         out.push((beans::ARRIVAL_RATE.to_owned(), self.arrival_rate));
         out.push((beans::DEPARTURE_RATE.to_owned(), self.departure_rate));
         out.push((beans::NUM_WORKERS.to_owned(), f64::from(self.num_workers)));
@@ -176,6 +191,14 @@ impl SensorSnapshot {
         out.push((
             beans::SPECULATIVE_WINS.to_owned(),
             self.speculative_wins as f64,
+        ));
+        out.push((
+            beans::REACTOR_LOOP_LAG_US.to_owned(),
+            self.reactor_loop_lag_us,
+        ));
+        out.push((
+            beans::NET_SEND_QUEUE_DEPTH.to_owned(),
+            self.net_send_queue_depth as f64,
         ));
         out.extend(self.extra.iter().cloned());
         out
@@ -259,6 +282,8 @@ mod tests {
             beans::RECONNECT_BACKOFF_MS,
             beans::TASKS_RETRIED,
             beans::SPECULATIVE_WINS,
+            beans::REACTOR_LOOP_LAG_US,
+            beans::NET_SEND_QUEUE_DEPTH,
         ] {
             assert_eq!(
                 all.iter().filter(|(n, _)| n == name).count(),

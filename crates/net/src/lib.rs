@@ -30,7 +30,11 @@
 //!   soft task deadlines with speculative re-execution;
 //! * [`chaos`] — seeded, deterministic fault injection (a frame-level
 //!   proxy for drop/delay/dup/corrupt/refuse/disconnect/stall) that the
-//!   soak tests drive the pool's resilience policies with.
+//!   soak tests drive the pool's resilience policies with;
+//! * [`sys`] — dependency-free Linux readiness polling (`epoll` +
+//!   `eventfd` via raw syscalls, no libc);
+//! * [`reactor`] — the event loop's allocation/syscall-economy pieces:
+//!   pooled frame buffers, a vectored-write send queue, a timer wheel.
 
 #![warn(missing_docs)]
 
@@ -38,7 +42,9 @@ pub mod chaos;
 pub mod daemon;
 pub mod pool;
 pub mod proto;
+pub mod reactor;
 pub mod secure;
+pub mod sys;
 pub mod wire;
 
 pub use chaos::{
@@ -49,8 +55,12 @@ pub use daemon::{serve, spawn_local, Workload};
 pub use pool::{
     DecodeFn, EncodeFn, Endpoint, RemotePoolBuilder, RemoteWorkerPool, ResilienceConfig,
 };
-pub use proto::{Decoder, Frame, FrameType, ProtoError, MAGIC, MAX_PAYLOAD, VERSION};
+pub use proto::{
+    encode_frame, Decoder, Frame, FrameType, FrameView, ProtoError, MAGIC, MAX_PAYLOAD, VERSION,
+};
+pub use reactor::{BufferPool, SendQueue, TimerWheel, WriteOutcome};
 pub use secure::{CostMeter, CostReport};
+pub use sys::{raise_nofile_limit, Event, Interest, Poller, Waker};
 
 // Convenience re-export: the statistic shipped in `proto::SensorBlob`.
 pub use bskel_monitor::Welford;

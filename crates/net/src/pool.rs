@@ -4,31 +4,46 @@
 //! an emitter dispatching batched tasks over per-slot queues through an
 //! RCU-published table, a collector restoring stream order, the same
 //! publish-before-close loss-freedom invariant — but each *slot* is a
-//! connection to a `bskel-workerd` daemon instead of a local thread:
+//! connection to a `bskel-workerd` daemon instead of a local thread.
 //!
-//! * a **writer thread** per slot drains the slot's local
-//!   [`WorkerQueue`] in batches and ships them as `Task` frames in a
-//!   single flush (wire batching: one syscall per batch, like one lock
-//!   per batch locally). Every task is recorded in the slot's *in-flight
-//!   map before it touches the wire*, so a crash can never lose a task
-//!   that was sent but not yet answered;
-//! * a **reader thread** per slot decodes `Result`/`Lost` frames back
-//!   into the collector channel and folds the daemon's piggybacked
-//!   sensor beans (service time, queue depth) into the slot; it is the
-//!   *single* thread that resolves in-flight entries, which is what makes
-//!   crash recovery duplicate-free (see below);
-//! * a **failure detector thread** sends heartbeats and enforces a
-//!   deadline: a slot whose last frame is older than the failure timeout
-//!   has its socket severed, which wakes its reader into the death path.
+//! All slot I/O runs on **one reactor thread** multiplexing every
+//! connection through a readiness poller ([`crate::sys::Poller`], raw
+//! `epoll`), instead of a reader + writer thread per slot plus a global
+//! failure detector. The per-slot cost is therefore one nonblocking
+//! socket, one send queue and one in-flight map — no stacks, no park/
+//! unpark, no per-slot timers — which is what keeps a 256-slot fan-out as
+//! cheap per slot as a 4-slot one:
+//!
+//! * **writes**: the reactor drains each slot's local [`WorkerQueue`] in
+//!   wire batches, encodes them into pooled buffers ([`BufferPool`] — no
+//!   per-frame allocation on the hot path) and ships them with vectored
+//!   writes ([`SendQueue::write_to`] coalesces many frames into one
+//!   syscall). `EPOLLOUT` interest is registered only while a send queue
+//!   holds unflushed bytes. Every task is recorded in the slot's
+//!   *in-flight map before it is even queued for the wire*, so a crash
+//!   can never lose a task that was sent but not yet answered;
+//! * **reads**: readiness wakes the reactor, which drains the socket
+//!   through the incremental decoder and resolves `Result`/`Lost` frames
+//!   zero-copy ([`crate::proto::Decoder::next_frame_view`]) into the
+//!   collector channel, folding the daemon's piggybacked sensor beans
+//!   into the slot. The reactor is the *single* thread that resolves
+//!   in-flight entries, which is what makes crash recovery
+//!   duplicate-free (see below);
+//! * **timers**: heartbeat pings, per-slot silence deadlines, circuit
+//!   breaker bookkeeping and the speculative-execution sweep are entries
+//!   on a hashed [`TimerWheel`] serviced between polls — the poll timeout
+//!   *is* the next deadline, so an idle pool sleeps in exactly one
+//!   syscall. How late timers fire is exported as the
+//!   `reactorLoopLagUs` sensor bean.
 //!
 //! **Crash recovery** reuses the farm's worker-death protocol: the dying
 //! slot is removed from the published table *before* its queue closes
 //! (bounced emitters re-dispatch onto survivors), then its queued backlog
 //! *and* its in-flight map are replayed onto the surviving slots — or
 //! parked until `add_workers` restores capacity. Harvesting the in-flight
-//! map is safe from duplicates precisely because it happens on the reader
-//! thread itself after it has stopped consuming frames: no result for a
-//! harvested task can ever be forwarded afterwards.
+//! map is safe from duplicates precisely because the reactor both
+//! resolves answers and runs the death path: once a connection is
+//! finished no result for a harvested task can ever be forwarded.
 //!
 //! **Resilience policies** (see [`ResilienceConfig`]) sit between the
 //! death/recovery machinery and the endpoints:
@@ -55,7 +70,9 @@
 //! changes — remote workers are just workers with beans.
 
 use std::collections::{BTreeMap, HashMap, HashSet};
+use std::io::{ErrorKind, Read, Write};
 use std::net::{Shutdown, TcpStream};
+use std::os::fd::{AsRawFd, RawFd};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Weak};
 use std::thread::JoinHandle;
@@ -65,7 +82,7 @@ use bskel_monitor::{
     queue_variance, AtomicRateEstimator, Clock, RealClock, SensorSnapshot, Time, Welford,
 };
 use bskel_skel::farm::{FarmControl, FarmEvent, FarmEventKind, ShutdownReport};
-use bskel_skel::queue::{Task, WorkerQueue};
+use bskel_skel::queue::{Task, TryPop, WorkerQueue};
 use bskel_skel::rcu::{Published, ReadHandle};
 use bskel_skel::stream::{ReorderBuffer, StreamMsg};
 use bskel_skel::{GatherPolicy, SchedPolicy};
@@ -73,17 +90,42 @@ use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
 use parking_lot::Mutex;
 
 use crate::chaos::ChaosRng;
-use crate::proto::{decode_hello_ack, decode_sensors, encode_hello, FrameType, Hello, ProtoError};
+use crate::proto::{
+    decode_hello_ack, decode_sensors, encode_frame, encode_hello, Decoder, FrameType, Hello,
+    ProtoError,
+};
+use crate::reactor::{BufferPool, SendQueue, TimerWheel, WriteOutcome};
 use crate::secure::{derive_session_keys, CostMeter, CostReport, StreamCipher};
-use crate::wire::{FillStatus, FrameReader, FrameWriter};
+use crate::sys::{Event, Interest, Poller, Waker};
 
 /// Most inputs the emitter drains (and dispatches) per wake-up.
 const DISPATCH_BATCH: usize = 32;
-/// Most tasks a writer ships per flush (one syscall per wire batch).
+/// Most tasks the reactor encodes per slot per fill (one send-queue chunk
+/// per wire batch; `SendQueue::write_to` then coalesces many chunks into
+/// one vectored syscall).
 const WIRE_BATCH: usize = 32;
 /// Most overdue tasks one slot may speculate per deadline sweep, so a
 /// stalled slot with a deep in-flight map cannot flood the survivors.
 const SPEC_SWEEP_LIMIT: usize = 16;
+/// Epoll token of the cross-thread waker eventfd (never a slot id).
+const WAKER_TOKEN: u64 = u64::MAX;
+/// Per-slot send-queue byte ceiling: the reactor stops encoding more
+/// wire batches for a slot whose unflushed bytes exceed this, bounding
+/// memory under a slow or stalled peer (backpressure stays visible in
+/// the slot's local queue, where sensing and rebalancing can see it).
+const SENDQ_HIGH_WATER: usize = 256 * 1024;
+/// Most socket reads serviced per readiness event before yielding to the
+/// other slots (level-triggered epoll re-signals whatever remains).
+const MAX_READS_PER_EVENT: usize = 16;
+/// Socket read chunk size.
+const READ_CHUNK: usize = 64 * 1024;
+/// Frame-buffer pool: how many recycled buffers to keep, and the largest
+/// capacity worth keeping (a pathological frame's buffer is dropped).
+const POOL_BUFFERS: usize = 64;
+const POOL_BUF_CAP: usize = 128 * 1024;
+/// Timer wheel resolution and bucket count.
+const TICK: Duration = Duration::from_millis(1);
+const WHEEL_SLOTS: usize = 256;
 
 /// Clamps a builder-supplied duration into sane territory instead of
 /// panicking — the `RateKnob::sanitize` idiom: actuator and builder
@@ -173,6 +215,11 @@ impl ResilienceConfig {
         self.task_deadline = self.task_deadline.map(clamp_duration);
         self
     }
+
+    /// The sliding window inside which endpoint failures accumulate.
+    fn failure_window(&self) -> Duration {
+        self.breaker_cooldown * 10
+    }
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -216,9 +263,8 @@ impl Breaker {
     /// Records a connect failure or a slot death on this endpoint.
     fn on_failure(&mut self, cfg: &ResilienceConfig) {
         let now = Instant::now();
-        let window = cfg.breaker_cooldown * 10;
         self.failures = match self.last_failure {
-            Some(prev) if now.duration_since(prev) > window => 1,
+            Some(prev) if now.duration_since(prev) > cfg.failure_window() => 1,
             _ => self.failures.saturating_add(1),
         };
         self.last_failure = Some(now);
@@ -249,6 +295,19 @@ impl Breaker {
         self.retry_at = Instant::now();
     }
 
+    /// Lets an expired failure window lapse (the reactor's breaker
+    /// bookkeeping timer; `on_failure` also applies this lazily).
+    fn expire_window(&mut self, cfg: &ResilienceConfig) {
+        if self.state == BreakerState::Closed
+            && self
+                .last_failure
+                .is_some_and(|t| t.elapsed() > cfg.failure_window())
+        {
+            self.failures = 0;
+            self.last_failure = None;
+        }
+    }
+
     /// Whether ordinary (non-probe) traffic may try this endpoint now.
     fn admits(&self, now: Instant) -> bool {
         self.state == BreakerState::Closed && now >= self.retry_at
@@ -264,7 +323,8 @@ struct EndpointState {
 /// One task recorded in a slot's in-flight map.
 struct InflightEntry {
     item: Vec<u8>,
-    /// When the writer shipped it — what the deadline sweep ages.
+    /// When the reactor queued it for the wire — what the deadline sweep
+    /// ages.
     sent_at: Instant,
 }
 
@@ -292,25 +352,29 @@ enum PoolMsg<Out> {
     Total(u64),
 }
 
-/// Everything a remote slot's threads share. The RCU table holds `Arc`s
-/// of these.
+/// Everything a remote slot's machinery shares. The RCU table holds
+/// `Arc`s of these.
 struct SlotShared {
     id: u64,
     endpoint: Endpoint,
-    /// Local staging queue the emitter dispatches into; the slot's writer
-    /// thread drains it onto the wire.
+    /// Local staging queue the emitter dispatches into; the reactor
+    /// drains it onto the wire.
     queue: WorkerQueue<Vec<u8>>,
     /// Tasks sent but not yet resolved by a `Result`/`Lost` frame, keyed
-    /// by sequence number. Entries are inserted by the writer *before*
-    /// the bytes hit the wire and removed only by the reader (or by the
-    /// speculation registry stripping a superseded copy).
+    /// by sequence number. Entries are inserted by the reactor *before*
+    /// the bytes are queued for the wire and removed only when the
+    /// reactor resolves an answer (or the speculation registry strips a
+    /// superseded copy).
     inflight: Mutex<BTreeMap<u64, InflightEntry>>,
     inflight_count: AtomicUsize,
-    /// Serialises all wire writes on this connection (the cipher keystream
-    /// is order-dependent, and frames must not interleave).
-    writer: Mutex<FrameWriter>,
-    /// Kept for `shutdown()`: severing it wakes the reader.
-    stream: TcpStream,
+    /// The connection's only socket (no fd duplication). The reactor does
+    /// all I/O through it and `take`s it when the connection finishes, so
+    /// the fd closes even while `retired_slots` keeps the `Arc` for its
+    /// service statistic. Other threads only ever `shutdown` it (sever).
+    stream: Mutex<Option<TcpStream>>,
+    /// Frames sitting in the reactor's send queue for this slot (the
+    /// `netSendQueueDepth` sensor bean).
+    send_q_depth: AtomicUsize,
     /// Latest daemon-reported cumulative service statistic.
     service: Mutex<Welford>,
     /// Latest daemon-reported queue depth (tasks at the daemon).
@@ -325,7 +389,8 @@ struct SlotShared {
     retiring: AtomicBool,
     /// The death path has run (single-shot guard).
     dead: AtomicBool,
-    /// Why the failure detector severed this slot, if it did.
+    /// Why this slot was severed, if a policy (failure deadline, fault
+    /// injection) did it rather than the peer.
     suspect_reason: Mutex<Option<String>>,
 }
 
@@ -345,13 +410,46 @@ impl SlotShared {
     fn touch(&self) {
         *self.last_seen.lock() = Instant::now();
     }
+
+    /// Severs the socket (both directions); the reactor observes the
+    /// hangup and runs the death path. Safe from any thread.
+    fn sever(&self) {
+        if let Some(s) = self.stream.lock().as_ref() {
+            let _ = s.shutdown(Shutdown::Both);
+        }
+    }
 }
 
-/// Membership record: the slot plus its two service threads.
-struct SlotHandle {
+/// A freshly handshaken connection, handed from the connecting thread to
+/// the reactor for registration.
+struct ConnSeed {
     slot: Arc<SlotShared>,
-    writer: JoinHandle<()>,
-    reader: JoinHandle<()>,
+    /// Decoder that already absorbed any post-handshake bytes.
+    decoder: Decoder,
+    /// Daemon→pool keystream (secure endpoints only).
+    cipher_in: Option<StreamCipher>,
+    /// Pool→daemon keystream.
+    cipher_out: Option<StreamCipher>,
+}
+
+/// Control messages into the reactor thread (paired with a waker kick).
+enum ReactorCmd {
+    Register(ConnSeed),
+    Shutdown,
+}
+
+/// Timer-wheel entries. Stale keys (for connections already finished)
+/// simply fizzle when they fire — the wheel has no cancel.
+enum TimerKey {
+    /// Periodic heartbeat ping to every live slot.
+    Heartbeat,
+    /// Periodic speculative-execution sweep (armed only when a task
+    /// deadline is configured).
+    SpecSweep,
+    /// Per-slot silence deadline, re-armed from `last_seen`.
+    FailureDeadline(u64),
+    /// Breaker failure-window bookkeeping for one endpoint.
+    BackoffExpire(usize),
 }
 
 struct PoolMetrics {
@@ -369,6 +467,9 @@ struct PoolMetrics {
     spec_wins: AtomicU64,
     /// Late answers for already-resolved speculated tasks, dropped.
     spec_dups: AtomicU64,
+    /// Worst timer lateness of the reactor's latest sweep, microseconds
+    /// (the `reactorLoopLagUs` sensor bean).
+    reactor_lag_us: AtomicU64,
 }
 
 impl PoolMetrics {
@@ -387,19 +488,14 @@ impl PoolMetrics {
 }
 
 struct PoolShared<Out> {
-    name: String,
-    self_ref: Weak<PoolShared<Out>>,
     metrics: PoolMetrics,
     /// The RCU-published dispatch table (same invariants as the farm's).
     table: Arc<Published<Vec<Arc<SlotShared>>>>,
     /// Membership and the reconfiguration serialisation point.
-    slots: Mutex<Vec<SlotHandle>>,
-    /// Cooperatively retired slots: their service statistic keeps counting
-    /// and their threads are joined at shutdown.
+    slots: Mutex<Vec<Arc<SlotShared>>>,
+    /// Cooperatively retired slots: their service statistic keeps
+    /// counting toward the pool's.
     retired_slots: Mutex<Vec<Arc<SlotShared>>>,
-    retired_threads: Mutex<Vec<JoinHandle<()>>>,
-    /// Threads of slots that died abruptly; reaped at shutdown.
-    dead_threads: Mutex<Vec<JoinHandle<()>>>,
     /// Tasks stranded while no live slot exists.
     parked: Mutex<Vec<Task<Vec<u8>>>>,
     panics: Mutex<Vec<String>>,
@@ -411,6 +507,10 @@ struct PoolShared<Out> {
     next_ping: AtomicU64,
     rr_cursor: AtomicUsize,
     results_tx: Sender<PoolMsg<Out>>,
+    /// Hands new connections and the shutdown signal to the reactor.
+    reactor_tx: Sender<ReactorCmd>,
+    /// Kicks the reactor out of its poll (emitter dispatch, actuators).
+    waker: Waker,
     decode: DecodeFn<Out>,
     endpoints: Vec<EndpointState>,
     workload: String,
@@ -422,25 +522,31 @@ struct PoolShared<Out> {
     handshake_timeout: Duration,
     resilience: ResilienceConfig,
     spec: Mutex<SpecRegistry>,
-    /// Fast-out for the frame hot path: readers consult the speculation
-    /// registry only after the first task has ever been speculated, so a
-    /// fault-free run never takes the `spec` lock per frame.
+    /// Fast-out for the frame hot path: the reactor consults the
+    /// speculation registry only after the first task has ever been
+    /// speculated, so a fault-free run never takes the `spec` lock per
+    /// frame.
     spec_touched: AtomicBool,
 }
 
 impl<Out: Send + 'static> PoolShared<Out> {
+    /// Kicks the reactor out of its poll.
+    fn wake(&self) {
+        self.waker.wake();
+    }
+
     // -- connection establishment -------------------------------------
 
-    /// Connects one slot against `endpoint` and spawns its threads.
-    /// Performed *outside* the membership lock (connects can be slow).
-    fn connect_slot(&self, endpoint: &Endpoint) -> Result<SlotHandle, String> {
+    /// Connects one slot against `endpoint`: blocking TCP connect plus
+    /// handshake on the calling thread (connects can be slow and must
+    /// not stall the reactor), then the stream is flipped nonblocking
+    /// and handed to the reactor as a [`ConnSeed`].
+    fn connect_slot(&self, endpoint: &Endpoint) -> Result<ConnSeed, String> {
         let id = self.next_slot_id.fetch_add(1, Ordering::Relaxed);
         let stream = TcpStream::connect(&endpoint.addr)
             .map_err(|e| format!("connect {}: {e}", endpoint.addr))?;
         stream.set_nodelay(true).ok();
         let err = |e: &dyn std::fmt::Display| format!("handshake {}: {e}", endpoint.addr);
-        let mut writer = FrameWriter::new(stream.try_clone().map_err(|e| err(&e))?);
-        let mut reader = FrameReader::new(stream.try_clone().map_err(|e| err(&e))?);
 
         // Not a secret — see crate::secure. Only varies keys per slot.
         let client_nonce = std::time::SystemTime::now()
@@ -448,26 +554,29 @@ impl<Out: Send + 'static> PoolShared<Out> {
             .map(|d| d.as_nanos() as u64)
             .unwrap_or(0xC11E)
             ^ id.rotate_left(48);
-        writer
-            .send(
-                FrameType::Hello,
-                0,
-                &encode_hello(&Hello {
-                    secure: endpoint.secure,
-                    nonce: client_nonce,
-                    workload: self.workload.clone(),
-                }),
-            )
-            .map_err(|e| err(&e))?;
+        let mut hello = Vec::new();
+        encode_frame(
+            &mut hello,
+            FrameType::Hello,
+            0,
+            &encode_hello(&Hello {
+                secure: endpoint.secure,
+                nonce: client_nonce,
+                workload: self.workload.clone(),
+            }),
+        );
+        (&stream).write_all(&hello).map_err(|e| err(&e))?;
 
         // Bounded wait for the HelloAck: a short read timeout polled
-        // against a deadline (next_blocking would spin past timeouts).
+        // against a deadline.
         stream
             .set_read_timeout(Some(Duration::from_millis(100)))
             .map_err(|e| err(&e))?;
+        let mut decoder = Decoder::new();
+        let mut chunk = vec![0u8; 8192];
         let deadline = Instant::now() + self.handshake_timeout;
         let ack = loop {
-            match reader.try_next() {
+            match decoder.next_frame() {
                 Ok(Some(f)) if f.ftype == FrameType::HelloAck => {
                     break decode_hello_ack(&f.payload)
                         .ok_or_else(|| err(&"malformed HelloAck"))?;
@@ -476,27 +585,33 @@ impl<Out: Send + 'static> PoolShared<Out> {
                 Ok(None) => {}
                 Err(e) => return Err(err(&e)),
             }
-            match reader.fill_once().map_err(|e| err(&e))? {
-                FillStatus::Eof => return Err(err(&"connection closed during handshake")),
-                FillStatus::Bytes => {}
-                FillStatus::WouldBlock => {
+            match (&stream).read(&mut chunk) {
+                Ok(0) => return Err(err(&"connection closed during handshake")),
+                Ok(n) => decoder.extend(&chunk[..n]),
+                Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
                     if Instant::now() > deadline {
                         return Err(err(&"timed out waiting for HelloAck"));
                     }
                 }
+                Err(e) => return Err(err(&e)),
             }
         };
         stream.set_read_timeout(None).map_err(|e| err(&e))?;
         if !ack.ok {
             return Err(format!("{} refused slot: {}", endpoint.addr, ack.error));
         }
-        if endpoint.secure {
+        let (cipher_in, cipher_out) = if endpoint.secure {
+            if decoder.buffered() > 0 {
+                return Err(err(&"cleartext residue before secure channel"));
+            }
             let (c2s, s2c) = self
                 .meter
                 .time_handshake(|| derive_session_keys(client_nonce, ack.nonce));
-            writer.secure(StreamCipher::new(c2s), Arc::clone(&self.meter));
-            reader.secure(StreamCipher::new(s2c), Arc::clone(&self.meter));
-        }
+            (Some(StreamCipher::new(s2c)), Some(StreamCipher::new(c2s)))
+        } else {
+            (None, None)
+        };
+        stream.set_nonblocking(true).map_err(|e| err(&e))?;
 
         let slot = Arc::new(SlotShared {
             id,
@@ -504,8 +619,8 @@ impl<Out: Send + 'static> PoolShared<Out> {
             queue: WorkerQueue::new(),
             inflight: Mutex::new(BTreeMap::new()),
             inflight_count: AtomicUsize::new(0),
-            writer: Mutex::new(writer),
-            stream,
+            stream: Mutex::new(Some(stream)),
+            send_q_depth: AtomicUsize::new(0),
             service: Mutex::new(Welford::new()),
             remote_depth: AtomicUsize::new(0),
             rtt_ms_bits: AtomicU64::new(0),
@@ -515,203 +630,55 @@ impl<Out: Send + 'static> PoolShared<Out> {
             dead: AtomicBool::new(false),
             suspect_reason: Mutex::new(None),
         });
-
-        let writer_thread = {
-            let slot = Arc::clone(&slot);
-            let weak = self.self_ref.clone();
-            std::thread::Builder::new()
-                .name(format!("{}-slot{id}-writer", self.name))
-                .spawn(move || Self::writer_loop(&slot, &weak))
-                .map_err(|e| format!("spawn writer: {e}"))?
-        };
-        let reader_thread = {
-            let slot = Arc::clone(&slot);
-            let weak = self.self_ref.clone();
-            std::thread::Builder::new()
-                .name(format!("{}-slot{id}-reader", self.name))
-                .spawn(move || Self::reader_loop(reader, &slot, &weak))
-                .map_err(|e| format!("spawn reader: {e}"))?
-        };
-        Ok(SlotHandle {
+        Ok(ConnSeed {
             slot,
-            writer: writer_thread,
-            reader: reader_thread,
+            decoder,
+            cipher_in,
+            cipher_out,
         })
     }
 
-    // -- per-slot threads ---------------------------------------------
+    // -- the frame hot path -------------------------------------------
 
-    /// Drains the slot's staging queue onto the wire, batch by batch.
-    fn writer_loop(slot: &Arc<SlotShared>, shared: &Weak<PoolShared<Out>>) {
-        let mut batch: Vec<Task<Vec<u8>>> = Vec::with_capacity(WIRE_BATCH);
-        while slot.queue.pop_batch(WIRE_BATCH, &mut batch) {
-            // Record in-flight BEFORE writing: if the connection dies
-            // mid-flush there is no window in which a task exists only as
-            // wire bytes. The `dead` check sits inside the in-flight
-            // critical section to close a race with the death path: the
-            // death path sets `dead` before harvesting under this same
-            // lock, so either we observe `dead == false` here and our
-            // entries are included in the (necessarily later) harvest, or
-            // we observe `dead == true` and replay the batch ourselves.
-            let inserted = {
-                let mut inflight = slot.inflight.lock();
-                if slot.dead.load(Ordering::SeqCst) {
-                    None
-                } else {
-                    let now = Instant::now();
-                    // Count only *fresh* inserts: a recovery replay can
-                    // route the same sequence number back onto this slot
-                    // while a stale copy is still recorded, and counting
-                    // it twice would leak `inflight_count` forever.
-                    let mut fresh = 0usize;
-                    for t in &batch {
-                        let entry = InflightEntry {
-                            item: t.item.clone(),
-                            sent_at: now,
-                        };
-                        if inflight.insert(t.seq, entry).is_none() {
-                            fresh += 1;
-                        }
-                    }
-                    Some(fresh)
-                }
-            };
-            let Some(fresh) = inserted else {
-                // The slot died under us before these tasks were recorded
-                // anywhere the harvest could see: replay them directly.
-                if let Some(shared) = shared.upgrade() {
-                    let slots = shared.slots.lock();
-                    let tasks = std::mem::take(&mut batch);
-                    shared.recover_tasks(&slots, tasks);
-                }
-                return;
-            };
-            slot.inflight_count.fetch_add(fresh, Ordering::SeqCst);
-            let flushed = {
-                let mut w = slot.writer.lock();
-                for t in batch.drain(..) {
-                    w.push(FrameType::Task, t.seq, &t.item);
-                }
-                w.flush()
-            };
-            if flushed.is_err() {
-                // Dead connection: sever it so the reader (the single
-                // death-path owner) wakes and runs recovery.
-                let _ = slot.stream.shutdown(Shutdown::Both);
-                return;
-            }
-        }
-        // Queue closed: retirement or pool shutdown. Tell the daemon to
-        // finish pending work and close — unless the slot already died
-        // (a goodbye on a severed socket is just noise).
-        if !slot.dead.load(Ordering::SeqCst) {
-            let res = slot.writer.lock().send(FrameType::Goodbye, 0, &[]);
-            if let Err(e) = res {
-                if !slot.dead.load(Ordering::SeqCst) {
-                    if let Some(shared) = shared.upgrade() {
-                        shared.disconnects.lock().push(format!(
-                            "slot {} ({}): goodbye failed: {e}",
-                            slot.id, slot.endpoint.addr
-                        ));
-                    }
-                }
-            }
-        }
-    }
-
-    /// Consumes the slot's result stream; on EOF/error decides between a
-    /// quiet cooperative exit and the crash-recovery death path.
-    fn reader_loop(
-        mut reader: FrameReader,
-        slot: &Arc<SlotShared>,
-        shared: &Weak<PoolShared<Out>>,
-    ) {
-        let mut out: Vec<(u64, Out)> = Vec::new();
-        let reason: String = 'conn: loop {
-            // Drain every frame the decoder already holds...
-            loop {
-                match reader.try_next() {
-                    Ok(Some(f)) => {
-                        if let Some(shared) = shared.upgrade() {
-                            shared.handle_slot_frame(slot, f, &mut out);
-                        }
-                    }
-                    Ok(None) => break,
-                    Err(ProtoError::Oversized { len }) => {
-                        break 'conn format!("protocol violation: frame announcing {len} bytes");
-                    }
-                }
-            }
-            // ...forward the decoded batch before blocking again.
-            if !out.is_empty() {
-                if let Some(shared) = shared.upgrade() {
-                    let now = shared.metrics.now();
-                    shared.metrics.departures.record_n(now, out.len() as u64);
-                    let _ = shared
-                        .results_tx
-                        .send(PoolMsg::Batch(std::mem::take(&mut out)));
-                } else {
-                    out.clear();
-                }
-            }
-            match reader.fill_once() {
-                Ok(FillStatus::Bytes) | Ok(FillStatus::WouldBlock) => {}
-                Ok(FillStatus::Eof) => break 'conn "connection closed".to_owned(),
-                Err(e) => break 'conn format!("read error: {e}"),
-            }
-        };
-
-        let Some(shared) = shared.upgrade() else {
-            return;
-        };
-        let reason = slot.suspect_reason.lock().take().unwrap_or(reason);
-        if shared.terminating.load(Ordering::SeqCst) {
-            return; // pool shutdown: the stream already completed.
-        }
-        let unresolved = slot.inflight_count.load(Ordering::SeqCst) > 0 || !slot.queue.is_empty();
-        if slot.retiring.load(Ordering::SeqCst) && !unresolved {
-            return; // clean cooperative retirement.
-        }
-        // Abrupt death (or a retiring daemon that crashed with work still
-        // unresolved): recover everything this slot held.
-        shared.on_slot_death(slot, &reason);
-    }
-
-    /// Applies one received frame to the slot / the result stream.
+    /// Applies one received frame to the slot / the result stream. Runs
+    /// on the reactor; the payload is borrowed zero-copy from the
+    /// connection's decode buffer.
     fn handle_slot_frame(
         &self,
         slot: &Arc<SlotShared>,
-        f: crate::proto::Frame,
+        ftype: FrameType,
+        seq: u64,
+        payload: &[u8],
         out: &mut Vec<(u64, Out)>,
     ) {
         slot.touch();
-        match f.ftype {
+        match ftype {
             FrameType::Result => {
                 // `remove` guards against duplicates by construction: a
                 // result for an already-harvested (recovered) task is
                 // dropped rather than delivered twice.
-                let claimed = slot.inflight.lock().remove(&f.seq).is_some();
+                let claimed = slot.inflight.lock().remove(&seq).is_some();
                 if claimed {
                     slot.inflight_count.fetch_sub(1, Ordering::SeqCst);
                 }
-                if self.resolve_answer(slot, f.seq, claimed) {
-                    out.push((f.seq, (self.decode)(&f.payload)));
+                if self.resolve_answer(slot, seq, claimed) {
+                    out.push((seq, (self.decode)(payload)));
                 }
             }
             FrameType::Lost => {
                 // The remote worker panicked on this task: poisoned, no
                 // result will ever exist. Propagate the hole.
-                let claimed = slot.inflight.lock().remove(&f.seq).is_some();
+                let claimed = slot.inflight.lock().remove(&seq).is_some();
                 if claimed {
                     slot.inflight_count.fetch_sub(1, Ordering::SeqCst);
                 }
-                if self.resolve_answer(slot, f.seq, claimed) {
-                    let _ = self.results_tx.send(PoolMsg::Lost(f.seq));
+                if self.resolve_answer(slot, seq, claimed) {
+                    let _ = self.results_tx.send(PoolMsg::Lost(seq));
                     let now = self.metrics.now();
                     self.metrics.departures.record_n(now, 1);
                     let msg = format!(
                         "remote worker panicked on task {} (slot {}, {})",
-                        f.seq, slot.id, slot.endpoint.addr
+                        seq, slot.id, slot.endpoint.addr
                     );
                     self.events.lock().push(FarmEvent {
                         at: now,
@@ -722,19 +689,19 @@ impl<Out: Send + 'static> PoolShared<Out> {
                 }
             }
             FrameType::Sensors => {
-                if let Some(blob) = decode_sensors(&f.payload) {
+                if let Some(blob) = decode_sensors(payload) {
                     *slot.service.lock() = blob.service;
                     slot.remote_depth
                         .store(blob.queue_depth as usize, Ordering::Relaxed);
                 }
             }
             FrameType::HeartbeatAck => {
-                if let Some(blob) = decode_sensors(&f.payload) {
+                if let Some(blob) = decode_sensors(payload) {
                     *slot.service.lock() = blob.service;
                     slot.remote_depth
                         .store(blob.queue_depth as usize, Ordering::Relaxed);
                 }
-                if let Some(sent) = slot.pings.lock().remove(&f.seq) {
+                if let Some(sent) = slot.pings.lock().remove(&seq) {
                     let rtt_ms = sent.elapsed().as_secs_f64() * 1e3;
                     slot.rtt_ms_bits.store(rtt_ms.to_bits(), Ordering::Relaxed);
                 }
@@ -779,33 +746,6 @@ impl<Out: Send + 'static> PoolShared<Out> {
             false
         } else {
             claimed
-        }
-    }
-
-    // -- failure detection --------------------------------------------
-
-    /// One detector sweep: sever deadline-breaching slots, ping the rest.
-    fn detector_sweep(&self, timeout: Duration) {
-        let table = self.table.load();
-        for slot in table.iter() {
-            if slot.dead.load(Ordering::SeqCst) || slot.retiring.load(Ordering::SeqCst) {
-                continue;
-            }
-            let silent_for = slot.last_seen.lock().elapsed();
-            if silent_for > timeout {
-                *slot.suspect_reason.lock() = Some(format!(
-                    "heartbeat deadline missed: silent for {silent_for:?} (timeout {timeout:?})"
-                ));
-                // Severing the socket wakes the reader, which owns the
-                // death path — a single recovery code path for every way
-                // a slot can die.
-                let _ = slot.stream.shutdown(Shutdown::Both);
-                continue;
-            }
-            let ping = self.next_ping.fetch_add(1, Ordering::Relaxed);
-            slot.pings.lock().insert(ping, Instant::now());
-            // A send failure means a dying connection; the reader notices.
-            let _ = slot.writer.lock().send(FrameType::Heartbeat, ping, &[]);
         }
     }
 
@@ -859,10 +799,10 @@ impl<Out: Send + 'static> PoolShared<Out> {
         use std::collections::hash_map::Entry;
         let mut spec = self.spec.lock();
         // Flip the hot-path gate *before* the copy can produce an
-        // answer: any reader claiming this task afterwards must consult
+        // answer: any resolver claiming this task afterwards must consult
         // the registry (it will block on the lock we hold).
         self.spec_touched.store(true, Ordering::SeqCst);
-        // Re-check under the lock: the reader may have claimed the task
+        // Re-check under the lock: the resolver may have claimed the task
         // since the sweep's snapshot, or an earlier copy may have won.
         if spec.resolved.contains(&seq) || !source.inflight.lock().contains_key(&seq) {
             return;
@@ -911,8 +851,8 @@ impl<Out: Send + 'static> PoolShared<Out> {
 
     /// The single death path: deregisters a crashed slot and replays
     /// every task it held (staged backlog + in-flight map) onto the
-    /// survivors. Runs on the dying slot's own reader thread, *after* the
-    /// read loop exited — so no harvested task can also be resolved.
+    /// survivors. Runs on the reactor, *after* the connection stopped
+    /// being read — so no harvested task can also be resolved.
     fn on_slot_death(&self, slot: &Arc<SlotShared>, reason: &str) {
         if slot.dead.swap(true, Ordering::SeqCst) {
             return;
@@ -920,13 +860,11 @@ impl<Out: Send + 'static> PoolShared<Out> {
         let now = self.metrics.now();
         let mut slots = self.slots.lock();
         let mut leftover: Vec<Task<Vec<u8>>> = Vec::new();
-        if let Some(pos) = slots.iter().position(|h| h.slot.id == slot.id) {
-            let victim = slots.remove(pos);
+        if let Some(pos) = slots.iter().position(|s| s.id == slot.id) {
+            slots.remove(pos);
             // Publish the shrunken table BEFORE closing the dead queue —
             // the farm's loss-freedom invariant, verbatim.
             self.publish_table(&slots);
-            self.dead_threads.lock().push(victim.writer);
-            self.dead_threads.lock().push(victim.reader);
         }
         // In-flight first (oldest sequence numbers), then staged backlog.
         let harvested: Vec<Task<Vec<u8>>> = {
@@ -964,7 +902,7 @@ impl<Out: Send + 'static> PoolShared<Out> {
     /// Re-dispatches recovered tasks round-robin onto the survivors, or
     /// parks them when no live slot exists. Caller holds the membership
     /// lock.
-    fn recover_tasks(&self, survivors: &[SlotHandle], tasks: Vec<Task<Vec<u8>>>) {
+    fn recover_tasks(&self, survivors: &[Arc<SlotShared>], tasks: Vec<Task<Vec<u8>>>) {
         if tasks.is_empty() {
             return;
         }
@@ -977,16 +915,15 @@ impl<Out: Send + 'static> PoolShared<Out> {
         for (i, task) in tasks.into_iter().enumerate() {
             let target = &survivors[i % survivors.len()];
             let mut one = vec![task];
-            let accepted = target.slot.queue.push_batch(&mut one);
+            let accepted = target.queue.push_batch(&mut one);
             debug_assert!(accepted, "survivor queues are open under the lock");
         }
     }
 
     // -- reconfiguration (the FarmControl actuators) ------------------
 
-    fn publish_table(&self, slots: &[SlotHandle]) {
-        self.table
-            .publish(slots.iter().map(|h| Arc::clone(&h.slot)).collect());
+    fn publish_table(&self, slots: &[Arc<SlotShared>]) {
+        self.table.publish(slots.to_vec());
     }
 
     /// Records a connect failure or slot death against the endpoint's
@@ -995,6 +932,13 @@ impl<Out: Send + 'static> PoolShared<Out> {
         if let Some(es) = self.endpoints.iter().find(|es| es.endpoint == *endpoint) {
             es.breaker.lock().on_failure(&self.resilience);
         }
+    }
+
+    /// Index of `endpoint` in the registered endpoint list.
+    fn endpoint_index(&self, endpoint: &Endpoint) -> Option<usize> {
+        self.endpoints
+            .iter()
+            .position(|es| es.endpoint == *endpoint)
     }
 
     /// Number of endpoints currently quarantined (breaker Open).
@@ -1035,7 +979,11 @@ impl<Out: Send + 'static> PoolShared<Out> {
         let mut best: Option<(usize, Instant)> = None;
         for (i, es) in self.endpoints.iter().enumerate() {
             let b = es.breaker.lock();
-            if b.state == BreakerState::Closed && best.map_or(true, |(_, t)| b.retry_at < t) {
+            let earlier = match best {
+                Some((_, t)) => b.retry_at < t,
+                None => true,
+            };
+            if b.state == BreakerState::Closed && earlier {
                 best = Some((i, b.retry_at));
             }
         }
@@ -1055,7 +1003,7 @@ impl<Out: Send + 'static> PoolShared<Out> {
         // must not stall sensing or the death path. The breaker decides
         // which endpoints may be attempted at all, which is what bounds
         // the connect traffic a flapping endpoint sees while Open.
-        let mut connected: Vec<SlotHandle> = Vec::new();
+        let mut connected: Vec<ConnSeed> = Vec::new();
         let mut last_err = String::new();
         let mut attempts = 0;
         while connected.len() < n as usize && attempts < n as usize * self.endpoints.len() {
@@ -1065,9 +1013,9 @@ impl<Out: Send + 'static> PoolShared<Out> {
             attempts += 1;
             let es = &self.endpoints[i];
             match self.connect_slot(&es.endpoint) {
-                Ok(h) => {
+                Ok(seed) => {
                     es.breaker.lock().on_success(&self.resilience);
-                    connected.push(h);
+                    connected.push(seed);
                 }
                 Err(e) => {
                     es.breaker.lock().on_failure(&self.resilience);
@@ -1087,12 +1035,18 @@ impl<Out: Send + 'static> PoolShared<Out> {
             return Err(format!("no endpoint accepted a slot: {last_err}"));
         }
         let mut slots = self.slots.lock();
-        slots.extend(connected);
+        slots.extend(connected.iter().map(|seed| Arc::clone(&seed.slot)));
         self.publish_table(&slots);
         // Tasks stranded by a total-failure episode resume here.
         let parked: Vec<Task<Vec<u8>>> = std::mem::take(&mut *self.parked.lock());
         self.recover_tasks(&slots, parked);
         drop(slots);
+        // Hand the connections to the reactor only after they are
+        // published members, so the death path always finds them.
+        for seed in connected {
+            let _ = self.reactor_tx.send(ReactorCmd::Register(seed));
+        }
+        self.wake();
         let now = self.metrics.now();
         self.metrics.departures.reset(now);
         self.metrics.set_blackout_until(now + self.rate_window);
@@ -1108,7 +1062,7 @@ impl<Out: Send + 'static> PoolShared<Out> {
                 slots.len()
             ));
         }
-        let victims: Vec<SlotHandle> = {
+        let victims: Vec<Arc<SlotShared>> = {
             let keep = slots.len() - n as usize;
             slots.split_off(keep)
         };
@@ -1116,23 +1070,23 @@ impl<Out: Send + 'static> PoolShared<Out> {
         self.publish_table(&slots);
         let mut removed = 0;
         for victim in victims {
-            victim.slot.retiring.store(true, Ordering::SeqCst);
+            victim.retiring.store(true, Ordering::SeqCst);
             // Staged tasks move to survivors; in-flight tasks finish at
-            // the daemon and flow back through the still-running reader.
-            let mut stolen = victim.slot.queue.close();
+            // the daemon and flow back through the still-registered
+            // connection. The reactor sees the closed queue and sends
+            // the Goodbye.
+            let mut stolen = victim.queue.close();
             for (i, task) in stolen.drain(..).enumerate() {
                 let target = &slots[i % slots.len()];
                 let mut one = vec![task];
-                let accepted = target.slot.queue.push_batch(&mut one);
+                let accepted = target.queue.push_batch(&mut one);
                 debug_assert!(accepted, "survivor queues are open under the lock");
             }
-            self.retired_slots.lock().push(Arc::clone(&victim.slot));
-            let mut retired = self.retired_threads.lock();
-            retired.push(victim.writer);
-            retired.push(victim.reader);
+            self.retired_slots.lock().push(victim);
             removed += 1;
         }
         drop(slots);
+        self.wake();
         let now = self.metrics.now();
         self.metrics.departures.reset(now);
         self.metrics.set_blackout_until(now + self.rate_window);
@@ -1146,50 +1100,54 @@ impl<Out: Send + 'static> PoolShared<Out> {
         }
         // Only the *local* staging queues can be rebalanced; what is on
         // the wire or at a daemon is committed.
-        let lens: Vec<usize> = slots.iter().map(|h| h.slot.queue.len()).collect();
+        let lens: Vec<usize> = slots.iter().map(|s| s.queue.len()).collect();
         let max = *lens.iter().max().expect("non-empty");
         let min = *lens.iter().min().expect("non-empty");
         if max - min <= 1 {
             return false;
         }
         let mut all: Vec<Task<Vec<u8>>> = Vec::new();
-        for h in slots.iter() {
-            all.extend(h.slot.queue.drain_open());
+        for s in slots.iter() {
+            all.extend(s.queue.drain_open());
         }
         let moved = !all.is_empty();
         let mut per: Vec<Vec<Task<Vec<u8>>>> = slots.iter().map(|_| Vec::new()).collect();
         for (i, task) in all.into_iter().enumerate() {
             per[i % slots.len()].push(task);
         }
-        for (h, mut chunk) in slots.iter().zip(per) {
-            let accepted = h.slot.queue.push_batch(&mut chunk);
+        for (s, mut chunk) in slots.iter().zip(per) {
+            let accepted = s.queue.push_batch(&mut chunk);
             debug_assert!(accepted, "open under the membership lock");
+        }
+        drop(slots);
+        if moved {
+            self.wake();
         }
         moved
     }
 
     /// Fault injection: severs `n` slots' sockets. Recovery is
-    /// asynchronous (each reader runs the death path when it wakes), so
-    /// callers observe the loss through `workers_lost`, like an external
-    /// daemon crash.
+    /// asynchronous (the reactor runs the death path when it observes
+    /// the hangup), so callers observe the loss through `workers_lost`,
+    /// like an external daemon crash.
     fn kill_workers_impl(&self, n: u32) -> Result<u32, String> {
         let victims: Vec<Arc<SlotShared>> = {
             let slots = self.slots.lock();
-            let live: Vec<&SlotHandle> = slots
+            let live: Vec<&Arc<SlotShared>> = slots
                 .iter()
-                .filter(|h| !h.slot.dead.load(Ordering::SeqCst))
+                .filter(|s| !s.dead.load(Ordering::SeqCst))
                 .collect();
             if (live.len() as u32) < n {
                 return Err(format!("cannot kill {n} of {} slots", live.len()));
             }
             live[live.len() - n as usize..]
                 .iter()
-                .map(|h| Arc::clone(&h.slot))
+                .map(|s| Arc::clone(s))
                 .collect()
         };
         for slot in victims {
             *slot.suspect_reason.lock() = Some("connection severed (fault injection)".into());
-            let _ = slot.stream.shutdown(Shutdown::Both);
+            slot.sever();
         }
         Ok(n)
     }
@@ -1207,6 +1165,7 @@ impl<Out: Send + 'static> PoolShared<Out> {
         let mut service = Welford::new();
         let mut rtt_sum = 0.0;
         let mut rtt_n = 0u32;
+        let mut send_depth = 0u64;
         for slot in table.iter() {
             service.merge(&slot.service.lock());
             let rtt = slot.rtt_ms();
@@ -1214,6 +1173,7 @@ impl<Out: Send + 'static> PoolShared<Out> {
                 rtt_sum += rtt;
                 rtt_n += 1;
             }
+            send_depth += slot.send_q_depth.load(Ordering::Relaxed) as u64;
         }
         for slot in self.retired_slots.lock().iter() {
             service.merge(&slot.service.lock());
@@ -1222,6 +1182,8 @@ impl<Out: Send + 'static> PoolShared<Out> {
         if rtt_n > 0 {
             snap.net_rtt_ms = rtt_sum / f64::from(rtt_n);
         }
+        snap.net_send_queue_depth = send_depth;
+        snap.reactor_loop_lag_us = self.metrics.reactor_lag_us.load(Ordering::Relaxed) as f64;
         snap.end_of_stream = self.metrics.end_of_stream.load(Ordering::SeqCst);
         snap.workers_lost = self.metrics.workers_lost.load(Ordering::SeqCst);
         let mut open = 0u32;
@@ -1338,6 +1300,546 @@ impl<Out: Send + 'static> FarmControl for PoolShared<Out> {
 
     fn events(&self) -> Vec<FarmEvent> {
         self.events.lock().clone()
+    }
+}
+
+// -- the reactor -------------------------------------------------------
+
+/// Per-connection reactor state: decoder, keystreams and the send queue.
+/// Everything here is owned by the reactor thread alone.
+struct Conn {
+    slot: Arc<SlotShared>,
+    /// Raw fd the connection is registered under (the stream itself may
+    /// be locked briefly during I/O; interest toggles must not wait).
+    fd: RawFd,
+    decoder: Decoder,
+    cipher_in: Option<StreamCipher>,
+    cipher_out: Option<StreamCipher>,
+    sendq: SendQueue,
+    /// Whether `EPOLLOUT` interest is currently registered.
+    want_write: bool,
+    /// The retirement Goodbye has been queued (at most once).
+    goodbye_queued: bool,
+}
+
+/// Drains a readable socket through the decoder and resolves frames.
+/// Returns the connection's death reason, if it reached one.
+fn service_readable<Out: Send + 'static>(
+    shared: &Arc<PoolShared<Out>>,
+    scratch: &mut [u8],
+    out: &mut Vec<(u64, Out)>,
+    conn: &mut Conn,
+    closed_hint: bool,
+) -> Option<String> {
+    let mut reads = 0;
+    loop {
+        let read = {
+            let guard = conn.slot.stream.lock();
+            let Some(stream) = guard.as_ref() else {
+                return Some("connection closed".to_owned());
+            };
+            (&*stream).read(scratch)
+        };
+        match read {
+            Ok(0) => return Some("connection closed".to_owned()),
+            Ok(n) => {
+                if let Some(c) = conn.cipher_in.as_mut() {
+                    let t0 = Instant::now();
+                    c.apply(&mut scratch[..n]);
+                    shared
+                        .meter
+                        .record_cipher(n as u64, t0.elapsed().as_nanos() as u64);
+                }
+                conn.decoder.extend(&scratch[..n]);
+                loop {
+                    match conn.decoder.next_frame_view() {
+                        Ok(Some(v)) => {
+                            shared.handle_slot_frame(&conn.slot, v.ftype, v.seq, v.payload, out);
+                        }
+                        Ok(None) => break,
+                        Err(ProtoError::Oversized { len }) => {
+                            return Some(format!(
+                                "protocol violation: frame announcing {len} bytes"
+                            ));
+                        }
+                    }
+                }
+                reads += 1;
+                // A short read means the socket is drained; a full one
+                // may hide more, but after a fairness cap we yield and
+                // let level-triggered epoll re-signal the rest.
+                if n < scratch.len() || reads >= MAX_READS_PER_EVENT {
+                    return None;
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                // Spurious wakeup or drained socket — unless the kernel
+                // already flagged the connection closed (ERR with nothing
+                // buffered), in which case reads will never progress.
+                return closed_hint.then(|| "connection closed".to_owned());
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(e) => return Some(format!("read error: {e}")),
+        }
+    }
+}
+
+/// Fills a slot's send queue from its staging queue (recording in-flight
+/// entries first), flushes it with vectored writes, and toggles write
+/// interest. Returns the connection's death reason, if it reached one.
+fn pump_conn<Out: Send + 'static>(
+    shared: &Arc<PoolShared<Out>>,
+    poller: &Poller,
+    buffers: &mut BufferPool,
+    batch: &mut Vec<Task<Vec<u8>>>,
+    conn: &mut Conn,
+) -> Option<String> {
+    let slot = &conn.slot;
+    // Fill: encode staged wire batches until the queue runs dry, closes,
+    // or the send queue hits its high-water mark (backpressure).
+    while conn.sendq.bytes() < SENDQ_HIGH_WATER {
+        match slot.queue.try_pop_batch(WIRE_BATCH, batch) {
+            TryPop::Got => {
+                // Record in-flight BEFORE queueing bytes: there is no
+                // window in which a task exists only as wire bytes. The
+                // `dead` check mirrors the old writer-thread race guard;
+                // with the death path on this same thread it is merely
+                // defensive.
+                let fresh = {
+                    let mut inflight = slot.inflight.lock();
+                    if slot.dead.load(Ordering::SeqCst) {
+                        None
+                    } else {
+                        let now = Instant::now();
+                        // Count only *fresh* inserts: a recovery replay
+                        // can route the same sequence number back onto
+                        // this slot while a stale copy is still recorded,
+                        // and counting it twice would leak
+                        // `inflight_count` forever.
+                        let mut fresh = 0usize;
+                        for t in batch.iter() {
+                            let entry = InflightEntry {
+                                item: t.item.clone(),
+                                sent_at: now,
+                            };
+                            if inflight.insert(t.seq, entry).is_none() {
+                                fresh += 1;
+                            }
+                        }
+                        Some(fresh)
+                    }
+                };
+                let Some(fresh) = fresh else {
+                    // Died under us before these tasks were recorded
+                    // anywhere a harvest could see: replay them directly.
+                    let slots = shared.slots.lock();
+                    shared.recover_tasks(&slots, std::mem::take(batch));
+                    break;
+                };
+                slot.inflight_count.fetch_add(fresh, Ordering::SeqCst);
+                let mut buf = buffers.get();
+                let frames = batch.len();
+                for t in batch.drain(..) {
+                    encode_frame(&mut buf, FrameType::Task, t.seq, &t.item);
+                }
+                if let Some(c) = conn.cipher_out.as_mut() {
+                    let t0 = Instant::now();
+                    c.apply(&mut buf);
+                    shared
+                        .meter
+                        .record_cipher(buf.len() as u64, t0.elapsed().as_nanos() as u64);
+                }
+                conn.sendq.push(buf, frames);
+            }
+            TryPop::Empty => break,
+            TryPop::Closed => {
+                // Retirement or shutdown: tell the daemon to finish
+                // pending work and close — once, and never on a corpse.
+                if !conn.goodbye_queued {
+                    conn.goodbye_queued = true;
+                    if !slot.dead.load(Ordering::SeqCst) {
+                        let mut buf = buffers.get();
+                        encode_frame(&mut buf, FrameType::Goodbye, 0, &[]);
+                        if let Some(c) = conn.cipher_out.as_mut() {
+                            let t0 = Instant::now();
+                            c.apply(&mut buf);
+                            shared
+                                .meter
+                                .record_cipher(buf.len() as u64, t0.elapsed().as_nanos() as u64);
+                        }
+                        conn.sendq.push(buf, 1);
+                    }
+                }
+                break;
+            }
+        }
+    }
+    // Flush: one vectored write per call services many wire batches.
+    let mut death = None;
+    let want_write = if conn.sendq.is_empty() {
+        false
+    } else {
+        let guard = slot.stream.lock();
+        match guard.as_ref() {
+            None => {
+                death = Some("connection closed".to_owned());
+                false
+            }
+            Some(stream) => {
+                let mut w = stream;
+                match conn.sendq.write_to(&mut w, buffers) {
+                    Ok(WriteOutcome::Drained) => false,
+                    Ok(WriteOutcome::Blocked) => true,
+                    Err(e) => {
+                        death = Some(format!("write error: {e}"));
+                        false
+                    }
+                }
+            }
+        }
+    };
+    if death.is_none() && want_write != conn.want_write {
+        let interest = if want_write {
+            Interest::READ_WRITE
+        } else {
+            Interest::READ
+        };
+        if poller.modify(conn.fd, slot.id, interest).is_ok() {
+            conn.want_write = want_write;
+        }
+    }
+    slot.send_q_depth
+        .store(conn.sendq.frames(), Ordering::Relaxed);
+    death
+}
+
+/// The single-reactor event loop: owns every connection, the poller, the
+/// timer wheel and the frame-buffer pool. One instance, one thread, any
+/// number of slots.
+struct Reactor<Out: Send + 'static> {
+    shared: Arc<PoolShared<Out>>,
+    poller: Poller,
+    waker: Waker,
+    cmds: Receiver<ReactorCmd>,
+    conns: HashMap<u64, Conn>,
+    wheel: TimerWheel<TimerKey>,
+    buffers: BufferPool,
+    /// Socket read chunk, reused across every connection.
+    scratch: Vec<u8>,
+    /// Reused readiness-event and due-timer buffers.
+    events: Vec<Event>,
+    due: Vec<TimerKey>,
+    /// Reused wire-batch staging buffer.
+    batch: Vec<Task<Vec<u8>>>,
+    /// Reused pump-order scratch (round-robin fairness across slots).
+    order: Vec<u64>,
+    pump_cursor: usize,
+    /// Decoded results staged per connection service, then batched into
+    /// the collector channel.
+    out: Vec<(u64, Out)>,
+    heartbeat_period: Duration,
+    failure_timeout: Duration,
+    stopping: bool,
+}
+
+impl<Out: Send + 'static> Reactor<Out> {
+    fn run(mut self) {
+        let now = Instant::now();
+        self.wheel
+            .arm(now + self.heartbeat_period, TimerKey::Heartbeat);
+        if self.shared.resilience.task_deadline.is_some() {
+            self.wheel
+                .arm(now + self.heartbeat_period, TimerKey::SpecSweep);
+        }
+        loop {
+            self.drain_cmds();
+            self.fire_timers();
+            self.pump_all();
+            if self.stopping {
+                self.finalize();
+                return;
+            }
+            let timeout = self
+                .wheel
+                .next_deadline()
+                .map(|d| d.saturating_duration_since(Instant::now()));
+            self.events.clear();
+            let mut events = std::mem::take(&mut self.events);
+            let _ = self.poller.wait(&mut events, timeout);
+            self.handle_events(&events);
+            self.events = events;
+        }
+    }
+
+    fn drain_cmds(&mut self) {
+        while let Ok(cmd) = self.cmds.try_recv() {
+            match cmd {
+                ReactorCmd::Register(seed) => self.register(seed),
+                ReactorCmd::Shutdown => self.stopping = true,
+            }
+        }
+    }
+
+    fn register(&mut self, seed: ConnSeed) {
+        let token = seed.slot.id;
+        let fd = seed.slot.stream.lock().as_ref().map(|s| s.as_raw_fd());
+        let Some(fd) = fd else {
+            return; // severed before registration: nothing to watch
+        };
+        if let Err(e) = self.poller.add(fd, token, Interest::READ) {
+            // Pathological (fd limit, etc.): treat as an immediate death
+            // so the slot's tasks are recovered rather than stranded.
+            if let Some(stream) = seed.slot.stream.lock().take() {
+                let _ = stream.shutdown(Shutdown::Both);
+            }
+            self.shared
+                .on_slot_death(&seed.slot, &format!("epoll register: {e}"));
+            return;
+        }
+        self.wheel.arm(
+            Instant::now() + self.failure_timeout,
+            TimerKey::FailureDeadline(token),
+        );
+        self.conns.insert(
+            token,
+            Conn {
+                slot: seed.slot,
+                fd,
+                decoder: seed.decoder,
+                cipher_in: seed.cipher_in,
+                cipher_out: seed.cipher_out,
+                sendq: SendQueue::new(),
+                want_write: false,
+                goodbye_queued: false,
+            },
+        );
+    }
+
+    fn handle_events(&mut self, events: &[Event]) {
+        let shared = Arc::clone(&self.shared);
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let mut out = std::mem::take(&mut self.out);
+        let mut deaths: Vec<(u64, String)> = Vec::new();
+        for ev in events {
+            if ev.token == WAKER_TOKEN {
+                self.waker.drain();
+                continue;
+            }
+            if !ev.readable {
+                continue; // write readiness alone: the pump phase flushes
+            }
+            let Some(conn) = self.conns.get_mut(&ev.token) else {
+                continue; // already finished this tick
+            };
+            let death = service_readable(&shared, &mut scratch, &mut out, conn, ev.closed);
+            // Forward the decoded batch per connection, preserving the
+            // old reader-thread batching shape.
+            if !out.is_empty() {
+                let now = shared.metrics.now();
+                shared.metrics.departures.record_n(now, out.len() as u64);
+                let _ = shared
+                    .results_tx
+                    .send(PoolMsg::Batch(std::mem::take(&mut out)));
+            }
+            if let Some(reason) = death {
+                deaths.push((ev.token, reason));
+            }
+        }
+        self.scratch = scratch;
+        self.out = out;
+        for (token, reason) in deaths {
+            self.finish_conn(token, reason);
+        }
+    }
+
+    fn fire_timers(&mut self) {
+        let mut due = std::mem::take(&mut self.due);
+        due.clear();
+        let lag = self.wheel.pop_due(Instant::now(), &mut due);
+        if !due.is_empty() {
+            self.shared
+                .metrics
+                .reactor_lag_us
+                .store(lag.as_micros() as u64, Ordering::Relaxed);
+        }
+        let mut deaths: Vec<(u64, String)> = Vec::new();
+        for key in due.drain(..) {
+            match key {
+                TimerKey::Heartbeat => {
+                    self.send_heartbeats();
+                    self.wheel
+                        .arm(Instant::now() + self.heartbeat_period, TimerKey::Heartbeat);
+                }
+                TimerKey::SpecSweep => {
+                    self.shared.deadline_sweep();
+                    self.wheel
+                        .arm(Instant::now() + self.heartbeat_period, TimerKey::SpecSweep);
+                }
+                TimerKey::FailureDeadline(token) => {
+                    let Some(conn) = self.conns.get(&token) else {
+                        continue; // stale key for a finished connection
+                    };
+                    let slot = &conn.slot;
+                    let silent_for = slot.last_seen.lock().elapsed();
+                    if !slot.retiring.load(Ordering::SeqCst) && silent_for > self.failure_timeout {
+                        *slot.suspect_reason.lock() = Some(format!(
+                            "heartbeat deadline missed: silent for {silent_for:?} (timeout {:?})",
+                            self.failure_timeout
+                        ));
+                        deaths.push((token, "connection closed".to_owned()));
+                    } else {
+                        // Any inbound frame pushed the deadline out; the
+                        // daemon's busy pulse keeps a slot mid-long-task
+                        // alive through exactly this re-arm.
+                        let due = *slot.last_seen.lock() + self.failure_timeout;
+                        self.wheel.arm(due, TimerKey::FailureDeadline(token));
+                    }
+                }
+                TimerKey::BackoffExpire(idx) => {
+                    // Bookkeeping only: never a connect attempt — an Open
+                    // circuit is probed solely through `pick_endpoint`
+                    // when an actuator asks for capacity.
+                    if let Some(es) = self.shared.endpoints.get(idx) {
+                        es.breaker.lock().expire_window(&self.shared.resilience);
+                    }
+                }
+            }
+        }
+        self.due = due;
+        for (token, reason) in deaths {
+            self.finish_conn(token, reason);
+        }
+    }
+
+    /// Queues a heartbeat ping on every live connection (the pump phase
+    /// flushes them, coalesced with any task frames).
+    fn send_heartbeats(&mut self) {
+        for conn in self.conns.values_mut() {
+            let slot = &conn.slot;
+            if slot.dead.load(Ordering::SeqCst) || slot.retiring.load(Ordering::SeqCst) {
+                continue;
+            }
+            let ping = self.shared.next_ping.fetch_add(1, Ordering::Relaxed);
+            slot.pings.lock().insert(ping, Instant::now());
+            let mut buf = self.buffers.get();
+            encode_frame(&mut buf, FrameType::Heartbeat, ping, &[]);
+            if let Some(c) = conn.cipher_out.as_mut() {
+                let t0 = Instant::now();
+                c.apply(&mut buf);
+                self.shared
+                    .meter
+                    .record_cipher(buf.len() as u64, t0.elapsed().as_nanos() as u64);
+            }
+            conn.sendq.push(buf, 1);
+        }
+    }
+
+    /// One pump pass over every connection, rotating the start slot so a
+    /// chatty connection cannot starve the rest.
+    fn pump_all(&mut self) {
+        self.order.clear();
+        self.order.extend(self.conns.keys().copied());
+        let n = self.order.len();
+        if n == 0 {
+            return;
+        }
+        self.pump_cursor = self.pump_cursor.wrapping_add(1);
+        let start = self.pump_cursor % n;
+        let mut deaths: Vec<(u64, String)> = Vec::new();
+        for i in 0..n {
+            let token = self.order[(start + i) % n];
+            let Some(conn) = self.conns.get_mut(&token) else {
+                continue;
+            };
+            if let Some(reason) = pump_conn(
+                &self.shared,
+                &self.poller,
+                &mut self.buffers,
+                &mut self.batch,
+                conn,
+            ) {
+                deaths.push((token, reason));
+            }
+        }
+        for (token, reason) in deaths {
+            self.finish_conn(token, reason);
+        }
+    }
+
+    /// Ends one connection: deregisters and closes the socket, then
+    /// decides between a clean retirement and the crash-recovery death
+    /// path — the same decision the dedicated reader thread used to make
+    /// on exit.
+    fn finish_conn(&mut self, token: u64, io_reason: String) {
+        let Some(conn) = self.conns.remove(&token) else {
+            return;
+        };
+        let slot = conn.slot;
+        if let Some(stream) = slot.stream.lock().take() {
+            let _ = self.poller.delete(stream.as_raw_fd());
+            let _ = stream.shutdown(Shutdown::Both);
+        }
+        slot.send_q_depth.store(0, Ordering::Relaxed);
+        let reason = slot.suspect_reason.lock().take().unwrap_or(io_reason);
+        if self.shared.terminating.load(Ordering::SeqCst) {
+            return; // pool shutdown: the stream already completed.
+        }
+        let unresolved = slot.inflight_count.load(Ordering::SeqCst) > 0 || !slot.queue.is_empty();
+        if slot.retiring.load(Ordering::SeqCst) && !unresolved {
+            return; // clean cooperative retirement.
+        }
+        // Abrupt death (or a retiring daemon that crashed with work still
+        // unresolved): recover everything this slot held.
+        self.shared.on_slot_death(&slot, &reason);
+        // Schedule the breaker's failure-window bookkeeping tick.
+        if let Some(idx) = self.shared.endpoint_index(&slot.endpoint) {
+            let window = self.shared.resilience.failure_window();
+            self.wheel
+                .arm(Instant::now() + window, TimerKey::BackoffExpire(idx));
+        }
+    }
+
+    /// Shutdown: flush every remaining Goodbye with a bounded blocking
+    /// write, then close everything. Teardown errors are surfaced in the
+    /// pool's disconnect log instead of silently dropped.
+    fn finalize(&mut self) {
+        let tokens: Vec<u64> = self.conns.keys().copied().collect();
+        for token in tokens {
+            let Some(mut conn) = self.conns.remove(&token) else {
+                continue;
+            };
+            let slot = &conn.slot;
+            if !conn.goodbye_queued && !slot.dead.load(Ordering::SeqCst) {
+                let mut buf = self.buffers.get();
+                encode_frame(&mut buf, FrameType::Goodbye, 0, &[]);
+                if let Some(c) = conn.cipher_out.as_mut() {
+                    let t0 = Instant::now();
+                    c.apply(&mut buf);
+                    self.shared
+                        .meter
+                        .record_cipher(buf.len() as u64, t0.elapsed().as_nanos() as u64);
+                }
+                conn.sendq.push(buf, 1);
+            }
+            if let Some(stream) = slot.stream.lock().take() {
+                let _ = self.poller.delete(stream.as_raw_fd());
+                if !conn.sendq.is_empty() {
+                    // Bounded blocking flush: a wedged daemon cannot hang
+                    // shutdown for more than the write timeout.
+                    let _ = stream.set_nonblocking(false);
+                    let _ = stream.set_write_timeout(Some(Duration::from_millis(250)));
+                    let mut w = &stream;
+                    if let Err(e) = conn.sendq.write_to(&mut w, &mut self.buffers) {
+                        self.shared.disconnects.lock().push(format!(
+                            "slot {} ({}): goodbye failed: {e}",
+                            slot.id, slot.endpoint.addr
+                        ));
+                    }
+                }
+                let _ = stream.shutdown(Shutdown::Both);
+            }
+            slot.send_q_depth.store(0, Ordering::Relaxed);
+        }
     }
 }
 
@@ -1529,10 +2031,17 @@ impl<In: Send + 'static, Out: Send + 'static> RemotePoolBuilder<In, Out> {
         let (input_tx, input_rx) = unbounded::<StreamMsg<In>>();
         let (results_tx, results_rx) = unbounded::<PoolMsg<Out>>();
         let (output_tx, output_rx) = unbounded::<StreamMsg<Out>>();
+        let (reactor_tx, reactor_rx) = unbounded::<ReactorCmd>();
 
-        let shared = Arc::new_cyclic(|self_ref| PoolShared {
-            name: self.name.clone(),
-            self_ref: self_ref.clone(),
+        // The reactor's poller and its cross-thread waker exist before
+        // any slot does: a failed epoll/eventfd setup fails the build.
+        let poller = Poller::new().map_err(|e| format!("epoll setup: {e}"))?;
+        let waker = Waker::new().map_err(|e| format!("eventfd setup: {e}"))?;
+        poller
+            .add(waker.raw_fd(), WAKER_TOKEN, Interest::READ)
+            .map_err(|e| format!("epoll waker registration: {e}"))?;
+
+        let shared = Arc::new(PoolShared {
             metrics: PoolMetrics {
                 clock: Arc::clone(&self.clock),
                 arrivals: AtomicRateEstimator::new(self.rate_window),
@@ -1545,12 +2054,11 @@ impl<In: Send + 'static, Out: Send + 'static> RemotePoolBuilder<In, Out> {
                 tasks_retried: AtomicU64::new(0),
                 spec_wins: AtomicU64::new(0),
                 spec_dups: AtomicU64::new(0),
+                reactor_lag_us: AtomicU64::new(0),
             },
             table: Arc::new(Published::new(Vec::new())),
             slots: Mutex::new(Vec::new()),
             retired_slots: Mutex::new(Vec::new()),
-            retired_threads: Mutex::new(Vec::new()),
-            dead_threads: Mutex::new(Vec::new()),
             parked: Mutex::new(Vec::new()),
             panics: Mutex::new(Vec::new()),
             events: Mutex::new(Vec::new()),
@@ -1561,6 +2069,8 @@ impl<In: Send + 'static, Out: Send + 'static> RemotePoolBuilder<In, Out> {
             next_ping: AtomicU64::new(0),
             rr_cursor: AtomicUsize::new(0),
             results_tx: results_tx.clone(),
+            reactor_tx: reactor_tx.clone(),
+            waker: waker.clone(),
             decode: Arc::clone(&self.decode),
             endpoints: endpoint_states,
             workload: self.workload.clone(),
@@ -1577,20 +2087,54 @@ impl<In: Send + 'static, Out: Send + 'static> RemotePoolBuilder<In, Out> {
             // Initial slots: all-or-nothing so a misconfigured endpoint
             // fails loudly at build time (no breaker second-guessing —
             // the caller asked for exactly this capacity).
-            let mut handles = Vec::new();
+            let mut seeds = Vec::new();
             for i in 0..self.initial_workers {
                 let idx = i as usize % shared.endpoints.len();
                 let es = &shared.endpoints[idx];
-                handles.push(shared.connect_slot(&es.endpoint)?);
+                seeds.push(shared.connect_slot(&es.endpoint)?);
                 es.breaker.lock().on_success(&shared.resilience);
             }
             let mut slots = shared.slots.lock();
-            *slots = handles;
+            slots.extend(seeds.iter().map(|seed| Arc::clone(&seed.slot)));
             shared.publish_table(&slots);
+            drop(slots);
+            for seed in seeds {
+                let _ = reactor_tx.send(ReactorCmd::Register(seed));
+            }
         }
 
+        // The reactor: every slot's I/O, every timer, one thread.
+        let reactor = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name(format!("{}-reactor", self.name))
+                .spawn(move || {
+                    Reactor {
+                        shared,
+                        poller,
+                        waker,
+                        cmds: reactor_rx,
+                        conns: HashMap::new(),
+                        wheel: TimerWheel::new(Instant::now(), TICK, WHEEL_SLOTS),
+                        buffers: BufferPool::new(POOL_BUFFERS, POOL_BUF_CAP),
+                        scratch: vec![0u8; READ_CHUNK],
+                        events: Vec::with_capacity(64),
+                        due: Vec::new(),
+                        batch: Vec::with_capacity(WIRE_BATCH),
+                        order: Vec::new(),
+                        pump_cursor: 0,
+                        out: Vec::new(),
+                        heartbeat_period,
+                        failure_timeout,
+                        stopping: false,
+                    }
+                    .run()
+                })
+                .map_err(|e| format!("spawn reactor: {e}"))?
+        };
+
         // Emitter: encode + batch + RCU dispatch (the farm's loop with an
-        // encode step fused in).
+        // encode step fused in), kicking the reactor after each dispatch.
         let emitter = {
             let shared = Arc::clone(&shared);
             let encode = Arc::clone(&self.encode);
@@ -1630,6 +2174,7 @@ impl<In: Send + 'static, Out: Send + 'static> RemotePoolBuilder<In, Out> {
                                 .store(now.to_bits(), Ordering::Relaxed);
                             dispatched += batch.len() as u64;
                             shared.dispatch(&mut reader, sched, &mut batch);
+                            shared.wake();
                         }
                         if end {
                             shared.metrics.end_of_stream.store(true, Ordering::SeqCst);
@@ -1690,30 +2235,13 @@ impl<In: Send + 'static, Out: Send + 'static> RemotePoolBuilder<In, Out> {
                 .map_err(|e| format!("spawn collector: {e}"))?
         };
 
-        // Failure detector: heartbeat + failure deadline + task deadline.
-        let detector = {
-            let shared = Arc::clone(&shared);
-            let period = heartbeat_period;
-            let timeout = failure_timeout;
-            std::thread::Builder::new()
-                .name(format!("{}-detector", self.name))
-                .spawn(move || {
-                    while !shared.terminating.load(Ordering::SeqCst) {
-                        shared.detector_sweep(timeout);
-                        shared.deadline_sweep();
-                        std::thread::sleep(period);
-                    }
-                })
-                .map_err(|e| format!("spawn detector: {e}"))?
-        };
-
         Ok(RemoteWorkerPool {
             input: input_tx,
             output: output_rx,
             shared,
             emitter: Some(emitter),
             collector: Some(collector),
-            detector: Some(detector),
+            reactor: Some(reactor),
         })
     }
 }
@@ -1728,7 +2256,7 @@ pub struct RemoteWorkerPool<In, Out> {
     shared: Arc<PoolShared<Out>>,
     emitter: Option<JoinHandle<()>>,
     collector: Option<JoinHandle<()>>,
-    detector: Option<JoinHandle<()>>,
+    reactor: Option<JoinHandle<()>>,
 }
 
 impl<In: Send + 'static, Out: Send + 'static> RemoteWorkerPool<In, Out> {
@@ -1798,12 +2326,13 @@ impl<In: Send + 'static, Out: Send + 'static> RemoteWorkerPool<In, Out> {
     }
 
     /// Waits for the stream to complete, retires every connection with a
-    /// `Goodbye`, and tears all threads down. Connection-teardown errors
+    /// `Goodbye`, and tears everything down. Connection-teardown errors
     /// are surfaced in [`ShutdownReport::disconnects`] instead of being
     /// silently dropped.
     pub fn shutdown(mut self) -> ShutdownReport {
         // Stream completion first (mirrors Farm::shutdown): the caller
-        // sent End, the collector exits once all results converged.
+        // sent End, the collector exits once all results converged — the
+        // reactor must stay alive until then.
         if let Some(e) = self.emitter.take() {
             self.record_join("emitter", e.join());
         }
@@ -1811,32 +2340,17 @@ impl<In: Send + 'static, Out: Send + 'static> RemoteWorkerPool<In, Out> {
             self.record_join("collector", c.join());
         }
         self.shared.terminating.store(true, Ordering::SeqCst);
-        let handles: Vec<SlotHandle> = std::mem::take(&mut *self.shared.slots.lock());
-        // Closing the queues sends each writer into its Goodbye path.
-        for h in &handles {
-            h.slot.queue.close();
+        let slots: Vec<Arc<SlotShared>> = std::mem::take(&mut *self.shared.slots.lock());
+        // Closing the queues routes every connection into the reactor's
+        // Goodbye path; the reactor's finalize flushes and closes.
+        for s in &slots {
+            s.queue.close();
         }
         self.shared.table.publish(Vec::new());
-        // Writers finish first: they own the goodbye flush.
-        let mut readers = Vec::new();
-        for h in handles {
-            self.record_join("slot writer", h.writer.join());
-            // All results are in (collector joined): severing the read
-            // side is safe and bounds shutdown on a wedged daemon.
-            let _ = h.slot.stream.shutdown(Shutdown::Both);
-            readers.push(h.reader);
-        }
-        for r in readers {
-            self.record_join("slot reader", r.join());
-        }
-        if let Some(d) = self.detector.take() {
-            self.record_join("detector", d.join());
-        }
-        for t in std::mem::take(&mut *self.shared.retired_threads.lock()) {
-            self.record_join("retired slot", t.join());
-        }
-        for t in std::mem::take(&mut *self.shared.dead_threads.lock()) {
-            self.record_join("dead slot", t.join());
+        let _ = self.shared.reactor_tx.send(ReactorCmd::Shutdown);
+        self.shared.wake();
+        if let Some(r) = self.reactor.take() {
+            self.record_join("reactor", r.join());
         }
         ShutdownReport {
             worker_panics: std::mem::take(&mut *self.shared.panics.lock()),
@@ -1850,26 +2364,20 @@ impl<In: Send + 'static, Out: Send + 'static> RemoteWorkerPool<In, Out> {
 impl<In, Out> Drop for RemoteWorkerPool<In, Out> {
     fn drop(&mut self) {
         // Best-effort teardown when shutdown() was not called: sever
-        // everything and reap what we can without blocking on the stream.
+        // everything (the stream may never complete, so the reactor must
+        // not wait on daemons) and reap the reactor.
+        let Some(reactor) = self.reactor.take() else {
+            return; // shutdown() already ran
+        };
         self.shared.terminating.store(true, Ordering::SeqCst);
-        let handles: Vec<SlotHandle> = std::mem::take(&mut *self.shared.slots.lock());
-        for h in &handles {
-            h.slot.queue.close();
-            let _ = h.slot.stream.shutdown(Shutdown::Both);
+        let slots: Vec<Arc<SlotShared>> = std::mem::take(&mut *self.shared.slots.lock());
+        for s in &slots {
+            s.queue.close();
+            s.sever();
         }
         self.shared.table.publish(Vec::new());
-        for h in handles {
-            let _ = h.writer.join();
-            let _ = h.reader.join();
-        }
-        if let Some(d) = self.detector.take() {
-            let _ = d.join();
-        }
-        for t in std::mem::take(&mut *self.shared.dead_threads.lock()) {
-            let _ = t.join();
-        }
-        for t in std::mem::take(&mut *self.shared.retired_threads.lock()) {
-            let _ = t.join();
-        }
+        let _ = self.shared.reactor_tx.send(ReactorCmd::Shutdown);
+        self.shared.waker.wake();
+        let _ = reactor.join();
     }
 }

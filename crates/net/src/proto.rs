@@ -98,6 +98,20 @@ pub struct Frame {
     pub payload: Vec<u8>,
 }
 
+/// A borrowed view of one decoded frame — the zero-copy twin of
+/// [`Frame`]. The payload slice points into the decoder's buffer and is
+/// valid until the next decoder call, so a hot read path (the pool's
+/// reactor) can decode results without a per-frame allocation.
+#[derive(Debug, PartialEq, Eq)]
+pub struct FrameView<'a> {
+    /// What the frame carries.
+    pub ftype: FrameType,
+    /// Sequence number / heartbeat id (frame-type dependent).
+    pub seq: u64,
+    /// The payload bytes, borrowed from the decode buffer.
+    pub payload: &'a [u8],
+}
+
 /// Connection-fatal protocol errors.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ProtoError {
@@ -175,13 +189,25 @@ impl Decoder {
         self.buf.len() - self.start
     }
 
-    /// Pops the next complete frame, if any.
+    /// Pops the next complete frame, if any, copying the payload out.
     ///
     /// `Ok(None)` means "need more bytes" (truncated frame or empty
     /// buffer). Garbage is skipped silently (counted in
     /// [`Decoder::garbage_bytes`]); only an oversized length is an error,
     /// and it is sticky — the connection cannot be trusted afterwards.
     pub fn next_frame(&mut self) -> Result<Option<Frame>, ProtoError> {
+        Ok(self.next_frame_view()?.map(|v| Frame {
+            ftype: v.ftype,
+            seq: v.seq,
+            payload: v.payload.to_vec(),
+        }))
+    }
+
+    /// Pops the next complete frame as a *borrowed* [`FrameView`] — no
+    /// payload copy. Same contract as [`Decoder::next_frame`]; the view
+    /// is consumed from the buffer immediately, so dropping it without
+    /// reading the payload still advances the stream.
+    pub fn next_frame_view(&mut self) -> Result<Option<FrameView<'_>>, ProtoError> {
         let magic = MAGIC.to_le_bytes();
         loop {
             let b = &self.buf[self.start..];
@@ -211,12 +237,15 @@ impl Decoder {
             if b.len() < total {
                 return Ok(None);
             }
-            let payload = b[HEADER_LEN..total].to_vec();
+            // Consume first, then borrow: the slice indices are pinned
+            // before `start` moves, so the view covers exactly this frame.
+            let payload_start = self.start + HEADER_LEN;
+            let payload_end = self.start + total;
             self.start += total;
-            return Ok(Some(Frame {
+            return Ok(Some(FrameView {
                 ftype: ftype.expect("checked above"),
                 seq,
-                payload,
+                payload: &self.buf[payload_start..payload_end],
             }));
         }
     }
@@ -422,6 +451,28 @@ mod tests {
                 len: MAX_PAYLOAD + 1
             })
         );
+    }
+
+    #[test]
+    fn frame_view_matches_owned_decode_without_copy() {
+        let mut owned = Decoder::new();
+        let mut viewed = Decoder::new();
+        for (seq, payload) in [(1u64, &b"alpha"[..]), (2, b""), (3, b"gamma")] {
+            let bytes = frame_bytes(FrameType::Result, seq, payload);
+            owned.extend(&bytes);
+            viewed.extend(&bytes);
+        }
+        loop {
+            let a = owned.next_frame().unwrap();
+            let Some(a) = a else {
+                assert!(viewed.next_frame_view().unwrap().is_none());
+                break;
+            };
+            let b = viewed.next_frame_view().unwrap().expect("same stream");
+            assert_eq!(a.ftype, b.ftype);
+            assert_eq!(a.seq, b.seq);
+            assert_eq!(a.payload.as_slice(), b.payload);
+        }
     }
 
     #[test]

@@ -180,10 +180,16 @@ impl EffectTable {
             // probe closes the circuit and resets its reconnect backoff.
             .bean_effect(op::ADD_EXECUTOR, "circuitOpenCount", Dir::Down)
             .bean_effect(op::ADD_EXECUTOR, "reconnectBackoffMs", Dir::Down)
+            // More slots drain the send queues faster but give the single
+            // reactor more connections to service per tick.
+            .bean_effect(op::ADD_EXECUTOR, "netSendQueueDepth", Dir::Down)
+            .bean_effect(op::ADD_EXECUTOR, "reactorLoopLagUs", Dir::Up)
             .bean_effect(op::REMOVE_EXECUTOR, "numWorkers", Dir::Down)
             .bean_effect(op::REMOVE_EXECUTOR, "remoteWorkers", Dir::Down)
             .bean_effect(op::REMOVE_EXECUTOR, "departureRate", Dir::Down)
             .bean_effect(op::REMOVE_EXECUTOR, "queuedTasks", Dir::Up)
+            .bean_effect(op::REMOVE_EXECUTOR, "netSendQueueDepth", Dir::Up)
+            .bean_effect(op::REMOVE_EXECUTOR, "reactorLoopLagUs", Dir::Down)
             .bean_effect(op::BALANCE_LOAD, "queueVariance", Dir::Down)
             .bean_effect(op::INC_RATE, "departureRate", Dir::Up)
             .bean_effect(op::INC_RATE, "arrivalRate", Dir::Up)

@@ -36,6 +36,18 @@ struct Inner<T> {
     closed: bool,
 }
 
+/// Outcome of a [`WorkerQueue::try_pop_batch`] poll.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TryPop {
+    /// Tasks were moved into the caller's buffer.
+    Got,
+    /// Open but currently empty.
+    Empty,
+    /// Closed *and* fully drained — the consumer's exit signal (same
+    /// condition under which [`WorkerQueue::pop_batch`] returns `false`).
+    Closed,
+}
+
 /// A single-consumer task queue accepting batched pushes, with a cached
 /// length readable without the lock (sensing and shortest-queue
 /// scheduling must not take every worker's lock).
@@ -99,6 +111,25 @@ impl<T> WorkerQueue<T> {
         out.extend(q.deque.drain(..take));
         self.len.store(q.deque.len(), Ordering::Relaxed);
         true
+    }
+
+    /// Non-blocking [`pop_batch`](Self::pop_batch): moves up to `max`
+    /// tasks into `out` if any are ready, never waiting. Designed for a
+    /// reactor-style consumer that polls many queues from one thread and
+    /// must not sleep on any single one.
+    pub fn try_pop_batch(&self, max: usize, out: &mut Vec<Task<T>>) -> TryPop {
+        let mut q = self.inner.lock();
+        if q.deque.is_empty() {
+            return if q.closed {
+                TryPop::Closed
+            } else {
+                TryPop::Empty
+            };
+        }
+        let take = q.deque.len().min(max.max(1));
+        out.extend(q.deque.drain(..take));
+        self.len.store(q.deque.len(), Ordering::Relaxed);
+        TryPop::Got
     }
 
     /// Closes the queue and returns every queued task for redistribution.
@@ -191,6 +222,22 @@ mod tests {
         std::thread::sleep(std::time::Duration::from_millis(20));
         q.close();
         assert!(!consumer.join().unwrap(), "woken with the exit signal");
+    }
+
+    #[test]
+    fn try_pop_batch_never_blocks_and_signals_closure() {
+        let q = WorkerQueue::new();
+        let mut out = Vec::new();
+        assert_eq!(q.try_pop_batch(8, &mut out), TryPop::Empty);
+        let mut batch = tasks(0..5);
+        q.push_batch(&mut batch);
+        assert_eq!(q.try_pop_batch(3, &mut out), TryPop::Got);
+        assert_eq!(out.len(), 3);
+        assert_eq!(q.try_pop_batch(8, &mut out), TryPop::Got);
+        assert_eq!(out.len(), 5);
+        assert_eq!(q.try_pop_batch(8, &mut out), TryPop::Empty);
+        q.close();
+        assert_eq!(q.try_pop_batch(8, &mut out), TryPop::Closed);
     }
 
     #[test]
