@@ -1,0 +1,110 @@
+//! `rulemc` — explicit-state model checking for autonomic-management
+//! rule programs.
+//!
+//! ```text
+//! rulemc [--strict] [--trace-dir DIR] <file>...
+//! ```
+//!
+//! Inputs are `.rules` programs (checked under their canonical
+//! deployment parameters) or scenario `.json` configs (checked as the
+//! managers would load them, including the farm+pipeline hierarchy
+//! composition). Properties: recovery-within-k, livelock freedom and
+//! dead-rule detection; every failure carries a counterexample trace
+//! replayable in `bskel-sim`. `--trace-dir` writes each counterexample
+//! as a JSON artifact. Exit code 0 when every property is proved, 1 when
+//! findings fail the run (`--strict` promotes dead-rule warnings to
+//! failures), 2 on usage or I/O problems.
+
+use bskel_bench::rulemc::{check_files, counterexample_json, should_fail};
+use std::path::Path;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut strict = false;
+    let mut trace_dir: Option<String> = None;
+    let mut paths = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--strict" => strict = true,
+            "--trace-dir" => match args.next() {
+                Some(dir) => trace_dir = Some(dir),
+                None => {
+                    eprintln!("rulemc: --trace-dir needs a directory argument");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!(
+                    "usage: rulemc [--strict] [--trace-dir DIR] <file.rules|scenario.json>..."
+                );
+                return ExitCode::SUCCESS;
+            }
+            _ if arg.starts_with('-') => {
+                eprintln!("rulemc: unknown flag `{arg}` (try --help)");
+                return ExitCode::from(2);
+            }
+            _ => paths.push(arg),
+        }
+    }
+    if paths.is_empty() {
+        eprintln!("usage: rulemc [--strict] [--trace-dir DIR] <file.rules|scenario.json>...");
+        return ExitCode::from(2);
+    }
+
+    let mut contents = Vec::new();
+    for path in &paths {
+        match std::fs::read_to_string(path) {
+            Ok(text) => contents.push((path.clone(), text)),
+            Err(e) => {
+                eprintln!("rulemc: cannot read `{path}`: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let (reports, rendered) = check_files(contents.iter().map(|(p, t)| (p.as_str(), t.as_str())));
+    print!("{rendered}");
+
+    if let Some(dir) = trace_dir {
+        if let Err(e) = std::fs::create_dir_all(&dir) {
+            eprintln!("rulemc: cannot create trace dir `{dir}`: {e}");
+            return ExitCode::from(2);
+        }
+        for report in &reports {
+            let stem = Path::new(&report.path)
+                .file_stem()
+                .and_then(|s| s.to_str())
+                .unwrap_or("input")
+                .to_string();
+            for (i, (program, cex)) in report.counterexamples().into_iter().enumerate() {
+                let name = format!(
+                    "{stem}__{}__{}_{i}.json",
+                    program.replace('+', "_"),
+                    cex.property
+                );
+                let out = Path::new(&dir).join(name);
+                let json = counterexample_json(&report.path, program, cex);
+                match serde_json::to_string_pretty(&json) {
+                    Ok(text) => {
+                        if let Err(e) = std::fs::write(&out, text) {
+                            eprintln!("rulemc: cannot write `{}`: {e}", out.display());
+                            return ExitCode::from(2);
+                        }
+                        eprintln!("rulemc: wrote counterexample {}", out.display());
+                    }
+                    Err(e) => {
+                        eprintln!("rulemc: cannot serialize counterexample: {e}");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+        }
+    }
+
+    if should_fail(&reports, strict) {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

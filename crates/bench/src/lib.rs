@@ -28,6 +28,7 @@
 pub mod config;
 pub mod procfs;
 pub mod rulelint;
+pub mod rulemc;
 
 use bskel_core::events::EventRecord;
 use bskel_sim::Trace;

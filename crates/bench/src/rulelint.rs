@@ -120,7 +120,7 @@ pub fn lint_scenario(path: &str, json: &str) -> FileReport {
 /// Default farm parameter derivation, mirroring
 /// `AutonomicManager::derive_kind_params` with the stock `ManagerConfig`
 /// knobs (`min_workers` 1, `max_workers` 64, `max_unbalance` 4.0).
-fn farm_params_for(contract: &Contract) -> ParamTable {
+pub(crate) fn farm_params_for(contract: &Contract) -> ParamTable {
     let (lo, hi) = contract.throughput_bounds().unwrap_or((0.0, f64::INFINITY));
     let (min_w, max_w) = contract.par_degree_bounds().unwrap_or((1, 64));
     stdlib::farm_params(lo, hi, min_w, max_w, 4.0)

@@ -236,6 +236,14 @@ pub struct ManagerConfig {
     pub model_initial_setup: bool,
     /// Load-time rule-program checking policy (see [`RuleCheck`]).
     pub rule_check: RuleCheck,
+    /// Opt-in model checking of the rule program at load/adoption time:
+    /// `Some(k)` runs `bskel_rules::mc` with recovery bound `k` beside
+    /// the static analysis, reporting findings as `rulemc:*` events
+    /// (property failures are error-severity and reject the program
+    /// under [`RuleCheck::Strict`], like any other lint error). `None`
+    /// (the default) skips it — exhaustive exploration costs more than a
+    /// lint pass and belongs at deploy time, not in every unit test.
+    pub model_check: Option<usize>,
 }
 
 impl ManagerConfig {
@@ -256,6 +264,7 @@ impl ManagerConfig {
             extra_params: Vec::new(),
             model_initial_setup: false,
             rule_check: RuleCheck::default(),
+            model_check: None,
         }
     }
 
@@ -391,7 +400,7 @@ impl AutonomicManager {
             return Ok(());
         }
         let analyzer = Analyzer::new(self.abc.bean_schema());
-        let diags = analyzer.analyze(self.engine.rules(), params, None);
+        let mut diags = analyzer.analyze(self.engine.rules(), params, None);
         for d in &diags {
             self.emit(
                 now,
@@ -399,6 +408,7 @@ impl AutonomicManager {
                 Some(d.to_string()),
             );
         }
+        diags.extend(self.model_check_rules(params, now));
         let errors: Vec<_> = diags
             .into_iter()
             .filter(|d| d.severity == bskel_rules::Severity::Error)
@@ -407,6 +417,97 @@ impl AutonomicManager {
             return Err(RuleLintError(errors));
         }
         Ok(())
+    }
+
+    /// Opt-in exhaustive model check of the rule program
+    /// ([`ManagerConfig::model_check`]); findings flow through the same
+    /// diagnostic path as the static analysis, under `rulemc:*` events.
+    fn model_check_rules(
+        &self,
+        params: Option<&bskel_rules::ParamTable>,
+        now: Time,
+    ) -> Vec<bskel_rules::Diagnostic> {
+        use bskel_rules::mc::{throughput_violation, EnvMove, ModelChecker, Spec};
+        let Some(k) = self.cfg.model_check else {
+            return Vec::new();
+        };
+        if self.engine.rules().rules().is_empty() {
+            return Vec::new();
+        }
+        let bound = params.unwrap_or(&self.params);
+        let (lo, hi) = match self.cfg.kind {
+            ManagerKind::Producer => self
+                .contract
+                .output_rate_bounds()
+                .or_else(|| self.contract.throughput_bounds()),
+            _ => self.contract.throughput_bounds(),
+        }
+        .unwrap_or((0.0, f64::INFINITY));
+        let (min_w, max_w) = self
+            .contract
+            .par_degree_bounds()
+            .unwrap_or((self.cfg.min_workers, self.cfg.max_workers));
+        let mut spec = Spec::default()
+            .recovery_k(k)
+            .initial(
+                bskel_monitor::snapshot::beans::NUM_WORKERS,
+                f64::from(min_w),
+                f64::from(max_w),
+            )
+            .env(hier_beans::END_STREAM, EnvMove::UpOnly)
+            .waiver(bskel_rules::Condition::flag(
+                bskel_monitor::snapshot::beans::END_OF_STREAM,
+            ));
+        if let Some(v) = throughput_violation(lo, hi) {
+            spec = spec.violation(v).throughput_plant();
+        }
+        let report = match ModelChecker::new(self.abc.bean_schema()).check(
+            &self.cfg.name,
+            self.engine.rules(),
+            bound,
+            &spec,
+        ) {
+            Ok(r) => r,
+            Err(e) => {
+                // Unbound params / unknown beans are already surfaced by
+                // the static analysis; a budget overrun is news.
+                self.emit(now, EventKind::Other(format!("rulemcError:{e}")), None);
+                return Vec::new();
+            }
+        };
+        self.emit(
+            now,
+            EventKind::Other("rulemc".to_string()),
+            Some(format!(
+                "states={} transitions={} recovery={} livelock={} dead={} wall={:?}",
+                report.states,
+                report.transitions,
+                report
+                    .recovery
+                    .as_ref()
+                    .map_or("skipped", |v| if v.proved() {
+                        "proved"
+                    } else {
+                        "violated"
+                    }),
+                if report.livelock.proved() {
+                    "proved"
+                } else {
+                    "violated"
+                },
+                report.dead_rules.len(),
+                report.wall,
+            )),
+        );
+        let diags = report.to_diagnostics();
+        for d in &diags {
+            self.emit(
+                now,
+                EventKind::Other(format!("rulemc:{}", d.code)),
+                Some(d.to_string()),
+            );
+        }
+        diags
     }
 
     /// Sets the parent mailbox violations are reported to.
@@ -502,12 +603,13 @@ impl AutonomicManager {
     /// sub-contracts to children, (re-)enters active mode.
     fn adopt_contract(&mut self, contract: Contract, now: Time) {
         self.params = self.derive_params(&contract);
-        // Binding the contract's parameters makes cross-rule reasoning
-        // decidable; re-lint so dormant rules and parameter-induced
-        // overlaps land in the event log (never a rejection).
-        let _ = self.lint_rules(Some(&self.params), now);
         self.emit(now, EventKind::NewContract, Some(contract.to_string()));
         self.contract = contract;
+        // Binding the contract's parameters makes cross-rule reasoning
+        // decidable; re-lint (and model-check, if enabled) against the
+        // adopted contract so dormant rules and parameter-induced
+        // overlaps land in the event log (never a rejection).
+        let _ = self.lint_rules(Some(&self.params), now);
         if self.cfg.model_initial_setup && self.cfg.kind == ManagerKind::Farm {
             self.needs_initial_setup = true;
         }
@@ -963,6 +1065,45 @@ mod tests {
             let m = AutonomicManager::try_new(cfg, Box::new(MockAbc::new(vec![])), EventLog::new());
             assert!(m.is_ok());
         }
+    }
+
+    #[test]
+    fn model_check_proves_standard_farm_on_contract_adoption() {
+        let mut cfg = ManagerConfig::farm("AM_F");
+        cfg.model_check = Some(8);
+        let mut m = AutonomicManager::new(cfg, Box::new(MockAbc::new(vec![])), EventLog::new());
+        m.contract_slot().post(Contract::throughput_range(0.4, 0.8));
+        m.control_cycle(0.0);
+        let events = m.log().of_kind(&EventKind::Other("rulemc".into()));
+        assert!(!events.is_empty(), "{:?}", m.log().snapshot());
+        let last = events.last().unwrap().detail.clone().unwrap();
+        assert!(last.contains("recovery=proved"), "{last}");
+        assert!(last.contains("livelock=proved"), "{last}");
+        assert!(m
+            .log()
+            .of_kind(&EventKind::Other("rulemc:no-recovery".into()))
+            .is_empty());
+    }
+
+    #[test]
+    fn strict_mode_with_model_check_rejects_livelocking_program() {
+        // A single self-re-enabling rule: no pair for the W-oscillation
+        // heuristic to catch, but the lasso search proves the livelock.
+        let mut cfg = ManagerConfig::farm("AM_F");
+        cfg.rule_check = RuleCheck::Strict;
+        cfg.model_check = Some(4);
+        let m = AutonomicManager::new(cfg, Box::new(MockAbc::new(vec![])), EventLog::new());
+        let rules = bskel_rules::parse_rules(
+            r#"rule "grow" when numWorkers > 0 then fire(ADD_EXECUTOR) end"#,
+        )
+        .unwrap();
+        let err = m.try_with_rules(rules).unwrap_err();
+        assert!(
+            err.0
+                .iter()
+                .any(|d| d.code == bskel_rules::LintCode::Livelock),
+            "{err}"
+        );
     }
 
     #[test]

@@ -155,6 +155,7 @@ impl Dir {
 pub struct EffectTable {
     bean_effects: BTreeMap<String, Vec<(String, Dir)>>,
     actuators: BTreeMap<String, (String, Dir)>,
+    inert: BTreeSet<String>,
 }
 
 impl EffectTable {
@@ -204,6 +205,9 @@ impl EffectTable {
             .actuator(crate::stdlib::KILL_WORKER_OP, "parDegree", Dir::Down)
             .bean_effect(crate::stdlib::KILL_WORKER_OP, "numWorkers", Dir::Down)
             .bean_effect(crate::stdlib::KILL_WORKER_OP, "workersLost", Dir::Up)
+            // Escalation is pure signalling: it moves no bean and no
+            // actuator resource, by design rather than by omission.
+            .inert(op::RAISE_VIOLATION)
     }
 
     /// Annotates an operation with a monotone effect on a sensed bean.
@@ -224,6 +228,19 @@ impl EffectTable {
     ) -> Self {
         self.actuators.insert(op.into(), (resource.into(), dir));
         self
+    }
+
+    /// Declares an operation *intentionally* effect-free (pure
+    /// signalling, e.g. `RAISE_VIOLATION`): `W-no-effect` will not flag
+    /// rules whose only actions are inert operations.
+    pub fn inert(mut self, op: impl Into<String>) -> Self {
+        self.inert.insert(op.into());
+        self
+    }
+
+    /// Whether an operation is declared intentionally effect-free.
+    pub fn is_inert(&self, op: &str) -> bool {
+        self.inert.contains(op)
     }
 
     /// Bean effects of an operation (empty if unannotated).
@@ -313,6 +330,17 @@ pub enum LintCode {
     Oscillation,
     /// Two managers' rules drive one actuator in opposite directions.
     Conflict,
+    /// Every action of a rule lacks an [`EffectTable`] entry, making the
+    /// rule invisible to oscillation/conflict and model-checking analysis.
+    NoEffect,
+    /// Model checker: a reachable contract-violating state from which no
+    /// violation-free state is reachable within the recovery bound.
+    NoRecovery,
+    /// Model checker: a reachable control cycle that keeps firing
+    /// actuator operations (livelock/oscillation lasso).
+    Livelock,
+    /// Model checker: a rule that fires in no reachable state.
+    DeadRule,
 }
 
 impl LintCode {
@@ -327,6 +355,10 @@ impl LintCode {
             LintCode::Shadowed => "shadowed",
             LintCode::Oscillation => "oscillation",
             LintCode::Conflict => "conflict",
+            LintCode::NoEffect => "no-effect",
+            LintCode::NoRecovery => "no-recovery",
+            LintCode::Livelock => "livelock",
+            LintCode::DeadRule => "dead-rule",
         }
     }
 }
@@ -890,10 +922,51 @@ impl Analyzer {
         for rule in rules.rules() {
             self.check_schema(rule, params, span_of(&rule.name), &mut out);
             self.check_sat(rule, params, span_of(&rule.name), &mut out);
+            self.check_no_effect(rule, span_of(&rule.name), &mut out);
         }
         self.check_shadowing(rules, params, &span_of, &mut out);
         self.check_oscillation(rules, params, &span_of, &mut out);
         out
+    }
+
+    /// Check: a rule none of whose actions carry an [`EffectTable`] entry
+    /// (and are not declared [`EffectTable::inert`]) is invisible to the
+    /// oscillation/conflict heuristics *and* to the model checker's plant
+    /// abstraction — warn so the coverage gap is explicit. Skipped when
+    /// the effect table is entirely empty (custom vocabularies without
+    /// annotations).
+    fn check_no_effect(&self, rule: &Rule, span: Option<(u32, u32)>, out: &mut Vec<Diagnostic>) {
+        if self.effects.bean_effects.is_empty() && self.effects.actuators.is_empty() {
+            return;
+        }
+        let ops = rule.execute();
+        if ops.is_empty() {
+            return;
+        }
+        let unmodelled: Vec<&str> = ops
+            .iter()
+            .filter(|call| {
+                !self.effects.is_inert(&call.operation)
+                    && self.effects.actuator_of(&call.operation).is_none()
+                    && self.effects.effects_of(&call.operation).is_empty()
+            })
+            .map(|call| call.operation.as_str())
+            .collect();
+        if unmodelled.len() == ops.len() {
+            out.push(Diagnostic {
+                severity: Severity::Warning,
+                code: LintCode::NoEffect,
+                rule: rule.name.clone(),
+                peer: None,
+                span,
+                message: format!(
+                    "no action of this rule has an effect-table entry ({}); the rule is \
+                     invisible to oscillation/conflict analysis and to the model checker — \
+                     annotate the operation(s) or declare them inert",
+                    unmodelled.join(", ")
+                ),
+            });
+        }
     }
 
     fn check_schema(
@@ -1336,6 +1409,40 @@ mod tests {
             "#,
             None,
         );
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn unannotated_op_warns_no_effect() {
+        let d = analyze_src(
+            "rule \"r\" when departureRate < $LOW then fire(DO_MYSTERY) end",
+            None,
+        );
+        assert_eq!(codes(&d), [(Severity::Warning, LintCode::NoEffect)]);
+        // One modelled action is enough to make the rule visible.
+        let d = analyze_src(
+            "rule \"r\" when departureRate < $LOW then fire(DO_MYSTERY); fire(ADD_EXECUTOR) end",
+            None,
+        );
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn inert_ops_are_not_flagged_no_effect() {
+        // RAISE_VIOLATION is declared inert in the standard table: pure
+        // signalling, not a coverage gap.
+        let d = analyze_src(
+            "rule \"r\" when departureRate < $LOW then fireOperation(RAISE_VIOLATION) end",
+            None,
+        );
+        assert!(d.is_empty(), "{d:?}");
+        // An empty effect table disables the check entirely.
+        let (set, _) =
+            parse_rules_spanned("rule \"r\" when departureRate < $LOW then fire(DO_MYSTERY) end")
+                .unwrap();
+        let d = Analyzer::new(schema())
+            .with_effects(EffectTable::new())
+            .analyze(&set, None, None);
         assert!(d.is_empty(), "{d:?}");
     }
 

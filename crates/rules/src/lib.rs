@@ -31,6 +31,7 @@
 pub mod analysis;
 pub mod ast;
 pub mod engine;
+pub mod mc;
 pub mod parser;
 pub mod stdlib;
 pub mod wm;
@@ -38,6 +39,10 @@ pub mod wm;
 pub use analysis::{Analyzer, BeanSchema, BeanType, Diagnostic, EffectTable, LintCode, Severity};
 pub use ast::{Action, Cmp, Condition, Expr, OpCall, Rule, RuleSet};
 pub use engine::{EngineError, Firing, RuleEngine};
+pub use mc::{
+    throughput_violation, Counterexample, EnvMove, McError, McReport, ModelChecker, Spec,
+    TraceStep, Verdict,
+};
 pub use parser::{parse_rules, parse_rules_spanned, ParseError, SourceMap};
 pub use wm::{ParamTable, WorkingMemory};
 

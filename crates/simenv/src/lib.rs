@@ -20,6 +20,9 @@
 //!   sensors/actuators;
 //! * [`trace`] — time-series recording (CSV/JSON) for the experiment
 //!   harness;
+//! * [`replay`] — replays `bskel_rules::mc` counterexample traces through
+//!   production managers on the DES, confirming a property violation is
+//!   real and not an abstraction artifact;
 //! * [`scenario`] — declarative builders for the paper's experiments
 //!   (Fig. 3 single-manager farm, Fig. 4 hierarchical pipeline, the
 //!   security-cost and ablation studies).
@@ -35,6 +38,7 @@ pub mod des;
 pub mod models;
 pub mod net;
 pub mod node;
+pub mod replay;
 pub mod resources;
 pub mod scenario;
 pub mod trace;
@@ -43,6 +47,10 @@ pub use abc_impl::{sim_bean_schema, SimAbc, SimRole};
 pub use des::EventQueue;
 pub use net::SslCostModel;
 pub use node::{Node, NodeId, NodeRegistry};
+pub use replay::{
+    replay_counterexample, snapshot_from_beans, ReplayMismatch, ReplayProgram, ReplayReport,
+    ScriptedAbc,
+};
 pub use resources::ResourceManager;
 pub use scenario::{FarmOutcome, FarmScenario, PipelineOutcome, PipelineScenario, SecurityPolicy};
 pub use trace::Trace;

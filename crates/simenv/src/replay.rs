@@ -1,0 +1,402 @@
+//! Counterexample replay: run a model-checker trace through the
+//! *production* autonomic manager over the deterministic DES kernel.
+//!
+//! `bskel_rules::mc` proves properties of an abstracted transition
+//! system; a property failure is only as credible as the abstraction.
+//! This module closes the loop: a [`Counterexample`]'s bean valuations
+//! become scripted sensor snapshots, the same rule program and parameter
+//! table drive a real [`AutonomicManager`] (the byte-for-byte production
+//! analyse/plan/execute path), cycles are scheduled on the
+//! [`EventQueue`], and the operations the manager actually fires are
+//! compared step-for-step against the firings the checker predicted. A
+//! trace that replays faithfully *and* keeps the contract-violation
+//! condition true is a real defect of the rule program, not an artifact.
+//!
+//! Hierarchy beans (`violNotEnough` / `violTooMuch` / `endStream`) are
+//! not sensors: single-program traces script them as mailbox pushes (the
+//! protocol a real child would use), while composed traces let the real
+//! child manager's `RAISE_VIOLATION` reach the parent through its actual
+//! mailbox — the coupling the checker modelled is exercised for real.
+
+use crate::des::EventQueue;
+use bskel_core::abc::{Abc, AbcError, ActuationOutcome, ManagerOp};
+use bskel_core::events::EventLog;
+use bskel_core::manager::{
+    AutonomicManager, ManagerConfig, ManagerKind, RuleCheck, ViolationKind, ViolationReport,
+};
+use bskel_monitor::{SensorSnapshot, Time};
+use bskel_rules::analysis::BeanSchema;
+use bskel_rules::mc::Counterexample;
+use bskel_rules::stdlib::hier_beans;
+use bskel_rules::{Condition, OpCall, ParamTable, RuleSet, WorkingMemory};
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::{Arc, Mutex};
+
+/// An ABC that replays a fixed script of sensor snapshots.
+///
+/// Every [`Abc::sense`] pops the next snapshot (sticking on the last one
+/// once the script runs out), and every actuation is recorded and
+/// reported as applied — the plant is played back, not simulated, so the
+/// manager's *decisions* are isolated from its *effects*.
+pub struct ScriptedAbc {
+    script: VecDeque<SensorSnapshot>,
+    last: SensorSnapshot,
+    schema: BeanSchema,
+    actuations: Arc<Mutex<Vec<(Time, ManagerOp)>>>,
+}
+
+impl ScriptedAbc {
+    /// Builds a scripted ABC over the given snapshots.
+    pub fn new(script: Vec<SensorSnapshot>) -> Self {
+        Self {
+            script: script.into(),
+            last: SensorSnapshot::empty(0.0),
+            schema: crate::abc_impl::sim_bean_schema(),
+            actuations: Arc::new(Mutex::new(Vec::new())),
+        }
+    }
+
+    /// Shared handle to the recorded actuations (usable after the ABC has
+    /// been boxed into a manager).
+    pub fn actuation_log(&self) -> Arc<Mutex<Vec<(Time, ManagerOp)>>> {
+        Arc::clone(&self.actuations)
+    }
+}
+
+impl Abc for ScriptedAbc {
+    fn sense(&mut self, now: Time) -> SensorSnapshot {
+        if let Some(mut s) = self.script.pop_front() {
+            s.at = now;
+            self.last = s;
+        }
+        let mut s = self.last.clone();
+        s.at = now;
+        s
+    }
+
+    fn bean_schema(&self) -> BeanSchema {
+        self.schema.clone()
+    }
+
+    fn actuate(&mut self, op: &ManagerOp, now: Time) -> Result<ActuationOutcome, AbcError> {
+        self.actuations
+            .lock()
+            .expect("actuation log lock")
+            .push((now, op.clone()));
+        Ok(ActuationOutcome::Applied)
+    }
+}
+
+/// Builds a [`SensorSnapshot`] from a model-checker bean valuation.
+///
+/// Standard beans map onto their typed snapshot fields; hierarchy beans
+/// and hidden model variables (`__`-prefixed) are not sensors and are
+/// skipped; anything else (e.g. the simulator-only `speedGainRatio`)
+/// rides along as an extra bean.
+pub fn snapshot_from_beans(at: Time, beans: &BTreeMap<String, f64>) -> SensorSnapshot {
+    use bskel_monitor::snapshot::beans as b;
+    let mut s = SensorSnapshot::empty(at);
+    for (name, &v) in beans {
+        match name.as_str() {
+            b::ARRIVAL_RATE => s.arrival_rate = v,
+            b::DEPARTURE_RATE => s.departure_rate = v,
+            b::NUM_WORKERS => s.num_workers = v.max(0.0).round() as u32,
+            b::QUEUE_VARIANCE => s.queue_variance = v,
+            b::QUEUED_TASKS => s.queued_tasks = v.max(0.0).round() as u64,
+            b::SERVICE_TIME => s.service_time = v,
+            b::END_OF_STREAM => s.end_of_stream = v != 0.0,
+            b::IDLE_FOR => s.idle_for = v,
+            b::RECONFIGURING => s.reconfiguring = v != 0.0,
+            b::WORKERS_LOST => s.workers_lost = v.max(0.0).round() as u64,
+            b::FT_MIN_WORKERS => s.ft_min_workers = v.max(0.0).round() as u32,
+            b::REMOTE_WORKERS => s.remote_workers = v.max(0.0).round() as u32,
+            b::NET_RTT_MS => s.net_rtt_ms = v,
+            b::CIRCUIT_OPEN_COUNT => s.circuit_open_count = v.max(0.0).round() as u32,
+            b::RECONNECT_BACKOFF_MS => s.reconnect_backoff_ms = v,
+            b::TASKS_RETRIED => s.tasks_retried = v.max(0.0).round() as u64,
+            b::SPECULATIVE_WINS => s.speculative_wins = v.max(0.0).round() as u64,
+            b::REACTOR_LOOP_LAG_US => s.reactor_loop_lag_us = v,
+            b::NET_SEND_QUEUE_DEPTH => s.net_send_queue_depth = v.max(0.0).round() as u64,
+            hier_beans::VIOL_NOT_ENOUGH | hier_beans::VIOL_TOO_MUCH | hier_beans::END_STREAM => {}
+            hidden if hidden.starts_with("__") => {}
+            extra => s.extra.push((extra.to_string(), v)),
+        }
+    }
+    s
+}
+
+/// One rule program participating in a replay, in the same order the
+/// checker composed them (child first for composed counterexamples).
+pub struct ReplayProgram {
+    /// Program label, matching the labels in the counterexample firings.
+    pub label: String,
+    /// Manager kind (selects the production op→actuator binding).
+    pub kind: ManagerKind,
+    /// The rule program, byte-for-byte what the checker analysed.
+    pub rules: RuleSet,
+    /// The bound parameter table the checker used.
+    pub params: ParamTable,
+}
+
+/// A step where the production manager fired different operations than
+/// the checker predicted.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplayMismatch {
+    /// Trace step index (0-based).
+    pub step: usize,
+    /// Which manager diverged.
+    pub manager: String,
+    /// Operations the counterexample predicted.
+    pub expected: Vec<OpCall>,
+    /// Operations the production manager fired.
+    pub got: Vec<OpCall>,
+}
+
+/// Outcome of replaying a counterexample.
+#[derive(Debug, Clone)]
+pub struct ReplayReport {
+    /// Steps replayed.
+    pub steps: usize,
+    /// Divergences between predicted and actual firings (empty = the
+    /// trace is mechanically faithful).
+    pub mismatches: Vec<ReplayMismatch>,
+    /// Per step, whether the contract-violation condition held on the
+    /// replayed beans (empty when no violation condition was supplied).
+    pub violating_steps: Vec<bool>,
+}
+
+impl ReplayReport {
+    /// Whether every step fired exactly the operations the checker
+    /// predicted.
+    pub fn faithful(&self) -> bool {
+        self.mismatches.is_empty()
+    }
+
+    /// Whether the trace reproduces a recovery violation: every replayed
+    /// step remains contract-violating (vacuously false without a
+    /// violation condition).
+    pub fn violation_reproduced(&self) -> bool {
+        !self.violating_steps.is_empty() && self.violating_steps.iter().all(|&v| v)
+    }
+}
+
+/// Replays a counterexample through production managers on the DES.
+///
+/// `programs` must be in checker order (the child program first for
+/// composed counterexamples — composed replays wire the child's real
+/// mailbox to the parent instead of scripting the coupling flags).
+/// `violation` is the spec's contract-violation condition, evaluated on
+/// each step's beans to confirm the reported violation is reproduced.
+pub fn replay_counterexample(
+    cex: &Counterexample,
+    programs: &[ReplayProgram],
+    violation: Option<&Condition>,
+) -> ReplayReport {
+    assert!(!programs.is_empty(), "replay needs at least one program");
+    let coupled = programs.len() > 1;
+    let log = EventLog::new();
+    let script: Vec<SensorSnapshot> = cex
+        .steps
+        .iter()
+        .enumerate()
+        .map(|(i, step)| snapshot_from_beans(i as f64, &step.beans))
+        .collect();
+
+    // Build managers parent-last so the child can be wired to the
+    // parent's real mailbox, then run them child-first each step.
+    let mut managers: Vec<AutonomicManager> = Vec::new();
+    for p in programs.iter().rev() {
+        let mut cfg = match p.kind {
+            ManagerKind::Farm => ManagerConfig::farm(&p.label),
+            ManagerKind::Pipeline => ManagerConfig::pipeline(&p.label),
+            ManagerKind::Producer => ManagerConfig::producer(&p.label),
+            ManagerKind::Sequential => ManagerConfig::sequential(&p.label),
+        };
+        // The checker's exact parameter binding, merged over any
+        // contract-derived defaults; linting already happened upstream.
+        cfg.rule_check = RuleCheck::Off;
+        cfg.extra_params = p.params.iter().map(|(n, v)| (n.to_string(), v)).collect();
+        let abc = ScriptedAbc::new(script.clone());
+        let mut m = AutonomicManager::new(cfg, Box::new(abc), log.clone());
+        if coupled && managers.len() == programs.len() - 1 {
+            // This is the child (built last): report into the parent.
+            m = m.with_parent(managers[0].mailbox());
+        }
+        m = m.with_rules(p.rules.clone());
+        managers.push(m);
+    }
+    managers.reverse(); // child first, as the checker steps them
+
+    let mut mismatches = Vec::new();
+    let mut violating_steps = Vec::new();
+    let mut queue: EventQueue<usize> = EventQueue::new();
+    for i in 0..cex.steps.len() {
+        queue.schedule(i as f64, i);
+    }
+    while let Some((t, i)) = queue.pop() {
+        let step = &cex.steps[i];
+        // Script the hierarchy beans the state carries. Coupling flags
+        // are scripted only when the producing child is *outside* the
+        // replay; end-of-stream is an environment fact either way.
+        for m in &managers {
+            if step.beans.get(hier_beans::END_STREAM) == Some(&1.0) {
+                m.mailbox().push(ViolationReport {
+                    from: "env".into(),
+                    kind: ViolationKind::EndOfStream,
+                    at: t,
+                });
+            }
+            if !coupled {
+                if step.beans.get(hier_beans::VIOL_NOT_ENOUGH) == Some(&1.0) {
+                    m.mailbox().push(ViolationReport {
+                        from: "child".into(),
+                        kind: ViolationKind::NotEnoughTasks,
+                        at: t,
+                    });
+                }
+                if step.beans.get(hier_beans::VIOL_TOO_MUCH) == Some(&1.0) {
+                    m.mailbox().push(ViolationReport {
+                        from: "child".into(),
+                        kind: ViolationKind::TooMuchTasks,
+                        at: t,
+                    });
+                }
+            }
+        }
+        for (m, p) in managers.iter_mut().zip(programs) {
+            let got = m.control_cycle(t);
+            let expected: Vec<OpCall> = step
+                .firings
+                .iter()
+                .filter(|(label, _)| *label == p.label)
+                .flat_map(|(_, f)| f.ops.iter().cloned())
+                .collect();
+            if got != expected {
+                mismatches.push(ReplayMismatch {
+                    step: i,
+                    manager: p.label.clone(),
+                    expected,
+                    got,
+                });
+            }
+        }
+        if let Some(v) = violation {
+            let wm = WorkingMemory::from_beans(step.beans.iter().map(|(n, &x)| (n.clone(), x)));
+            let holds = v
+                .eval(&wm, &ParamTable::new())
+                .expect("violation condition over trace beans");
+            violating_steps.push(holds);
+        }
+    }
+
+    ReplayReport {
+        steps: cex.steps.len(),
+        mismatches,
+        violating_steps,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bskel_rules::mc::{throughput_violation, ModelChecker, Spec};
+    use bskel_rules::stdlib;
+    use bskel_rules::{Cmp, Expr};
+
+    fn schema() -> BeanSchema {
+        crate::abc_impl::sim_bean_schema()
+    }
+
+    fn farm_spec() -> Spec {
+        Spec::default()
+            .violation(throughput_violation(0.4, 0.8).unwrap())
+            .invariant(Condition::cmp(
+                Expr::Bean("departureRate".into()),
+                Cmp::Le,
+                Expr::Bean("arrivalRate".into()),
+            ))
+            .initial("numWorkers", 0.0, 16.0)
+    }
+
+    #[test]
+    fn scripted_abc_replays_and_sticks() {
+        let mut s0 = SensorSnapshot::empty(0.0);
+        s0.arrival_rate = 1.0;
+        let mut s1 = SensorSnapshot::empty(0.0);
+        s1.arrival_rate = 2.0;
+        let mut abc = ScriptedAbc::new(vec![s0, s1]);
+        assert_eq!(abc.sense(0.0).arrival_rate, 1.0);
+        assert_eq!(abc.sense(1.0).arrival_rate, 2.0);
+        // Script exhausted: stick on the last snapshot.
+        let s = abc.sense(2.0);
+        assert_eq!(s.arrival_rate, 2.0);
+        assert_eq!(s.at, 2.0);
+    }
+
+    #[test]
+    fn snapshot_mapping_skips_hierarchy_and_hidden_beans() {
+        let beans: BTreeMap<String, f64> = [
+            ("arrivalRate".to_string(), 0.6),
+            ("numWorkers".to_string(), 3.0),
+            ("violNotEnough".to_string(), 1.0),
+            ("__cap:departureRate".to_string(), 0.9),
+            ("speedGainRatio".to_string(), 1.7),
+        ]
+        .into();
+        let s = snapshot_from_beans(0.0, &beans);
+        assert_eq!(s.arrival_rate, 0.6);
+        assert_eq!(s.num_workers, 3);
+        assert_eq!(s.bean("speedGainRatio"), Some(1.7));
+        assert_eq!(s.bean("violNotEnough"), None);
+        assert_eq!(s.bean("__cap:departureRate"), None);
+    }
+
+    #[test]
+    fn broken_farm_counterexample_replays_in_production_manager() {
+        // A farm program whose grow rule was "mutated" away entirely:
+        // low throughput can never be repaired, so the checker finds a
+        // recovery counterexample — which must replay step-for-step.
+        let src = r#"
+            rule "OnlyBalance" when queueVariance > $FARM_MAX_UNBALANCE
+            then fireOperation(BALANCE_LOAD); end
+        "#;
+        let rules = bskel_rules::parse_rules(src).unwrap();
+        let params = ParamTable::new().with("FARM_MAX_UNBALANCE", 4.0);
+        let spec = farm_spec().recovery_k(4);
+        let report = ModelChecker::new(schema())
+            .check("farm", &rules, &params, &spec)
+            .unwrap();
+        let cex = report
+            .recovery
+            .as_ref()
+            .unwrap()
+            .counterexample()
+            .expect("balance-only farm cannot recover");
+        let replay = replay_counterexample(
+            cex,
+            &[ReplayProgram {
+                label: "farm".into(),
+                kind: ManagerKind::Farm,
+                rules,
+                params,
+            }],
+            spec.violation.as_ref(),
+        );
+        assert!(replay.faithful(), "{:?}", replay.mismatches);
+        assert!(replay.violation_reproduced());
+    }
+
+    #[test]
+    fn healthy_farm_has_no_counterexample_to_replay() {
+        let report = ModelChecker::new(schema())
+            .check(
+                "farm",
+                &stdlib::farm_rules(),
+                &stdlib::farm_params(0.4, 0.8, 2, 16, 4.0),
+                &farm_spec(),
+            )
+            .unwrap();
+        assert!(report.ok(), "{report:?}");
+        assert!(report.counterexamples().is_empty());
+    }
+}
