@@ -22,13 +22,14 @@
 //! the workspace root. `--quick` shrinks the stream for CI smoke runs.
 
 use bskel_bench::table;
+use bskel_monitor::Journal;
 use bskel_net::{
     spawn_chaos_local, spawn_local, ChaosPlan, ChaosPolicy, Endpoint, RemotePoolBuilder,
 };
 use bskel_skel::stream::StreamMsg;
 use bskel_skel::GatherPolicy;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
 const SEED: u64 = 0xC4A05;
@@ -64,6 +65,14 @@ impl ClassRun {
     }
 }
 
+/// Process-wide ops journal shared by every class run; flushed to
+/// `JOURNAL_chaos_recovery.jsonl` at the end of `main` (and archived by
+/// the chaos CI job).
+fn ops_journal() -> Arc<Journal> {
+    static JOURNAL: OnceLock<Arc<Journal>> = OnceLock::new();
+    Arc::clone(JOURNAL.get_or_init(Journal::shared))
+}
+
 fn run_class(name: &'static str, policy: ChaosPolicy, tasks: u64) -> ClassRun {
     let plan = ChaosPlan { seed: SEED, policy };
     let proxy = spawn_chaos_local(plan).expect("spawn chaos proxy + daemon");
@@ -79,10 +88,12 @@ fn run_class(name: &'static str, policy: ChaosPolicy, tasks: u64) -> ClassRun {
         .breaker_cooldown(Duration::from_millis(150))
         .task_deadline(Duration::from_millis(150))
         .resilience_seed(SEED)
+        .journal(ops_journal())
         .endpoint(Endpoint::plain(proxy.addr().to_string()))
         .endpoint(Endpoint::plain(clean.to_string()))
         .build()
         .expect("chaos + clean endpoints reachable");
+    ops_journal().note(0.0, name, "chaos class run starting");
     let ctl = pool.control();
 
     // FT-rule stand-in + recovery stopwatch: restore capacity whenever a
@@ -303,4 +314,16 @@ fn main() {
     );
     std::fs::write(path, &json).expect("write BENCH_chaos_recovery.json");
     println!("wrote {path}");
+
+    let journal = ops_journal();
+    let journal_path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../JOURNAL_chaos_recovery.jsonl"
+    );
+    std::fs::write(journal_path, journal.to_jsonl()).expect("write JOURNAL_chaos_recovery.jsonl");
+    println!(
+        "wrote {journal_path} ({} records, {} dropped)",
+        journal.len(),
+        journal.dropped()
+    );
 }

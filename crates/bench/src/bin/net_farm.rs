@@ -21,11 +21,12 @@
 
 use bskel_bench::procfs::{fd_count, thread_count};
 use bskel_bench::{quantile, table};
+use bskel_monitor::Journal;
 use bskel_net::{spawn_local, CostReport, Endpoint, RemotePoolBuilder};
 use bskel_skel::farm::{FarmBuilder, GatherPolicy};
 use bskel_skel::stream::StreamMsg;
 use crossbeam::channel::Receiver;
-use std::sync::mpsc;
+use std::sync::{mpsc, Arc, OnceLock};
 use std::time::Instant;
 
 const WORKERS: u32 = 4;
@@ -36,6 +37,13 @@ const SPIN_US: u64 = 20;
 const TASK_BYTES: f64 = 48.0;
 /// Drain-side footprint sampling stride (procfs reads are not free).
 const SAMPLE_EVERY: u64 = 512;
+
+/// Process-wide ops journal shared by both loopback runs; flushed to
+/// `JOURNAL_net_farm.jsonl` at the end of `main`.
+fn ops_journal() -> Arc<Journal> {
+    static JOURNAL: OnceLock<Arc<Journal>> = OnceLock::new();
+    Arc::clone(JOURNAL.get_or_init(Journal::shared))
+}
 
 fn enc(x: u64) -> Vec<u8> {
     x.to_le_bytes().to_vec()
@@ -147,9 +155,17 @@ fn run_remote(tasks: u64, secure: bool) -> (Run, CostReport) {
         .initial_workers(WORKERS)
         .max_workers(WORKERS)
         .gather(GatherPolicy::Ordered)
+        .journal(ops_journal())
         .endpoint(endpoint)
         .build()
         .expect("loopback daemon reachable");
+    // A fault-free run journals nothing on its own; mark the run so the
+    // flushed artifact shows the soak happened (and stayed clean).
+    ops_journal().note(
+        0.0,
+        if secure { "net1-sec" } else { "net1-plain" },
+        &format!("loopback run starting: {tasks} tasks"),
+    );
     let tx = pool.input();
     let (ts_tx, ts_rx) = mpsc::channel();
     let t0 = Instant::now();
@@ -267,4 +283,13 @@ fn main() {
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_net_farm.json");
     std::fs::write(path, &json).expect("write BENCH_net_farm.json");
     println!("wrote {path}");
+
+    let journal = ops_journal();
+    let journal_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../JOURNAL_net_farm.jsonl");
+    std::fs::write(journal_path, journal.to_jsonl()).expect("write JOURNAL_net_farm.jsonl");
+    println!(
+        "wrote {journal_path} ({} records, {} dropped)",
+        journal.len(),
+        journal.dropped()
+    );
 }

@@ -1,0 +1,201 @@
+//! OPS1 — end-to-end smoke of the ops plane on a loopback farm.
+//!
+//! Boots a local worker daemon, drives a short stream through a
+//! `RemoteWorkerPool` with the ops journal attached, and scrapes the
+//! pool's live beans over a real TCP `GET /metrics` round trip against
+//! the epoll-based [`MetricsServer`]. The scrape body is parsed back
+//! with the exposition parser and checked for a non-empty set of
+//! `bskel_` gauges, then written to `METRICS_ops_smoke.prom` at the
+//! workspace root alongside the flushed `JOURNAL_ops_smoke.jsonl` so CI
+//! can archive both artifacts.
+//!
+//! Exits nonzero on any failed check — this binary *is* the `ops` CI
+//! job's assertion.
+
+use bskel_core::abc::Abc;
+use bskel_monitor::{Journal, JournalEntry};
+use bskel_net::{
+    count_kinds, parse_exposition, spawn_local, Endpoint, MetricsHub, MetricsServer,
+    RemotePoolBuilder,
+};
+use bskel_skel::stream::StreamMsg;
+use bskel_skel::{FarmAbc, GatherPolicy};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+const TASKS: u64 = 400;
+const SPIN_US: u64 = 20;
+
+fn enc(x: u64) -> Vec<u8> {
+    x.to_le_bytes().to_vec()
+}
+
+fn dec(bytes: &[u8]) -> u64 {
+    let mut buf = [0u8; 8];
+    buf.copy_from_slice(&bytes[..8]);
+    u64::from_le_bytes(buf)
+}
+
+/// One blocking HTTP/1.0 GET against `addr`, returning (status, body).
+fn http_get(addr: std::net::SocketAddr, path: &str) -> (String, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect metrics server");
+    let req = format!("GET {path} HTTP/1.0\r\nHost: bskel\r\n\r\n");
+    stream.write_all(req.as_bytes()).expect("send request");
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read response");
+    let (head, body) = raw
+        .split_once("\r\n\r\n")
+        .expect("response has a header/body split");
+    let status = head.lines().next().unwrap_or_default().to_string();
+    (status, body.to_string())
+}
+
+fn main() {
+    let mut failures: Vec<String> = Vec::new();
+    let started = Instant::now();
+
+    // Loopback substrate: one daemon, one pool, journal attached.
+    let daemon_addr = spawn_local("127.0.0.1:0").expect("spawn loopback daemon");
+    let journal = Journal::shared();
+    let pool = RemotePoolBuilder::new(format!("spin:{SPIN_US}"), enc, dec)
+        .name("ops-smoke")
+        .initial_workers(2)
+        .max_workers(2)
+        .gather(GatherPolicy::Ordered)
+        .journal(Arc::clone(&journal))
+        .endpoint(Endpoint::plain(daemon_addr.to_string()))
+        .build()
+        .expect("build pool");
+    journal.note(0.0, "ops-smoke", "loopback farm up");
+
+    // Ops plane: the pool's beans + journal-derived event counters,
+    // served by the single-thread epoll listener.
+    let hub = MetricsHub::shared();
+    let abc = Mutex::new(FarmAbc::new(pool.control()));
+    let journal_for_counts = Arc::clone(&journal);
+    let journal_for_snaps = Arc::clone(&journal);
+    hub.register(
+        "ops-smoke",
+        "pool",
+        move || {
+            let now = started.elapsed().as_secs_f64();
+            let snap = abc.lock().unwrap().sense(now);
+            // Every scraped snapshot lands in the journal, same as the
+            // manager's control-loop inputs do in the real topology.
+            journal_for_snaps.snapshot(now, "ops-smoke", &snap);
+            snap
+        },
+        move || {
+            let kinds: Vec<String> = journal_for_counts
+                .entries()
+                .into_iter()
+                .map(|r| match r.entry {
+                    JournalEntry::Manager { kind, .. } | JournalEntry::Farm { kind, .. } => kind,
+                    JournalEntry::Snapshot { .. } => "snapshot".to_string(),
+                    JournalEntry::Note { .. } => "note".to_string(),
+                    JournalEntry::Actuation { .. } => "actuation".to_string(),
+                })
+                .collect();
+            count_kinds(kinds)
+        },
+    );
+    hub.attach_journal(Arc::clone(&journal));
+    let server = MetricsServer::start("127.0.0.1:0", Arc::clone(&hub)).expect("start server");
+    let scrape_addr = server.addr();
+
+    // Drive the stream while scraping mid-flight (the listener must not
+    // perturb the farm: it shares no locks with the data path).
+    let tx = pool.input();
+    let feeder = std::thread::spawn(move || {
+        for i in 0..TASKS {
+            tx.send(StreamMsg::item(i, i)).expect("feed task");
+        }
+        tx.send(StreamMsg::End).expect("feed end");
+    });
+    let rx = pool.output();
+    let mut received = 0u64;
+    let mut mid_scrape: Option<String> = None;
+    while let StreamMsg::Item { .. } = rx.recv().expect("pool output open") {
+        received += 1;
+        if received == TASKS / 2 {
+            mid_scrape = Some(http_get(scrape_addr, "/metrics").1);
+        }
+    }
+    feeder.join().expect("feeder join");
+    if received != TASKS {
+        failures.push(format!("received {received} of {TASKS} results"));
+    }
+
+    // Final scrape + parse-back conformance.
+    let (status, body) = http_get(scrape_addr, "/metrics");
+    if !status.contains("200") {
+        failures.push(format!("GET /metrics returned {status:?}"));
+    }
+    match parse_exposition(&body) {
+        Ok(expo) => {
+            let gauges: Vec<&str> = expo
+                .samples
+                .iter()
+                .map(|s| s.name.as_str())
+                .filter(|n| n.starts_with("bskel_") && expo.type_of(n) == Some("gauge"))
+                .collect();
+            if gauges.is_empty() {
+                failures.push("no bskel_ gauges in /metrics".to_string());
+            }
+            if expo.samples_of("bskel_journal_recorded_total").is_empty() {
+                failures.push("journal health counters missing".to_string());
+            }
+            println!(
+                "scraped {} samples ({} bskel_ gauges) from {}",
+                expo.samples.len(),
+                gauges.len(),
+                scrape_addr
+            );
+        }
+        Err(e) => failures.push(format!("exposition parse failed: {e}")),
+    }
+    if let Some(mid) = &mid_scrape {
+        if parse_exposition(mid).is_err() {
+            failures.push("mid-flight scrape failed to parse".to_string());
+        }
+    }
+
+    // The journal endpoint serves the same records the ring holds.
+    let (jstatus, jbody) = http_get(scrape_addr, "/journal");
+    if !jstatus.contains("200") || jbody.trim().is_empty() {
+        failures.push(format!(
+            "GET /journal returned {jstatus:?} (empty: {})",
+            jbody.is_empty()
+        ));
+    }
+
+    let report = pool.shutdown();
+    if !report.is_clean() {
+        failures.push(format!("pool shutdown not clean: {report:?}"));
+    }
+    drop(server);
+
+    if journal.is_empty() {
+        failures.push("journal recorded nothing".to_string());
+    }
+    let prom_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../METRICS_ops_smoke.prom");
+    std::fs::write(prom_path, &body).expect("write METRICS_ops_smoke.prom");
+    let journal_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../JOURNAL_ops_smoke.jsonl");
+    std::fs::write(journal_path, journal.to_jsonl()).expect("write JOURNAL_ops_smoke.jsonl");
+    println!(
+        "journal: {} recorded, {} dropped -> JOURNAL_ops_smoke.jsonl",
+        journal.recorded(),
+        journal.dropped()
+    );
+
+    if failures.is_empty() {
+        println!("ops smoke: OK");
+    } else {
+        for f in &failures {
+            eprintln!("ops smoke FAILURE: {f}");
+        }
+        std::process::exit(1);
+    }
+}

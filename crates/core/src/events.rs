@@ -8,7 +8,7 @@
 //! append-only record of such events; the experiment harness renders it as
 //! the same series the paper plots.
 
-use bskel_monitor::Time;
+use bskel_monitor::{Journal, Time};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::sync::{Arc, Mutex};
@@ -111,11 +111,25 @@ impl fmt::Display for EventRecord {
     }
 }
 
+/// Shared state behind an [`EventLog`] handle: the event vector plus an
+/// optional journal sink every event is mirrored into.
+#[derive(Debug, Default)]
+struct LogShared {
+    events: Mutex<Vec<EventRecord>>,
+    journal: Mutex<Option<Arc<Journal>>>,
+}
+
 /// A shared, append-only event log. Cloning yields a handle onto the same
 /// log, so every manager in a hierarchy writes into one merged trace.
+///
+/// A [`Journal`] can be attached with [`EventLog::attach_journal`]; from
+/// then on every pushed event is also recorded as a structured journal
+/// entry (the ops plane's durable, replayable trace). The attachment is
+/// shared log state, so attaching through any clone takes effect for all
+/// handles, including managers constructed earlier.
 #[derive(Debug, Clone, Default)]
 pub struct EventLog {
-    inner: Arc<Mutex<Vec<EventRecord>>>,
+    inner: Arc<LogShared>,
 }
 
 impl EventLog {
@@ -124,9 +138,31 @@ impl EventLog {
         Self::default()
     }
 
+    /// Mirrors all events (past none, future all) into `journal`.
+    pub fn attach_journal(&self, journal: Arc<Journal>) {
+        *self
+            .inner
+            .journal
+            .lock()
+            .expect("event log journal lock poisoned") = Some(journal);
+    }
+
+    /// The attached journal, if any.
+    pub fn journal(&self) -> Option<Arc<Journal>> {
+        self.inner
+            .journal
+            .lock()
+            .expect("event log journal lock poisoned")
+            .clone()
+    }
+
     /// Appends an event.
     pub fn push(&self, at: Time, manager: &str, kind: EventKind, detail: Option<String>) {
+        if let Some(journal) = self.journal() {
+            journal.manager_event(at, manager, kind.label(), detail.as_deref());
+        }
         self.inner
+            .events
             .lock()
             .expect("event log lock poisoned")
             .push(EventRecord {
@@ -139,7 +175,11 @@ impl EventLog {
 
     /// A snapshot of all events so far, in append order.
     pub fn snapshot(&self) -> Vec<EventRecord> {
-        self.inner.lock().expect("event log lock poisoned").clone()
+        self.inner
+            .events
+            .lock()
+            .expect("event log lock poisoned")
+            .clone()
     }
 
     /// Events emitted by one manager.
@@ -160,7 +200,11 @@ impl EventLog {
 
     /// Number of events logged.
     pub fn len(&self) -> usize {
-        self.inner.lock().expect("event log lock poisoned").len()
+        self.inner
+            .events
+            .lock()
+            .expect("event log lock poisoned")
+            .len()
     }
 
     /// True when no events have been logged.
@@ -170,7 +214,11 @@ impl EventLog {
 
     /// Clears the log (between experiment repetitions).
     pub fn clear(&self) {
-        self.inner.lock().expect("event log lock poisoned").clear();
+        self.inner
+            .events
+            .lock()
+            .expect("event log lock poisoned")
+            .clear();
     }
 
     /// Renders the log as the paper's event-line text, one event per line.
@@ -250,6 +298,27 @@ mod tests {
         log.push(0.0, "m", EventKind::EndStream, None);
         log.clear();
         assert!(log.is_empty());
+    }
+
+    #[test]
+    fn attached_journal_mirrors_events_across_clones() {
+        use bskel_monitor::{Journal, JournalEntry};
+        let log = EventLog::new();
+        let handle = log.clone(); // cloned BEFORE the journal is attached
+        let journal = Journal::shared();
+        log.attach_journal(Arc::clone(&journal));
+        handle.push(1.0, "AM_F", EventKind::AddWorker, Some("2".into()));
+        let entries = journal.entries();
+        assert_eq!(entries.len(), 1);
+        assert_eq!(
+            entries[0].entry,
+            JournalEntry::Manager {
+                at: 1.0,
+                manager: "AM_F".into(),
+                kind: "addWorker".into(),
+                detail: Some("2".into()),
+            }
+        );
     }
 
     #[test]

@@ -28,7 +28,7 @@
 //! (threads, simulator) drive managers by calling
 //! [`AutonomicManager::control_cycle`] at each control period.
 
-use crate::abc::{Abc, ActuationOutcome, ManagerOp};
+use crate::abc::{Abc, AbcError, ActuationOutcome, ManagerOp};
 use crate::concern::Concern;
 use crate::contract::Contract;
 use crate::events::{EventKind, EventLog};
@@ -650,6 +650,24 @@ impl AutonomicManager {
         }
     }
 
+    /// Orders one actuation through the ABC, journaling the plant's
+    /// response. Outcomes are control-loop *inputs* — a `NoOp` emits no
+    /// event line yet still shapes the decision trajectory — so the ops
+    /// journal must carry them for deterministic replay.
+    fn actuate(&mut self, op: &ManagerOp, now: Time) -> Result<ActuationOutcome, AbcError> {
+        let result = self.abc.actuate(op, now);
+        if let Some(journal) = self.log.journal() {
+            let outcome = match &result {
+                Ok(ActuationOutcome::Applied) => "applied".to_owned(),
+                Ok(ActuationOutcome::NoOp) => "noop".to_owned(),
+                Ok(ActuationOutcome::Refused { reason }) => format!("refused:{reason}"),
+                Err(e) => format!("error:{e}"),
+            };
+            journal.actuation(now, &self.cfg.name, &op.to_string(), &outcome);
+        }
+        result
+    }
+
     /// Runs one monitor–analyse–plan–execute cycle at time `now`.
     ///
     /// Returns the operation calls the rule engine produced (after their
@@ -661,6 +679,12 @@ impl AutonomicManager {
         }
 
         let snap = self.abc.sense(now);
+        // Ops plane: every sensed snapshot is journaled (when a journal
+        // is attached to the log), making the control loop's full input
+        // durable and the run replayable offline.
+        if let Some(journal) = self.log.journal() {
+            journal.snapshot(now, &self.cfg.name, &snap);
+        }
         let reconfiguring = snap.reconfiguring;
         // Failure sensing: a rise in the cumulative `workersLost` bean is
         // logged even during a blackout — the FT rules may be the only
@@ -695,7 +719,7 @@ impl AutonomicManager {
                     if target > snap.num_workers {
                         let add = target - snap.num_workers;
                         if let Ok(ActuationOutcome::Applied) =
-                            self.abc.actuate(&ManagerOp::AddWorkers(add), now)
+                            self.actuate(&ManagerOp::AddWorkers(add), now)
                         {
                             self.emit(
                                 now,
@@ -802,7 +826,7 @@ impl AutonomicManager {
                 }
                 op::ADD_EXECUTOR => {
                     let op_ = ManagerOp::AddWorkers(self.cfg.add_batch);
-                    match self.abc.actuate(&op_, now) {
+                    match self.actuate(&op_, now) {
                         Ok(ActuationOutcome::Applied) => {
                             acted = true;
                             self.emit(
@@ -824,7 +848,7 @@ impl AutonomicManager {
                 }
                 op::REMOVE_EXECUTOR => {
                     let op_ = ManagerOp::RemoveWorkers(self.cfg.remove_batch);
-                    if let Ok(ActuationOutcome::Applied) = self.abc.actuate(&op_, now) {
+                    if let Ok(ActuationOutcome::Applied) = self.actuate(&op_, now) {
                         acted = true;
                         self.emit(
                             now,
@@ -835,7 +859,7 @@ impl AutonomicManager {
                 }
                 op::BALANCE_LOAD => {
                     if let Ok(ActuationOutcome::Applied) =
-                        self.abc.actuate(&ManagerOp::BalanceLoad, now)
+                        self.actuate(&ManagerOp::BalanceLoad, now)
                     {
                         acted = true;
                         self.emit(now, EventKind::Rebalance, None);
@@ -857,7 +881,7 @@ impl AutonomicManager {
                     }
                     _ => {
                         let op_ = ManagerOp::ScaleRate(self.cfg.rate_inc_factor);
-                        if let Ok(ActuationOutcome::Applied) = self.abc.actuate(&op_, now) {
+                        if let Ok(ActuationOutcome::Applied) = self.actuate(&op_, now) {
                             acted = true;
                             self.emit(now, EventKind::IncRate, None);
                         }
@@ -879,7 +903,7 @@ impl AutonomicManager {
                     }
                     _ => {
                         let op_ = ManagerOp::ScaleRate(self.cfg.rate_dec_factor);
-                        if let Ok(ActuationOutcome::Applied) = self.abc.actuate(&op_, now) {
+                        if let Ok(ActuationOutcome::Applied) = self.actuate(&op_, now) {
                             acted = true;
                             self.emit(now, EventKind::DecRate, None);
                         }
@@ -889,7 +913,7 @@ impl AutonomicManager {
                     // Unknown symbolic operations pass through as custom
                     // actuations (substrate extensions).
                     let op_ = ManagerOp::Custom(other.to_owned());
-                    if let Ok(ActuationOutcome::Applied) = self.abc.actuate(&op_, now) {
+                    if let Ok(ActuationOutcome::Applied) = self.actuate(&op_, now) {
                         acted = true;
                         self.emit(now, EventKind::Other(other.to_owned()), None);
                     }

@@ -21,7 +21,10 @@
 //!   backing the `queueVariance` bean used by the `CheckLoadBalance` rule;
 //! * the [`snapshot::SensorSnapshot`] record: the typed set of beans an
 //!   Autonomic Behaviour Controller (ABC) hands to the rule engine at each
-//!   control-loop iteration.
+//!   control-loop iteration;
+//! * the ops plane's passive half: a ring-buffered structured event
+//!   [`journal`] (JSONL flush + parse, feeding deterministic replay) and
+//!   Prometheus text-[`expo`]sition rendering of beans and event counters.
 //!
 //! Nothing in this crate knows about managers, contracts or skeletons: it is
 //! a leaf substrate reused by both execution back-ends.
@@ -32,6 +35,8 @@
 pub mod atomic_rate;
 pub mod clock;
 pub mod counter;
+pub mod expo;
+pub mod journal;
 pub mod rate;
 pub mod snapshot;
 pub mod stats;
@@ -39,6 +44,8 @@ pub mod stats;
 pub use atomic_rate::AtomicRateEstimator;
 pub use clock::{Clock, ManualClock, RealClock, Time};
 pub use counter::{Counter, Gauge};
+pub use expo::ScrapeSeries;
+pub use journal::{Journal, JournalEntry, JournalRecord};
 pub use rate::{Ewma, RateEstimator};
 pub use snapshot::{beans, SensorSnapshot};
 pub use stats::{queue_variance, LocalStats, Welford, WelfordCell, WindowStats};

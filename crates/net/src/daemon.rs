@@ -332,10 +332,14 @@ fn handle_conn(stream: TcpStream) -> std::io::Result<()> {
             .name("bskel-workerd-pulse".into())
             .spawn(move || {
                 while !stop.load(Ordering::SeqCst) {
-                    if busy.load(Ordering::SeqCst) {
-                        // A failed pulse means the connection is going
-                        // away; the serve thread finds out on its own.
-                        let _ = writer.lock().send(FrameType::Heartbeat, 0, &[]);
+                    if busy.load(Ordering::SeqCst)
+                        && writer.lock().send(FrameType::Heartbeat, 0, &[]).is_err()
+                    {
+                        // The connection is going away; the serve thread
+                        // finds out on its own. Stop pulsing the dead
+                        // socket instead of spinning until the workload
+                        // finishes.
+                        break;
                     }
                     std::thread::sleep(BUSY_PULSE_PERIOD);
                 }

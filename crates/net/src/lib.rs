@@ -31,6 +31,9 @@
 //! * [`chaos`] — seeded, deterministic fault injection (a frame-level
 //!   proxy for drop/delay/dup/corrupt/refuse/disconnect/stall) that the
 //!   soak tests drive the pool's resilience policies with;
+//! * [`metrics`] — the ops plane's exposition endpoint: a single-thread
+//!   epoll-hosted HTTP listener serving Prometheus text format
+//!   (`GET /metrics`) and the ops journal (`GET /journal`);
 //! * [`sys`] — dependency-free Linux readiness polling (`epoll` +
 //!   `eventfd` via raw syscalls, no libc);
 //! * [`reactor`] — the event loop's allocation/syscall-economy pieces:
@@ -40,6 +43,7 @@
 
 pub mod chaos;
 pub mod daemon;
+pub mod metrics;
 pub mod pool;
 pub mod proto;
 pub mod reactor;
@@ -52,6 +56,7 @@ pub use chaos::{
     ChaosRng, Direction, FaultKind, FrameFate, InjectedFault,
 };
 pub use daemon::{serve, spawn_local, Workload};
+pub use metrics::{count_kinds, parse_exposition, Exposition, MetricsHub, MetricsServer, Sample};
 pub use pool::{
     DecodeFn, EncodeFn, Endpoint, RemotePoolBuilder, RemoteWorkerPool, ResilienceConfig,
 };

@@ -79,7 +79,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use bskel_monitor::{
-    queue_variance, AtomicRateEstimator, Clock, RealClock, SensorSnapshot, Time, Welford,
+    queue_variance, AtomicRateEstimator, Clock, Journal, RealClock, SensorSnapshot, Time, Welford,
 };
 use bskel_skel::farm::{FarmControl, FarmEvent, FarmEventKind, ShutdownReport};
 use bskel_skel::queue::{Task, TryPop, WorkerQueue};
@@ -501,6 +501,14 @@ struct PoolShared<Out> {
     panics: Mutex<Vec<String>>,
     events: Mutex<Vec<FarmEvent>>,
     disconnects: Mutex<Vec<String>>,
+    /// Task seqs whose `Lost` notification could not be delivered (the
+    /// collector had already exited); surfaced in the shutdown report so
+    /// loss freedom is auditable instead of assumed.
+    lost_undelivered: Mutex<Vec<u64>>,
+    /// Set when the reactor's poller failed irrecoverably: stranded
+    /// tasks are reported lost (instead of parked forever) so the
+    /// collector's convergence accounting still closes.
+    poisoned: AtomicBool,
     terminating: AtomicBool,
     next_slot_id: AtomicU64,
     next_endpoint: AtomicUsize,
@@ -514,6 +522,10 @@ struct PoolShared<Out> {
     decode: DecodeFn<Out>,
     endpoints: Vec<EndpointState>,
     workload: String,
+    /// Pool name (journal source label, thread names, diagnostics).
+    name: String,
+    /// Optional ops journal fault events and loss accounting mirror into.
+    journal: Option<Arc<Journal>>,
     meter: Arc<CostMeter>,
     max_workers: u32,
     rate_window: f64,
@@ -533,6 +545,50 @@ impl<Out: Send + 'static> PoolShared<Out> {
     /// Kicks the reactor out of its poll.
     fn wake(&self) {
         self.waker.wake();
+    }
+
+    /// Mirrors a substrate fault event into the ops journal, if attached.
+    fn journal_event(&self, event: &FarmEvent) {
+        if let Some(j) = &self.journal {
+            j.farm_event(event.at, &self.name, event.kind.label(), &event.detail);
+        }
+    }
+
+    /// Records an operational note in the ops journal, if attached.
+    fn journal_note(&self, at: Time, text: &str) {
+        if let Some(j) = &self.journal {
+            j.note(at, &self.name, text);
+        }
+    }
+
+    /// Reports a task as lost downstream. When the collector side has
+    /// already exited the notification cannot be delivered; the seq is
+    /// then recorded in the shutdown accounting (and journaled) instead
+    /// of being silently discarded.
+    fn report_lost(&self, seq: u64) {
+        if self.results_tx.send(PoolMsg::Lost(seq)).is_err() {
+            self.lost_undelivered.lock().push(seq);
+            self.journal_note(
+                self.metrics.now(),
+                &format!("lost notification for task {seq} undeliverable: collector exited"),
+            );
+        }
+    }
+
+    /// Parks tasks awaiting future capacity — unless the pool is
+    /// poisoned, in which case capacity will never return and each task
+    /// is reported lost so the output stream still terminates. The
+    /// parked lock orders parking against the poison drain.
+    fn park_tasks(&self, tasks: &mut Vec<Task<Vec<u8>>>) {
+        let mut parked = self.parked.lock();
+        if self.poisoned.load(Ordering::SeqCst) {
+            drop(parked);
+            for t in tasks.drain(..) {
+                self.report_lost(t.seq);
+            }
+        } else {
+            parked.append(tasks);
+        }
     }
 
     // -- connection establishment -------------------------------------
@@ -673,18 +729,20 @@ impl<Out: Send + 'static> PoolShared<Out> {
                     slot.inflight_count.fetch_sub(1, Ordering::SeqCst);
                 }
                 if self.resolve_answer(slot, seq, claimed) {
-                    let _ = self.results_tx.send(PoolMsg::Lost(seq));
+                    self.report_lost(seq);
                     let now = self.metrics.now();
                     self.metrics.departures.record_n(now, 1);
                     let msg = format!(
                         "remote worker panicked on task {} (slot {}, {})",
                         seq, slot.id, slot.endpoint.addr
                     );
-                    self.events.lock().push(FarmEvent {
+                    let event = FarmEvent {
                         at: now,
                         kind: FarmEventKind::WorkerPanic,
                         detail: msg.clone(),
-                    });
+                    };
+                    self.journal_event(&event);
+                    self.events.lock().push(event);
                     self.panics.lock().push(msg);
                 }
             }
@@ -887,14 +945,16 @@ impl<Out: Send + 'static> PoolShared<Out> {
         // circuit, not just fail the occasional connect.
         self.record_endpoint_failure(&slot.endpoint);
         self.metrics.workers_lost.fetch_add(1, Ordering::SeqCst);
-        self.events.lock().push(FarmEvent {
+        let event = FarmEvent {
             at: now,
             kind: FarmEventKind::WorkerLost,
             detail: format!(
                 "remote slot {} ({}) lost: {reason}; {replayed} tasks replayed",
                 slot.id, slot.endpoint.addr
             ),
-        });
+        };
+        self.journal_event(&event);
+        self.events.lock().push(event);
         self.recover_tasks(&slots, leftover);
         drop(slots);
     }
@@ -908,7 +968,8 @@ impl<Out: Send + 'static> PoolShared<Out> {
         }
         if survivors.is_empty() {
             if !self.terminating.load(Ordering::SeqCst) {
-                self.parked.lock().extend(tasks);
+                let mut tasks = tasks;
+                self.park_tasks(&mut tasks);
             }
             return;
         }
@@ -1228,7 +1289,7 @@ impl<Out: Send + 'static> PoolShared<Out> {
                     items.clear();
                     return;
                 }
-                self.parked.lock().append(items);
+                self.park_tasks(items);
                 if self.table.generation() == generation {
                     return;
                 }
@@ -1565,10 +1626,45 @@ impl<Out: Send + 'static> Reactor<Out> {
                 .map(|d| d.saturating_duration_since(Instant::now()));
             self.events.clear();
             let mut events = std::mem::take(&mut self.events);
-            let _ = self.poller.wait(&mut events, timeout);
+            if let Err(e) = self.poller.wait(&mut events, timeout) {
+                // `Poller::wait` retries EINTR internally, so any error
+                // surfacing here means the poller itself is broken and
+                // no readiness will ever be observed again. Escalate to
+                // a pool shutdown instead of busy-spinning on the error.
+                self.poison(&e);
+            }
             self.handle_events(&events);
             self.events = events;
         }
+    }
+
+    /// Poller-failure escalation: fail every connection (recovering
+    /// in-flight work), mark the pool poisoned so stranded tasks are
+    /// reported lost rather than parked forever (the collector's
+    /// convergence accounting stays closed and the output stream still
+    /// terminates), journal the escalation, and shut the reactor down.
+    fn poison(&mut self, err: &std::io::Error) {
+        let now = self.shared.metrics.now();
+        let msg = format!("reactor: epoll_wait failed: {err}; escalating to pool shutdown");
+        self.shared.journal_note(now, &msg);
+        self.shared.panics.lock().push(msg);
+        let tokens: Vec<u64> = self.conns.keys().copied().collect();
+        for token in tokens {
+            self.finish_conn(token, "reactor poller failed".into());
+        }
+        // Take the parked backlog under the lock that `park_tasks`
+        // serialises on, flipping the poisoned flag inside the critical
+        // section: any concurrent parking either lands before the drain
+        // (caught here) or observes the flag and reports loss itself.
+        let stranded: Vec<Task<Vec<u8>>> = {
+            let mut parked = self.shared.parked.lock();
+            self.shared.poisoned.store(true, Ordering::SeqCst);
+            std::mem::take(&mut *parked)
+        };
+        for t in stranded {
+            self.shared.report_lost(t.seq);
+        }
+        self.stopping = true;
     }
 
     fn drain_cmds(&mut self) {
@@ -1860,6 +1956,7 @@ pub struct RemotePoolBuilder<In, Out> {
     failure_timeout: Duration,
     handshake_timeout: Duration,
     resilience: ResilienceConfig,
+    journal: Option<Arc<Journal>>,
 }
 
 impl<In: Send + 'static, Out: Send + 'static> RemotePoolBuilder<In, Out> {
@@ -1885,6 +1982,7 @@ impl<In: Send + 'static, Out: Send + 'static> RemotePoolBuilder<In, Out> {
             failure_timeout: Duration::from_millis(500),
             handshake_timeout: Duration::from_secs(5),
             resilience: ResilienceConfig::default(),
+            journal: None,
         }
     }
 
@@ -1898,6 +1996,13 @@ impl<In: Send + 'static, Out: Send + 'static> RemotePoolBuilder<In, Out> {
     /// Pool name (thread names, diagnostics).
     pub fn name(mut self, name: impl Into<String>) -> Self {
         self.name = name.into();
+        self
+    }
+
+    /// Attaches an ops journal: slot losses, remote panics, undeliverable
+    /// loss notifications and reactor escalations are recorded into it.
+    pub fn journal(mut self, journal: Arc<Journal>) -> Self {
+        self.journal = Some(journal);
         self
     }
 
@@ -2063,6 +2168,8 @@ impl<In: Send + 'static, Out: Send + 'static> RemotePoolBuilder<In, Out> {
             panics: Mutex::new(Vec::new()),
             events: Mutex::new(Vec::new()),
             disconnects: Mutex::new(Vec::new()),
+            lost_undelivered: Mutex::new(Vec::new()),
+            poisoned: AtomicBool::new(false),
             terminating: AtomicBool::new(false),
             next_slot_id: AtomicU64::new(0),
             next_endpoint: AtomicUsize::new(0),
@@ -2074,6 +2181,8 @@ impl<In: Send + 'static, Out: Send + 'static> RemotePoolBuilder<In, Out> {
             decode: Arc::clone(&self.decode),
             endpoints: endpoint_states,
             workload: self.workload.clone(),
+            name: self.name.clone(),
+            journal: self.journal.clone(),
             meter: Arc::new(CostMeter::new()),
             max_workers: self.max_workers,
             rate_window: self.rate_window,
@@ -2357,6 +2466,11 @@ impl<In: Send + 'static, Out: Send + 'static> RemoteWorkerPool<In, Out> {
             workers_lost: self.shared.metrics.workers_lost.load(Ordering::SeqCst),
             events: std::mem::take(&mut *self.shared.events.lock()),
             disconnects: std::mem::take(&mut *self.shared.disconnects.lock()),
+            lost_undelivered: {
+                let mut lost = std::mem::take(&mut *self.shared.lost_undelivered.lock());
+                lost.sort_unstable();
+                lost
+            },
         }
     }
 }

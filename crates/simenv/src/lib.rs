@@ -48,8 +48,9 @@ pub use des::EventQueue;
 pub use net::SslCostModel;
 pub use node::{Node, NodeId, NodeRegistry};
 pub use replay::{
-    replay_counterexample, snapshot_from_beans, ReplayMismatch, ReplayProgram, ReplayReport,
-    ScriptedAbc,
+    replay_counterexample, replay_journal, snapshot_from_beans, JournalReplayMismatch,
+    JournalReplayProgram, JournalReplayReport, ReplayMismatch, ReplayProgram, ReplayReport,
+    ReplayedEvent, ScriptedAbc,
 };
 pub use resources::ResourceManager;
 pub use scenario::{FarmOutcome, FarmScenario, PipelineOutcome, PipelineScenario, SecurityPolicy};

@@ -20,6 +20,7 @@
 
 use crate::des::EventQueue;
 use bskel_core::abc::{Abc, AbcError, ActuationOutcome, ManagerOp};
+use bskel_core::contract::Contract;
 use bskel_core::events::EventLog;
 use bskel_core::manager::{
     AutonomicManager, ManagerConfig, ManagerKind, RuleCheck, ViolationKind, ViolationReport,
@@ -35,14 +36,18 @@ use std::sync::{Arc, Mutex};
 /// An ABC that replays a fixed script of sensor snapshots.
 ///
 /// Every [`Abc::sense`] pops the next snapshot (sticking on the last one
-/// once the script runs out), and every actuation is recorded and
-/// reported as applied — the plant is played back, not simulated, so the
-/// manager's *decisions* are isolated from its *effects*.
+/// once the script runs out), and every actuation is recorded — the
+/// plant is played back, not simulated, so the manager's *decisions*
+/// are isolated from its *effects*. By default actuations report
+/// applied; [`ScriptedAbc::with_outcomes`] scripts the plant's actual
+/// responses instead (journal replay feeds the recorded ones back, so a
+/// live `NoOp`/`Refused` reproduces exactly).
 pub struct ScriptedAbc {
     script: VecDeque<SensorSnapshot>,
     last: SensorSnapshot,
     schema: BeanSchema,
     actuations: Arc<Mutex<Vec<(Time, ManagerOp)>>>,
+    outcomes: VecDeque<Result<ActuationOutcome, AbcError>>,
 }
 
 impl ScriptedAbc {
@@ -53,7 +58,15 @@ impl ScriptedAbc {
             last: SensorSnapshot::empty(0.0),
             schema: crate::abc_impl::sim_bean_schema(),
             actuations: Arc::new(Mutex::new(Vec::new())),
+            outcomes: VecDeque::new(),
         }
+    }
+
+    /// Scripts the plant's actuation responses, consumed in order; once
+    /// exhausted (or when never set) actuations report applied.
+    pub fn with_outcomes(mut self, outcomes: Vec<Result<ActuationOutcome, AbcError>>) -> Self {
+        self.outcomes = outcomes.into();
+        self
     }
 
     /// Shared handle to the recorded actuations (usable after the ABC has
@@ -83,7 +96,9 @@ impl Abc for ScriptedAbc {
             .lock()
             .expect("actuation log lock")
             .push((now, op.clone()));
-        Ok(ActuationOutcome::Applied)
+        self.outcomes
+            .pop_front()
+            .unwrap_or(Ok(ActuationOutcome::Applied))
     }
 }
 
@@ -296,6 +311,223 @@ pub fn replay_counterexample(
     }
 }
 
+// -- journal replay ---------------------------------------------------
+//
+// The counterexample path above replays what a *checker* predicted; the
+// journal path replays what a *production run* actually did. An ops
+// journal (bskel_monitor::journal) recorded from a live system carries,
+// per control cycle, the exact snapshot the manager sensed and the
+// events it emitted. Feeding the snapshots back through a ScriptedAbc
+// into a freshly built production manager must reproduce the recorded
+// event sequence bit-for-bit — the manager's analyse/plan/execute path
+// is a pure function of (config, rules, contract, snapshot stream).
+// Replay determinism therefore does NOT require the recording run to
+// have been deterministic: a wall-clock threaded chaos soak records
+// nondeterministic *inputs*, and the replay check asserts the recorded
+// *decisions* follow from them.
+
+/// One manager participating in a journal replay: the exact
+/// configuration and rule program the recording run used, plus the
+/// contract it had adopted (if any).
+pub struct JournalReplayProgram {
+    /// The recording manager's configuration (`cfg.name` selects which
+    /// journal entries belong to this manager). `rule_check` is forced
+    /// off during replay — lint diagnostics are not plant events.
+    pub cfg: ManagerConfig,
+    /// The rule program the recording manager ran.
+    pub rules: RuleSet,
+    /// The contract posted to the recording manager, if any.
+    pub contract: Option<Contract>,
+}
+
+/// One event in replay-comparison form.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplayedEvent {
+    /// Event time.
+    pub at: Time,
+    /// Event-line label.
+    pub kind: String,
+    /// Optional detail.
+    pub detail: Option<String>,
+}
+
+/// A position where the replayed event stream diverged from the
+/// recorded one (`None` = one side ran out of events).
+#[derive(Debug, Clone, PartialEq)]
+pub struct JournalReplayMismatch {
+    /// Which manager diverged.
+    pub manager: String,
+    /// Index into that manager's event sequence.
+    pub index: usize,
+    /// The recorded event.
+    pub expected: Option<ReplayedEvent>,
+    /// The replayed event.
+    pub got: Option<ReplayedEvent>,
+}
+
+/// Outcome of a journal replay.
+#[derive(Debug, Clone)]
+pub struct JournalReplayReport {
+    /// Snapshots fed back through the managers.
+    pub snapshots: usize,
+    /// Recorded events compared against.
+    pub events: usize,
+    /// Divergences (empty = the journal replays identically).
+    pub mismatches: Vec<JournalReplayMismatch>,
+}
+
+impl JournalReplayReport {
+    /// Whether the replay reproduced the recorded event sequence
+    /// event-for-event.
+    pub fn identical(&self) -> bool {
+        self.mismatches.is_empty()
+    }
+}
+
+/// Rule-hygiene diagnostics (`rulelint:*`, `rulemc*`) are emitted at
+/// construction/adoption time, not by the control loop acting on the
+/// plant, so they are excluded from replay comparison on both sides
+/// (the replay manager runs with linting off).
+fn replayable_kind(kind: &str) -> bool {
+    !(kind.starts_with("rulelint") || kind.starts_with("rulemc"))
+}
+
+/// Decodes a journaled actuation outcome (`applied`, `noop`,
+/// `refused:<reason>`, `error:<message>`) back into the plant response
+/// the recording manager observed. Unknown tags (a newer recorder)
+/// degrade to applied rather than failing the whole replay.
+fn parse_outcome(s: &str) -> Result<ActuationOutcome, AbcError> {
+    if let Some(reason) = s.strip_prefix("refused:") {
+        Ok(ActuationOutcome::Refused {
+            reason: reason.to_owned(),
+        })
+    } else if let Some(msg) = s.strip_prefix("error:") {
+        Err(AbcError(msg.to_owned()))
+    } else if s == "noop" {
+        Ok(ActuationOutcome::NoOp)
+    } else {
+        Ok(ActuationOutcome::Applied)
+    }
+}
+
+/// Replays a recorded ops journal through freshly built production
+/// managers and compares the emitted events against the recorded ones.
+///
+/// For each program, the journal's `Snapshot` entries with that
+/// manager's name become the sensor script (replayed at their recorded
+/// times, interleaved across managers in global time order), its
+/// `Actuation` entries script the plant's responses, and its `Manager`
+/// entries are the expected output. Farm/substrate entries and notes
+/// are context, not compared.
+pub fn replay_journal(
+    records: &[bskel_monitor::JournalRecord],
+    programs: Vec<JournalReplayProgram>,
+) -> JournalReplayReport {
+    use bskel_monitor::JournalEntry;
+    assert!(!programs.is_empty(), "replay needs at least one program");
+    let log = EventLog::new();
+    let mut managers: Vec<AutonomicManager> = Vec::new();
+    let mut scripts: Vec<Vec<(Time, SensorSnapshot)>> = Vec::new();
+    let mut expected: Vec<Vec<ReplayedEvent>> = Vec::new();
+    for p in programs.iter() {
+        let name = p.cfg.name.clone();
+        let script: Vec<(Time, SensorSnapshot)> = records
+            .iter()
+            .filter_map(|r| match &r.entry {
+                JournalEntry::Snapshot { at, source, beans } if *source == name => {
+                    let map: BTreeMap<String, f64> = beans.iter().cloned().collect();
+                    Some((*at, snapshot_from_beans(*at, &map)))
+                }
+                _ => None,
+            })
+            .collect();
+        expected.push(
+            records
+                .iter()
+                .filter_map(|r| match &r.entry {
+                    JournalEntry::Manager {
+                        at,
+                        manager,
+                        kind,
+                        detail,
+                    } if *manager == name && replayable_kind(kind) => Some(ReplayedEvent {
+                        at: *at,
+                        kind: kind.clone(),
+                        detail: detail.clone(),
+                    }),
+                    _ => None,
+                })
+                .collect(),
+        );
+        let outcomes: Vec<Result<ActuationOutcome, AbcError>> = records
+            .iter()
+            .filter_map(|r| match &r.entry {
+                JournalEntry::Actuation {
+                    manager, outcome, ..
+                } if *manager == name => Some(parse_outcome(outcome)),
+                _ => None,
+            })
+            .collect();
+        let mut cfg = p.cfg.clone();
+        cfg.rule_check = RuleCheck::Off;
+        let abc = ScriptedAbc::new(script.iter().map(|(_, s)| s.clone()).collect())
+            .with_outcomes(outcomes);
+        let m = AutonomicManager::new(cfg, Box::new(abc), log.clone()).with_rules(p.rules.clone());
+        if let Some(c) = &p.contract {
+            m.contract_slot().post(c.clone());
+        }
+        managers.push(m);
+        scripts.push(script);
+    }
+
+    // One global schedule: each manager cycles at exactly its recorded
+    // snapshot times, interleaved across managers as they were live.
+    let mut queue: EventQueue<usize> = EventQueue::new();
+    let mut snapshots = 0usize;
+    for (mi, script) in scripts.iter().enumerate() {
+        for (at, _) in script {
+            queue.schedule(*at, mi);
+            snapshots += 1;
+        }
+    }
+    while let Some((t, mi)) = queue.pop() {
+        managers[mi].control_cycle(t);
+    }
+
+    let mut mismatches = Vec::new();
+    let mut events = 0usize;
+    for (p, want) in programs.iter().zip(&expected) {
+        let name = &p.cfg.name;
+        events += want.len();
+        let got: Vec<ReplayedEvent> = log
+            .by_manager(name)
+            .into_iter()
+            .filter(|e| replayable_kind(e.kind.label()))
+            .map(|e| ReplayedEvent {
+                at: e.at,
+                kind: e.kind.label().to_owned(),
+                detail: e.detail,
+            })
+            .collect();
+        for i in 0..want.len().max(got.len()) {
+            if want.get(i) != got.get(i) {
+                mismatches.push(JournalReplayMismatch {
+                    manager: name.clone(),
+                    index: i,
+                    expected: want.get(i).cloned(),
+                    got: got.get(i).cloned(),
+                });
+            }
+        }
+    }
+
+    JournalReplayReport {
+        snapshots,
+        events,
+        mismatches,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -384,6 +616,53 @@ mod tests {
         );
         assert!(replay.faithful(), "{:?}", replay.mismatches);
         assert!(replay.violation_reproduced());
+    }
+
+    #[test]
+    fn recorded_journal_replays_identically() {
+        use bskel_monitor::Journal;
+        // Record: a production farm manager driven by a scripted plant,
+        // with a journal attached — snapshots and events both land in it.
+        let journal = Journal::shared();
+        let mut script = Vec::new();
+        for i in 0..6 {
+            let mut s = SensorSnapshot::empty(0.0);
+            s.arrival_rate = 1.0;
+            s.departure_rate = 0.2; // persistently below the floor
+            s.service_time = 0.5;
+            s.num_workers = 2 + i / 2;
+            script.push(s);
+        }
+        let mut cfg = ManagerConfig::farm("AM_R");
+        cfg.rule_check = RuleCheck::Off;
+        let log = EventLog::new();
+        log.attach_journal(std::sync::Arc::clone(&journal));
+        let mut m = AutonomicManager::new(cfg.clone(), Box::new(ScriptedAbc::new(script)), log)
+            .with_rules(bskel_rules::stdlib::farm_rules());
+        m.contract_slot().post(Contract::throughput_range(0.4, 0.8));
+        for i in 0..6 {
+            m.control_cycle(i as f64 * 0.5);
+        }
+        let records = journal.entries();
+        assert!(records
+            .iter()
+            .any(|r| matches!(r.entry, bskel_monitor::JournalEntry::Snapshot { .. })));
+
+        // Replay through a fresh manager and through the JSONL round trip.
+        let text = journal.to_jsonl();
+        let parsed = bskel_monitor::journal::parse_jsonl(&text).unwrap();
+        assert_eq!(parsed, records);
+        let report = replay_journal(
+            &parsed,
+            vec![JournalReplayProgram {
+                cfg,
+                rules: bskel_rules::stdlib::farm_rules(),
+                contract: Some(Contract::throughput_range(0.4, 0.8)),
+            }],
+        );
+        assert_eq!(report.snapshots, 6);
+        assert!(report.events > 0, "recording must have produced events");
+        assert!(report.identical(), "{:#?}", report.mismatches);
     }
 
     #[test]

@@ -36,8 +36,8 @@ use crate::queue::{Task, WorkerQueue};
 use crate::rcu::{Published, ReadHandle};
 use crate::stream::{ReorderBuffer, StreamMsg};
 use bskel_monitor::{
-    queue_variance, AtomicRateEstimator, Clock, LocalStats, RealClock, SensorSnapshot, Time,
-    Welford, WelfordCell,
+    queue_variance, AtomicRateEstimator, Clock, Journal, LocalStats, RealClock, SensorSnapshot,
+    Time, Welford, WelfordCell,
 };
 use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
 use parking_lot::Mutex;
@@ -134,13 +134,21 @@ pub struct ShutdownReport {
     /// join-error capture: a failed goodbye/socket close is surfaced here
     /// instead of being silently dropped.
     pub disconnects: Vec<String>,
+    /// Task sequence numbers whose loss notification could not be
+    /// delivered downstream (the collector had already exited). Loss
+    /// freedom is auditable — every task is accounted for either in the
+    /// output stream, as a delivered hole, or here — instead of assumed.
+    pub lost_undelivered: Vec<u64>,
 }
 
 impl ShutdownReport {
-    /// True when no worker ever panicked or was lost and every connection
-    /// closed cleanly.
+    /// True when no worker ever panicked or was lost, every connection
+    /// closed cleanly, and every loss notification was delivered.
     pub fn is_clean(&self) -> bool {
-        self.worker_panics.is_empty() && self.workers_lost == 0 && self.disconnects.is_empty()
+        self.worker_panics.is_empty()
+            && self.workers_lost == 0
+            && self.disconnects.is_empty()
+            && self.lost_undelivered.is_empty()
     }
 }
 
@@ -246,6 +254,8 @@ struct Shared<In, Out> {
     panics: Mutex<Vec<String>>,
     /// Fault events ([`FarmEventKind::WorkerPanic`]/`WorkerLost`).
     events: Mutex<Vec<FarmEvent>>,
+    /// Optional ops journal every fault event is mirrored into.
+    journal: Option<Arc<Journal>>,
     /// Set at teardown: dispatch stops parking undeliverable tasks.
     terminating: AtomicBool,
     /// Monotonic source for [`WorkerHandle::id`].
@@ -259,6 +269,15 @@ struct Shared<In, Out> {
 }
 
 impl<In: Send + 'static, Out: Send + 'static> Shared<In, Out> {
+    /// Appends a fault event, mirroring it into the ops journal when one
+    /// is attached.
+    fn record_event(&self, event: FarmEvent) {
+        if let Some(j) = &self.journal {
+            j.farm_event(event.at, &self.name, event.kind.label(), &event.detail);
+        }
+        self.events.lock().push(event);
+    }
+
     fn spawn_worker(&self) -> WorkerHandle<In> {
         let id = self.next_worker_id.fetch_add(1, Ordering::Relaxed);
         let queue = Arc::new(WorkerQueue::new());
@@ -365,7 +384,7 @@ impl<In: Send + 'static, Out: Send + 'static> Shared<In, Out> {
             self.retired_stats.lock().push(victim.slot.service);
             self.dead.lock().push(victim.thread);
             self.metrics.workers_lost.fetch_add(1, Ordering::SeqCst);
-            self.events.lock().push(FarmEvent {
+            self.record_event(FarmEvent {
                 at: now,
                 kind: FarmEventKind::WorkerLost,
                 detail: panic_msg
@@ -376,7 +395,7 @@ impl<In: Send + 'static, Out: Send + 'static> Shared<In, Out> {
         self.recover_tasks(&workers, leftover);
         drop(workers);
         if let Some(msg) = panic_msg {
-            self.events.lock().push(FarmEvent {
+            self.record_event(FarmEvent {
                 at: now,
                 kind: FarmEventKind::WorkerPanic,
                 detail: msg.clone(),
@@ -428,7 +447,7 @@ impl<In: Send + 'static, Out: Send + 'static> Shared<In, Out> {
             self.retired_stats.lock().push(victim.slot.service);
             self.dead.lock().push(victim.thread);
             self.metrics.workers_lost.fetch_add(1, Ordering::SeqCst);
-            self.events.lock().push(FarmEvent {
+            self.record_event(FarmEvent {
                 at: now,
                 kind: FarmEventKind::WorkerLost,
                 detail: "worker killed (fault injection)".to_owned(),
@@ -727,6 +746,7 @@ pub struct FarmBuilder<In, Out> {
     max_workers: u32,
     reconfig_delay: f64,
     rate_window: f64,
+    journal: Option<Arc<Journal>>,
 }
 
 impl<In: Send + 'static, Out: Send + 'static> FarmBuilder<In, Out> {
@@ -746,6 +766,7 @@ impl<In: Send + 'static, Out: Send + 'static> FarmBuilder<In, Out> {
             max_workers: 1024,
             reconfig_delay: 0.0,
             rate_window: 2.0,
+            journal: None,
         }
     }
 
@@ -809,6 +830,13 @@ impl<In: Send + 'static, Out: Send + 'static> FarmBuilder<In, Out> {
         self
     }
 
+    /// Attaches an ops journal: every substrate fault event is recorded
+    /// into it as well as into the in-process event list.
+    pub fn journal(mut self, journal: Arc<Journal>) -> Self {
+        self.journal = Some(journal);
+        self
+    }
+
     /// Builds and starts the farm.
     pub fn build(self) -> Farm<In, Out> {
         let (input_tx, input_rx) = unbounded::<StreamMsg<In>>();
@@ -844,6 +872,7 @@ impl<In: Send + 'static, Out: Send + 'static> FarmBuilder<In, Out> {
             max_workers: self.max_workers,
             reconfig_delay: self.reconfig_delay,
             rate_window: self.rate_window,
+            journal: self.journal.clone(),
         });
 
         {
@@ -1023,7 +1052,7 @@ impl<In: Send + 'static, Out: Send + 'static> Farm<In, Out> {
     fn record_join(&self, who: &str, res: std::thread::Result<()>) {
         if let Err(payload) = res {
             let msg = format!("{who}: {}", panic_message(payload.as_ref()));
-            self.shared.events.lock().push(FarmEvent {
+            self.shared.record_event(FarmEvent {
                 at: self.shared.metrics.now(),
                 kind: FarmEventKind::WorkerPanic,
                 detail: msg.clone(),
@@ -1059,6 +1088,7 @@ impl<In: Send + 'static, Out: Send + 'static> Farm<In, Out> {
             workers_lost: self.shared.metrics.workers_lost.load(Ordering::SeqCst),
             events: std::mem::take(&mut *self.shared.events.lock()),
             disconnects: Vec::new(),
+            lost_undelivered: Vec::new(),
         }
     }
 }
