@@ -1,13 +1,16 @@
 //! `bskel-top` — a terminal dashboard for the ops plane.
 //!
-//! Two data sources, same screen:
+//! Three data sources, same screen:
 //!
 //! * `--journal FILE` tails a JSONL ops journal (as flushed by
 //!   [`bskel_monitor::Journal::to_jsonl`] or served at `/journal`),
 //!   showing the latest sensor snapshot per source, cumulative event
 //!   counts and the most recent event lines;
 //! * `--url HOST:PORT` scrapes a live `/metrics` endpoint each frame
-//!   and shows every `bskel_` series grouped by `(tenant, manager)`.
+//!   and shows a per-tenant summary (share, queue, throughput, shed)
+//!   followed by every `bskel_` series grouped by `(tenant, manager)`;
+//! * `--prom FILE` renders a saved exposition document (e.g. the
+//!   `METRICS_*.prom` CI artifact) through the same scrape view.
 //!
 //! By default the screen refreshes every `--interval` seconds (ANSI
 //! clear, no curses dependency); `--once` prints a single frame and
@@ -31,12 +34,15 @@ type SeriesGroups = BTreeMap<(String, String), Vec<(String, String, f64)>>;
 struct Options {
     journal: Option<String>,
     url: Option<String>,
+    prom: Option<String>,
     once: bool,
     interval: f64,
 }
 
 fn usage() -> ! {
-    eprintln!("usage: bskel-top (--journal FILE | --url HOST:PORT) [--once] [--interval SECS]");
+    eprintln!(
+        "usage: bskel-top (--journal FILE | --url HOST:PORT | --prom FILE) [--once] [--interval SECS]"
+    );
     std::process::exit(2);
 }
 
@@ -44,6 +50,7 @@ fn parse_args() -> Options {
     let mut opts = Options {
         journal: None,
         url: None,
+        prom: None,
         once: false,
         interval: 1.0,
     };
@@ -52,6 +59,7 @@ fn parse_args() -> Options {
         match arg.as_str() {
             "--journal" => opts.journal = Some(args.next().unwrap_or_else(|| usage())),
             "--url" => opts.url = Some(args.next().unwrap_or_else(|| usage())),
+            "--prom" => opts.prom = Some(args.next().unwrap_or_else(|| usage())),
             "--once" => opts.once = true,
             "--interval" => {
                 let raw = args.next().unwrap_or_else(|| usage());
@@ -60,7 +68,10 @@ fn parse_args() -> Options {
             _ => usage(),
         }
     }
-    if opts.journal.is_some() == opts.url.is_some() {
+    let sources = usize::from(opts.journal.is_some())
+        + usize::from(opts.url.is_some())
+        + usize::from(opts.prom.is_some());
+    if sources != 1 {
         usage(); // exactly one source
     }
     opts
@@ -136,10 +147,45 @@ fn render_journal(records: &[JournalRecord]) -> String {
     out
 }
 
+/// The per-tenant summary table: one line per distinct `tenant` label,
+/// keyed off the tenancy gauges the multi-tenant front-end exports.
+fn render_tenant_summary(expo: &bskel_net::Exposition) -> String {
+    let mut rows: BTreeMap<&str, [f64; 4]> = BTreeMap::new();
+    let columns = [
+        ("bskel_tenant_share", 0usize),
+        ("bskel_tenant_queue_depth", 1),
+        ("bskel_tenant_throughput", 2),
+        ("bskel_tasks_shed", 3),
+    ];
+    for (metric, slot) in columns {
+        for sample in expo.samples_of(metric) {
+            if let Some(tenant) = sample.label("tenant") {
+                rows.entry(tenant).or_default()[slot] = sample.value;
+            }
+        }
+    }
+    if rows.is_empty() {
+        return String::new();
+    }
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<16} {:>8} {:>8} {:>12} {:>10}\n",
+        "tenant", "share", "queued", "tasks/s", "shed"
+    ));
+    for (tenant, [share, queued, thr, shed]) in &rows {
+        out.push_str(&format!(
+            "{tenant:<16} {share:>8.3} {queued:>8.0} {thr:>12.2} {shed:>10.0}\n"
+        ));
+    }
+    out.push('\n');
+    out
+}
+
 /// Renders one frame from a live `/metrics` scrape body.
 fn render_scrape(body: &str) -> Result<String, String> {
     let expo = parse_exposition(body)?;
     let mut out = String::new();
+    out.push_str(&render_tenant_summary(&expo));
     // Group by (tenant, manager); unlabeled series go under a blank key.
     let mut groups: SeriesGroups = BTreeMap::new();
     for sample in &expo.samples {
@@ -204,6 +250,9 @@ fn frame(opts: &Options) -> Result<String, String> {
         Ok(render_journal(&records))
     } else if let Some(url) = &opts.url {
         render_scrape(&fetch_metrics(url)?)
+    } else if let Some(path) = &opts.prom {
+        let body = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+        render_scrape(&body)
     } else {
         unreachable!("parse_args enforces one source")
     }

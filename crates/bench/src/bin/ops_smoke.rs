@@ -1,25 +1,28 @@
 //! OPS1 — end-to-end smoke of the ops plane on a loopback farm.
 //!
-//! Boots a local worker daemon, drives a short stream through a
-//! `RemoteWorkerPool` with the ops journal attached, and scrapes the
-//! pool's live beans over a real TCP `GET /metrics` round trip against
-//! the epoll-based [`MetricsServer`]. The scrape body is parsed back
-//! with the exposition parser and checked for a non-empty set of
-//! `bskel_` gauges, then written to `METRICS_ops_smoke.prom` at the
-//! workspace root alongside the flushed `JOURNAL_ops_smoke.jsonl` so CI
-//! can archive both artifacts.
+//! Boots a local worker daemon, fronts a `RemoteWorkerPool` with the
+//! multi-tenant front-end, drives two named tenant streams through it
+//! with the ops journal attached, and scrapes the live beans over a real
+//! TCP `GET /metrics` round trip against the epoll-based
+//! [`MetricsServer`]. The scrape body is parsed back with the exposition
+//! parser and checked for a non-empty set of `bskel_` gauges — including
+//! per-tenant series carrying the *real* tenant names in their `tenant`
+//! label — then written to `METRICS_ops_smoke.prom` at the workspace
+//! root alongside the flushed `JOURNAL_ops_smoke.jsonl` so CI can
+//! archive both artifacts.
 //!
 //! Exits nonzero on any failed check — this binary *is* the `ops` CI
 //! job's assertion.
 
 use bskel_core::abc::Abc;
+use bskel_core::Contract;
 use bskel_monitor::{Journal, JournalEntry};
 use bskel_net::{
     count_kinds, parse_exposition, spawn_local, Endpoint, MetricsHub, MetricsServer,
     RemotePoolBuilder,
 };
-use bskel_skel::stream::StreamMsg;
 use bskel_skel::{FarmAbc, GatherPolicy};
+use bskel_tenancy::{TenantFrontEnd, TenantHandle, TenantMsg, TenantSpec};
 use std::io::{Read, Write};
 use std::net::TcpStream;
 use std::sync::{Arc, Mutex};
@@ -70,9 +73,26 @@ fn main() {
         .expect("build pool");
     journal.note(0.0, "ops-smoke", "loopback farm up");
 
-    // Ops plane: the pool's beans + journal-derived event counters,
-    // served by the single-thread epoll listener.
+    // Multi-tenant front-end over the remote pool: two named tenant
+    // streams share the two loopback workers.
+    let front = TenantFrontEnd::over_pool(pool.input(), pool.output(), pool.control());
+    let interactive = front
+        .attach(
+            TenantSpec::new("interactive", Contract::min_throughput(10.0))
+                .with_queue_capacity(2 * TASKS as usize),
+        )
+        .expect("attach interactive tenant");
+    let batch = front
+        .attach(
+            TenantSpec::new("batch", Contract::BestEffort).with_queue_capacity(2 * TASKS as usize),
+        )
+        .expect("attach batch tenant");
+
+    // Ops plane: the pool's beans + journal-derived event counters, plus
+    // one series per tenant under its real name, served by the
+    // single-thread epoll listener.
     let hub = MetricsHub::shared();
+    front.register_metrics(&hub);
     let abc = Mutex::new(FarmAbc::new(pool.control()));
     let journal_for_counts = Arc::clone(&journal);
     let journal_for_snaps = Arc::clone(&journal);
@@ -105,27 +125,38 @@ fn main() {
     let server = MetricsServer::start("127.0.0.1:0", Arc::clone(&hub)).expect("start server");
     let scrape_addr = server.addr();
 
-    // Drive the stream while scraping mid-flight (the listener must not
-    // perturb the farm: it shares no locks with the data path).
-    let tx = pool.input();
-    let feeder = std::thread::spawn(move || {
-        for i in 0..TASKS {
-            tx.send(StreamMsg::item(i, i)).expect("feed task");
-        }
-        tx.send(StreamMsg::End).expect("feed end");
-    });
-    let rx = pool.output();
-    let mut received = 0u64;
-    let mut mid_scrape: Option<String> = None;
-    while let StreamMsg::Item { .. } = rx.recv().expect("pool output open") {
-        received += 1;
-        if received == TASKS / 2 {
-            mid_scrape = Some(http_get(scrape_addr, "/metrics").1);
-        }
+    // Drive both tenant streams while scraping mid-flight (the listener
+    // must not perturb the farm: it shares no locks with the data path).
+    for i in 0..TASKS {
+        interactive.submit(i);
+        batch.submit(i);
     }
-    feeder.join().expect("feeder join");
-    if received != TASKS {
-        failures.push(format!("received {received} of {TASKS} results"));
+    interactive.close();
+    batch.close();
+    let mut mid_scrape: Option<String> = None;
+    let mut drain = |h: &TenantHandle<u64, u64>, scrape_at: Option<u64>| -> (u64, u64) {
+        let (mut items, mut lost) = (0u64, 0u64);
+        loop {
+            match h.output().recv().expect("tenant stream open") {
+                TenantMsg::Item { .. } => {
+                    items += 1;
+                    if Some(items) == scrape_at {
+                        mid_scrape = Some(http_get(scrape_addr, "/metrics").1);
+                    }
+                }
+                TenantMsg::Lost { .. } => lost += 1,
+                TenantMsg::End => return (items, lost),
+            }
+        }
+    };
+    let (i_done, i_lost) = drain(&interactive, Some(TASKS / 2));
+    let (b_done, b_lost) = drain(&batch, None);
+    for (name, done, lost) in [("interactive", i_done, i_lost), ("batch", b_done, b_lost)] {
+        if done != TASKS || lost != 0 {
+            failures.push(format!(
+                "tenant {name}: {done} of {TASKS} results, {lost} lost"
+            ));
+        }
     }
 
     // Final scrape + parse-back conformance.
@@ -146,6 +177,22 @@ fn main() {
             }
             if expo.samples_of("bskel_journal_recorded_total").is_empty() {
                 failures.push("journal health counters missing".to_string());
+            }
+            // Real tenant names must label the per-tenant series (plus
+            // the reserved `_pool` aggregate) — the `bskel-top` grouping
+            // and the CI grep gate both key off this.
+            let tenant_labels: Vec<&str> = expo
+                .samples
+                .iter()
+                .filter_map(|s| s.label("tenant"))
+                .collect();
+            for want in ["interactive", "batch", "_pool"] {
+                if !tenant_labels.contains(&want) {
+                    failures.push(format!("no series labelled tenant=\"{want}\" in /metrics"));
+                }
+            }
+            if expo.samples_of("bskel_tenant_share").is_empty() {
+                failures.push("no bskel_tenant_share gauge in /metrics".to_string());
             }
             println!(
                 "scraped {} samples ({} bskel_ gauges) from {}",
@@ -171,6 +218,14 @@ fn main() {
         ));
     }
 
+    // Front-end first (it owns the pool's stream endpoints and sends the
+    // final End), then the pool itself.
+    let tenancy_report = front.shutdown();
+    if !tenancy_report.is_loss_free() {
+        failures.push(format!(
+            "tenancy accounting not loss-free:\n{tenancy_report}"
+        ));
+    }
     let report = pool.shutdown();
     if !report.is_clean() {
         failures.push(format!("pool shutdown not clean: {report:?}"));

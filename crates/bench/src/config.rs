@@ -22,6 +22,22 @@ fn default_one() -> u32 {
     1
 }
 
+fn default_queue_capacity() -> u32 {
+    64
+}
+
+fn default_mt_max_workers() -> u32 {
+    8
+}
+
+fn default_mt_duration() -> f64 {
+    5.0
+}
+
+fn default_control_period() -> f64 {
+    0.5
+}
+
 /// Serializable securing policy (mirrors `bskel_sim::models::SecureMode`).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 #[serde(rename_all = "snake_case")]
@@ -48,6 +64,48 @@ impl From<SecurePolicyConfig> for SecureMode {
             SecurePolicyConfig::Delayed { delay } => SecureMode::DelayedIfUntrusted { delay },
         }
     }
+}
+
+/// Serializable admission policy (mirrors `bskel_tenancy::ShedPolicy`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum ShedPolicyConfig {
+    /// Drop the oldest queued task on overflow.
+    #[default]
+    ShedOldest,
+    /// Refuse new arrivals on overflow.
+    Reject,
+}
+
+impl From<ShedPolicyConfig> for bskel_tenancy::ShedPolicy {
+    fn from(c: ShedPolicyConfig) -> Self {
+        match c {
+            ShedPolicyConfig::ShedOldest => bskel_tenancy::ShedPolicy::ShedOldest,
+            ShedPolicyConfig::Reject => bskel_tenancy::ShedPolicy::Reject,
+        }
+    }
+}
+
+/// One tenant of a multi-tenant scenario.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TenantConfig {
+    /// Tenant name (metrics label).
+    pub name: String,
+    /// The tenant's SLA.
+    pub contract: Contract,
+    /// Offered load, tasks/s.
+    pub arrival_rate: f64,
+    /// On/off burst period, seconds: the tenant submits only during the
+    /// first half of each period (phase-shifted by the seed). `None` =
+    /// steady offered load.
+    #[serde(default)]
+    pub burst_period: Option<f64>,
+    /// Bounded admission-queue capacity.
+    #[serde(default = "default_queue_capacity")]
+    pub queue_capacity: u32,
+    /// Behaviour when the queue is full.
+    #[serde(default)]
+    pub shed_policy: ShedPolicyConfig,
 }
 
 /// A runnable scenario description.
@@ -113,6 +171,31 @@ pub enum ScenarioConfig {
         #[serde(default = "default_horizon")]
         horizon: f64,
         /// RNG seed.
+        #[serde(default = "default_seed")]
+        seed: u64,
+    },
+    /// Multi-tenant front-end scenario: N tenant streams with their own
+    /// contracts and admission policies share one worker pool through the
+    /// DRR scheduler, arbitrated by `tenancy.rules` managers. Runs on the
+    /// threaded substrate (`bskel_tenancy`), wall-clock seconds.
+    MultiTenant {
+        /// The tenant mix.
+        tenants: Vec<TenantConfig>,
+        /// Per-task cost, seconds (busy-spin on a real worker).
+        service_time: f64,
+        /// Workers at start-up.
+        #[serde(default = "default_one")]
+        initial_workers: u32,
+        /// Pool ceiling the arbiter may grow to.
+        #[serde(default = "default_mt_max_workers")]
+        max_workers: u32,
+        /// Run length, wall seconds.
+        #[serde(default = "default_mt_duration")]
+        duration: f64,
+        /// Seconds between manager control cycles.
+        #[serde(default = "default_control_period")]
+        control_period: f64,
+        /// Seed for burst phase offsets.
         #[serde(default = "default_seed")]
         seed: u64,
     },
@@ -230,8 +313,146 @@ impl ScenarioConfig {
                 };
                 (report, outcome.trace.to_csv())
             }
+            ScenarioConfig::MultiTenant {
+                tenants,
+                service_time,
+                initial_workers,
+                max_workers,
+                duration,
+                control_period,
+                seed,
+            } => run_multi_tenant(
+                &tenants,
+                service_time,
+                initial_workers,
+                max_workers,
+                duration,
+                control_period,
+                seed,
+            ),
         }
     }
+}
+
+/// Runs a multi-tenant scenario on the threaded front-end: paced offered
+/// load per tenant, manager cycles at `control_period`, and a per-tenant
+/// accounting CSV as the trace.
+fn run_multi_tenant(
+    tenants: &[TenantConfig],
+    service_time: f64,
+    initial_workers: u32,
+    max_workers: u32,
+    duration: f64,
+    control_period: f64,
+    seed: u64,
+) -> (RunReport, String) {
+    use bskel_tenancy::{build_managers, TenantFrontEnd, TenantSpec};
+    use std::time::{Duration, Instant};
+
+    let spin_us = (service_time * 1e6).max(1.0) as u64;
+    let farm = bskel_skel::FarmBuilder::from_fn(move |x: u64| {
+        let until = Instant::now() + Duration::from_micros(spin_us);
+        while Instant::now() < until {
+            std::hint::spin_loop();
+        }
+        x
+    })
+    .name("multi-tenant-pool")
+    .initial_workers(initial_workers)
+    .max_workers(max_workers)
+    .gather(bskel_skel::GatherPolicy::Unordered)
+    .build();
+
+    let front = TenantFrontEnd::over_farm(farm);
+    let handles: Vec<_> = tenants
+        .iter()
+        .map(|t| {
+            front
+                .attach(
+                    TenantSpec::new(&t.name, t.contract.clone())
+                        .with_queue_capacity(t.queue_capacity.max(1) as usize)
+                        .with_shed_policy(t.shed_policy.into()),
+                )
+                .expect("tenant names are unique")
+        })
+        .collect();
+    let log = bskel_core::EventLog::new();
+    let mut managers = build_managers(
+        &front,
+        &handles.iter().collect::<Vec<_>>(),
+        log.clone(),
+        max_workers,
+    );
+
+    // Deterministic burst phase offsets from the seed (splitmix64 step).
+    let phase_of = |i: usize| {
+        let mut z = seed.wrapping_add(0x9e37_79b9_7f4a_7c15_u64.wrapping_mul(i as u64 + 1));
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        (z ^ (z >> 31)) as f64 / u64::MAX as f64
+    };
+
+    let start = Instant::now();
+    let mut acc = vec![0.0_f64; tenants.len()];
+    let mut payload = 0_u64;
+    let mut last_step = 0.0_f64;
+    let mut next_cycle = control_period;
+    while start.elapsed().as_secs_f64() < duration {
+        let now = start.elapsed().as_secs_f64();
+        let dt = now - last_step;
+        last_step = now;
+        for (i, t) in tenants.iter().enumerate() {
+            let active = match t.burst_period {
+                Some(p) if p > 0.0 => (now + phase_of(i) * p) % p < p / 2.0,
+                _ => true,
+            };
+            if active {
+                acc[i] += t.arrival_rate * dt;
+            }
+            while acc[i] >= 1.0 {
+                acc[i] -= 1.0;
+                handles[i].submit(payload);
+                payload += 1;
+            }
+        }
+        if now >= next_cycle {
+            managers.run_cycle(now);
+            next_cycle += control_period;
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+
+    let mut csv = String::from("tenant,submitted,completed,shed,lost,share,throughput,p50,p99\n");
+    for h in &handles {
+        let s = h.stats();
+        csv.push_str(&format!(
+            "{},{},{},{},{},{:.4},{:.1},{:.6},{:.6}\n",
+            s.name,
+            s.submitted,
+            s.completed,
+            s.shed,
+            s.lost,
+            s.share,
+            s.throughput,
+            h.latency_quantile(0.5).unwrap_or(0.0),
+            h.latency_quantile(0.99).unwrap_or(0.0),
+        ));
+    }
+    let workers = front.control().num_workers() as u32;
+    for h in &handles {
+        h.close();
+    }
+    let report_mt = front.shutdown();
+    let tasks_done: u64 = report_mt.tenants.iter().map(|t| t.completed).sum();
+    let report = RunReport {
+        throughput: tasks_done as f64 / duration,
+        workers,
+        tasks_done,
+        time_to_contract: None,
+        security_violations: 0,
+        events: log.len(),
+    };
+    (report, csv)
 }
 
 #[cfg(test)]
@@ -291,6 +512,37 @@ mod tests {
         let cfg = ScenarioConfig::from_json(json).unwrap();
         let (report, _) = cfg.run();
         assert_eq!(report.security_violations, 0);
+    }
+
+    #[test]
+    fn multi_tenant_config_roundtrip_and_run() {
+        let json = r#"{
+            "kind": "multi_tenant",
+            "service_time": 0.0005,
+            "initial_workers": 2,
+            "max_workers": 4,
+            "duration": 0.7,
+            "control_period": 0.2,
+            "tenants": [
+                { "name": "hot", "contract": "BestEffort",
+                  "arrival_rate": 4000.0, "queue_capacity": 32 },
+                { "name": "victim", "contract": { "MinThroughput": 20.0 },
+                  "arrival_rate": 100.0, "queue_capacity": 64,
+                  "shed_policy": "reject" },
+                { "name": "bursty", "contract": "BestEffort",
+                  "arrival_rate": 500.0, "burst_period": 0.4 }
+            ]
+        }"#;
+        let cfg = ScenarioConfig::from_json(json).unwrap();
+        let back = serde_json::to_string(&cfg).unwrap();
+        assert_eq!(ScenarioConfig::from_json(&back).unwrap(), cfg);
+        let (report, csv) = cfg.run();
+        assert!(report.tasks_done > 0, "{report:?}");
+        assert!(report.events > 0, "managers must have emitted events");
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 4, "header + one row per tenant:\n{csv}");
+        assert!(lines[0].starts_with("tenant,"));
+        assert!(lines[1].starts_with("hot,") && lines[3].starts_with("bursty,"));
     }
 
     #[test]

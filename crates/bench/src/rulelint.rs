@@ -126,6 +126,20 @@ pub(crate) fn farm_params_for(contract: &Contract) -> ParamTable {
     stdlib::farm_params(lo, hi, min_w, max_w, 4.0)
 }
 
+/// Default tenant-manager parameter derivation, mirroring
+/// `AutonomicManager::derive_kind_params` for `ManagerKind::Tenant`
+/// (share bounds 0.05..0.8, shed budget 64).
+pub(crate) fn tenant_params_for(contract: &Contract, max_workers: u32) -> ParamTable {
+    let (lo, hi) = contract.throughput_bounds().unwrap_or((0.0, f64::INFINITY));
+    stdlib::tenancy_params(lo, hi, 0.05, 0.8, 64, max_workers)
+}
+
+/// The pool arbiter's parameters: same program, share pinned to 1.0 so
+/// only the pool-growth, shed, and escalation guards stay live.
+pub(crate) fn arbiter_params_for(max_workers: u32) -> ParamTable {
+    stdlib::tenancy_params(0.0, f64::INFINITY, 1.0, 1.0, 64, max_workers)
+}
+
 /// Analyzes the rule programs implied by a scenario configuration.
 pub fn lint_scenario_config(cfg: &ScenarioConfig) -> Vec<Diagnostic> {
     let analyzer = Analyzer::new(sim_bean_schema());
@@ -197,6 +211,31 @@ pub fn lint_scenario_config(cfg: &ScenarioConfig) -> Vec<Diagnostic> {
             let (pl, ps, pp) = &programs[1];
             let (fl, fs, fp) = &programs[2];
             out.extend(analyzer.check_conflicts((pl, ps, Some(pp)), (fl, fs, Some(fp))));
+        }
+        ScenarioConfig::MultiTenant {
+            tenants,
+            max_workers,
+            ..
+        } => {
+            // One tenancy program per tenant, under the parameters its
+            // manager derives from that tenant's own contract. There is
+            // deliberately no cross-tenant conflict pass: GROW_SHARE /
+            // SHRINK_SHARE write the firing tenant's *own* weight (a
+            // per-tenant resource), so opposing firings across tenants
+            // are the arbitration design, not a shared-actuator fight.
+            for t in tenants {
+                out.extend(analyzer.analyze(
+                    &stdlib::tenancy_rules(),
+                    Some(&tenant_params_for(&t.contract, *max_workers)),
+                    None,
+                ));
+            }
+            // The arbiter runs the same program with its share pinned.
+            out.extend(analyzer.analyze(
+                &stdlib::tenancy_rules(),
+                Some(&arbiter_params_for(*max_workers)),
+                None,
+            ));
         }
     }
     out

@@ -25,7 +25,7 @@
 //! and checks each loop with the deployment's actual thresholds.
 
 use crate::config::ScenarioConfig;
-use crate::rulelint::farm_params_for;
+use crate::rulelint::{arbiter_params_for, farm_params_for, tenant_params_for};
 use bskel_core::contract::Contract;
 use bskel_rules::analysis::Severity;
 use bskel_rules::{
@@ -195,8 +195,37 @@ fn canonical_deployment(path: &str) -> Option<(ParamTable, Spec)> {
         // freedom and dead rules only.
         "migrate" => Some((stdlib::migrate_params(1.5), Spec::default())),
         "resilience" => Some((stdlib::resilience_params(16), Spec::default())),
+        // Tenancy program under the reference tenant deployment (see
+        // `tenancy_spec`).
+        "tenancy" => Some((tenancy_params_canonical(), tenancy_spec())),
         _ => None,
     }
+}
+
+/// The reference tenant deployment: a 0.4–0.8 tasks/s contract stripe,
+/// share weight bounded to [0.1, 0.8], a 64-task admission bound, and a
+/// 16-worker shared-pool ceiling.
+fn tenancy_params_canonical() -> ParamTable {
+    stdlib::tenancy_params(0.4, 0.8, 0.1, 0.8, 64, 16)
+}
+
+/// The tenancy property spec. A tenant is *violating* when it has backlog
+/// yet is delivered below its floor (a tenant whose offered load is simply
+/// low is not starved — hence the conjunction). Delivered throughput is a
+/// min-plant over offered demand: `GROW_SHARE`/`ADD_EXECUTOR` raise the
+/// hidden capacity input, and a starved tenant whose demand itself is
+/// below the floor recovers by escalating at the share ceiling (shedding
+/// at admission time is invisible to this abstraction — the queue never
+/// drains on its own — so escalation legitimately discharges).
+fn tenancy_spec() -> Spec {
+    Spec::default()
+        .violation(Condition::And(vec![
+            Condition::bean_vs_const("tenantThroughput", Cmp::Lt, 0.4),
+            Condition::bean_vs_const("tenantQueueDepth", Cmp::Gt, 0.0),
+        ]))
+        .min_plant("tenantThroughput", "arrivalRate")
+        .initial("numWorkers", 0.0, 16.0)
+        .initial("tenantShare", 0.0, 1.0)
 }
 
 /// Model-checks file content by extension: `.json` is treated as a
@@ -401,8 +430,79 @@ pub fn check_scenario_config(cfg: &ScenarioConfig) -> Vec<CheckOutcome> {
                 ),
             });
         }
+        ScenarioConfig::MultiTenant {
+            tenants,
+            max_workers,
+            ..
+        } => {
+            // One loop per tenant, under the parameters its manager
+            // derives from that tenant's own contract. Escalation keeps
+            // discharging recovery even though an arbiter exists: pool
+            // growth raises delivered *capacity*, never offered demand,
+            // and admission-time shedding is invisible to the interval
+            // plant — so a tenant starved for lack of demand can only
+            // discharge its obligation by raising.
+            for t in tenants {
+                out.push(CheckOutcome {
+                    program: t.name.clone(),
+                    result: checker.check(
+                        "tenancy",
+                        &stdlib::tenancy_rules(),
+                        &tenant_params_for(&t.contract, *max_workers),
+                        &tenant_spec_for(&t.contract, *max_workers),
+                    ),
+                });
+            }
+            // The hierarchy composition: the most demanding tenant's
+            // RAISE_VIOLATION (data `tooMuchTasks`) sets the arbiter's
+            // `violTooMuch` bean, whose pool-growth rule must neither
+            // livelock against the child's share ops nor sit dead. The
+            // arbiter runs the same program with its share pinned to 1.0,
+            // so the share rules are (deliberately) dormant in the parent.
+            let demanding = tenants.iter().max_by(|a, b| {
+                let floor = |c: &Contract| c.throughput_bounds().map_or(0.0, |(lo, _)| lo);
+                floor(&a.contract).total_cmp(&floor(&b.contract))
+            });
+            if let Some(t) = demanding {
+                out.push(CheckOutcome {
+                    program: format!("{}+arbiter", t.name),
+                    result: checker.check_composed(
+                        (
+                            "tenant",
+                            &stdlib::tenancy_rules(),
+                            &tenant_params_for(&t.contract, *max_workers),
+                        ),
+                        (
+                            "arbiter",
+                            &stdlib::tenancy_rules(),
+                            &arbiter_params_for(*max_workers),
+                        ),
+                        &tenant_spec_for(&t.contract, *max_workers),
+                    ),
+                });
+            }
+        }
     }
     out
+}
+
+/// The tenancy property spec a scenario tenant implies: starvation is
+/// *backlogged delivery below the floor* (demand-starved tenants are not
+/// violating), delivered throughput is a min-plant over offered demand.
+/// Mirrors `tenancy_spec` with the scenario's own floor and pool ceiling.
+fn tenant_spec_for(contract: &Contract, max_workers: u32) -> Spec {
+    let (lo, _hi) = contract.throughput_bounds().unwrap_or((0.0, f64::INFINITY));
+    let mut spec = Spec::default()
+        .min_plant("tenantThroughput", "arrivalRate")
+        .initial("numWorkers", 0.0, f64::from(max_workers))
+        .initial("tenantShare", 0.0, 1.0);
+    if lo > 0.0 {
+        spec = spec.violation(Condition::And(vec![
+            Condition::bean_vs_const("tenantThroughput", Cmp::Lt, lo),
+            Condition::bean_vs_const("tenantQueueDepth", Cmp::Gt, 0.0),
+        ]));
+    }
+    spec
 }
 
 /// Serializes a counterexample as the JSON artifact format the CI
@@ -520,6 +620,7 @@ mod tests {
             ("fault.rules", stdlib::FAULT_RULES_TEXT),
             ("migrate.rules", stdlib::MIGRATE_RULES_TEXT),
             ("resilience.rules", stdlib::RESILIENCE_RULES_TEXT),
+            ("tenancy.rules", stdlib::TENANCY_RULES_TEXT),
         ] {
             let report = report_for(name, text);
             assert_eq!(report.error_count(), 0, "{name}:\n{}", report.render());

@@ -41,6 +41,10 @@ pub fn standard_schema() -> BeanSchema {
         .bean(beans::SPECULATIVE_WINS, BeanType::Count)
         .bean(beans::REACTOR_LOOP_LAG_US, BeanType::Rate)
         .bean(beans::NET_SEND_QUEUE_DEPTH, BeanType::Count)
+        .bean(beans::TASKS_SHED, BeanType::Count)
+        .bean(beans::TENANT_QUEUE_DEPTH, BeanType::Count)
+        .bean(beans::TENANT_SHARE, BeanType::Rate)
+        .bean(beans::TENANT_THROUGHPUT, BeanType::Rate)
         .bean(hier_beans::VIOL_NOT_ENOUGH, BeanType::Flag)
         .bean(hier_beans::VIOL_TOO_MUCH, BeanType::Flag)
         .bean(hier_beans::END_STREAM, BeanType::Flag)
@@ -53,6 +57,11 @@ pub fn standard_schema() -> BeanSchema {
         .param(params::PROD_RATE_CEIL)
         .param(params::FT_MIN_WORKERS)
         .param(params::MIGRATE_MIN_GAIN)
+        .param(params::TENANT_RATE_FLOOR)
+        .param(params::TENANT_RATE_CEIL)
+        .param(params::TENANT_MIN_SHARE)
+        .param(params::TENANT_MAX_SHARE)
+        .param(params::TENANT_QUEUE_LIMIT)
 }
 
 /// Typed actuator operations a manager can order.

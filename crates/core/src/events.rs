@@ -51,6 +51,13 @@ pub enum EventKind {
     /// Workers were lost to failures since the previous control cycle
     /// (fault-tolerance concern; detail carries the delta).
     WorkerLost,
+    /// A tenant's fair-share weight was raised (multi-tenancy concern).
+    GrowShare,
+    /// A tenant's fair-share weight was lowered.
+    ShrinkShare,
+    /// Queued tasks were dropped from an over-budget tenant (detail
+    /// carries the shed count when the substrate reports one).
+    ShedLoad,
     /// Free-form event (substrate extensions).
     Other(String),
 }
@@ -75,6 +82,9 @@ impl EventKind {
             EventKind::EnterPassive => "enterPassive",
             EventKind::Secured => "secured",
             EventKind::WorkerLost => "workerLost",
+            EventKind::GrowShare => "growShare",
+            EventKind::ShrinkShare => "shrinkShare",
+            EventKind::ShedLoad => "shedLoad",
             EventKind::Other(s) => s,
         }
     }

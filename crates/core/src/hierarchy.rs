@@ -151,6 +151,7 @@ fn base_config(node_name: &str, kind: ManagerKind) -> ManagerConfig {
         ManagerKind::Pipeline => ManagerConfig::pipeline(&name),
         ManagerKind::Producer => ManagerConfig::producer(&name),
         ManagerKind::Sequential => ManagerConfig::sequential(&name),
+        ManagerKind::Tenant => ManagerConfig::tenant(&name),
     }
 }
 

@@ -159,6 +159,13 @@ pub enum ManagerKind {
     Producer,
     /// Monitor-only sequential stage (e.g. the consumer).
     Sequential,
+    /// Multi-tenant share manager: arbitrates one tenant's slice of a
+    /// shared worker pool (grow/shrink the fair-share weight, shed load,
+    /// escalate at the share ceiling). Runs `tenancy.rules`; the same
+    /// kind serves both the per-tenant child managers and the
+    /// pool-level arbiter (whose share is pinned to 1.0, leaving only
+    /// the pool-growth and escalation rules live).
+    Tenant,
 }
 
 /// How strictly a manager checks its rule program with
@@ -287,6 +294,11 @@ impl ManagerConfig {
     pub fn sequential(name: &str) -> Self {
         Self::base(name, ManagerKind::Sequential)
     }
+
+    /// Defaults for a tenant share manager.
+    pub fn tenant(name: &str) -> Self {
+        Self::base(name, ManagerKind::Tenant)
+    }
 }
 
 /// An autonomic manager bound to a computation through an ABC.
@@ -338,6 +350,7 @@ impl AutonomicManager {
             ManagerKind::Pipeline => stdlib::pipeline_rules(),
             ManagerKind::Producer => stdlib::producer_rules(),
             ManagerKind::Sequential => RuleSet::new(),
+            ManagerKind::Tenant => stdlib::tenancy_rules(),
         };
         let source_rate = cfg.initial_source_rate;
         let mut m = Self {
@@ -595,6 +608,13 @@ impl AutonomicManager {
                     .unwrap_or((0.0, f64::INFINITY));
                 stdlib::producer_params(floor, ceil)
             }
+            ManagerKind::Tenant => {
+                // Contract stripe → delivered-throughput thresholds; the
+                // share/admission knobs default conservatively and are
+                // tuned per tenant via `extra_params`.
+                let (lo, hi) = contract.throughput_bounds().unwrap_or((0.0, f64::INFINITY));
+                stdlib::tenancy_params(lo, hi, 0.05, 0.8, 64, self.cfg.max_workers)
+            }
             ManagerKind::Pipeline | ManagerKind::Sequential => bskel_rules::ParamTable::new(),
         }
     }
@@ -646,7 +666,10 @@ impl AutonomicManager {
                     child.slot.post(workers_sub.clone());
                 }
             }
-            ManagerKind::Producer | ManagerKind::Sequential => {}
+            // Tenant children receive their contracts from their tenant
+            // specs, not from the arbiter: the arbiter redistributes
+            // *shares*, it does not rewrite tenant SLAs.
+            ManagerKind::Producer | ManagerKind::Sequential | ManagerKind::Tenant => {}
         }
     }
 
@@ -911,11 +934,19 @@ impl AutonomicManager {
                 },
                 other => {
                     // Unknown symbolic operations pass through as custom
-                    // actuations (substrate extensions).
+                    // actuations (substrate extensions). The tenancy share
+                    // operations get typed events so tenant traces filter
+                    // like the paper's event lines.
                     let op_ = ManagerOp::Custom(other.to_owned());
                     if let Ok(ActuationOutcome::Applied) = self.actuate(&op_, now) {
                         acted = true;
-                        self.emit(now, EventKind::Other(other.to_owned()), None);
+                        let kind = match other {
+                            stdlib::GROW_SHARE_OP => EventKind::GrowShare,
+                            stdlib::SHRINK_SHARE_OP => EventKind::ShrinkShare,
+                            stdlib::SHED_LOAD_OP => EventKind::ShedLoad,
+                            _ => EventKind::Other(other.to_owned()),
+                        };
+                        self.emit(now, kind, None);
                     }
                 }
             }

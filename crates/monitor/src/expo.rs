@@ -18,8 +18,9 @@ use std::fmt::Write as _;
 /// its cumulative event counts.
 #[derive(Debug, Clone)]
 pub struct ScrapeSeries {
-    /// Tenant label (the repo has a single implicit tenant until the
-    /// multi-tenant arbitration layer lands; use `"default"`).
+    /// Tenant label. The multi-tenant front-end registers one series per
+    /// attached tenant under its real name (plus the aggregate pool as
+    /// `_pool`); single-tenant substrates use `"default"`.
     pub tenant: String,
     /// Manager (or substrate) name label.
     pub manager: String,

@@ -64,6 +64,17 @@ pub mod beans {
     /// writability (0 for non-networked substrates). Sustained growth
     /// means the wire — not the workers — is the bottleneck.
     pub const NET_SEND_QUEUE_DEPTH: &str = "netSendQueueDepth";
+    /// Cumulative tasks dropped by admission control (bounded tenant
+    /// queues: shed-oldest evictions plus outright rejections).
+    pub const TASKS_SHED: &str = "tasksShed";
+    /// Tasks waiting in this tenant's admission queue (0 for
+    /// single-tenant substrates).
+    pub const TENANT_QUEUE_DEPTH: &str = "tenantQueueDepth";
+    /// This tenant's normalised share of the pool (0..1; 1.0 for
+    /// single-tenant substrates).
+    pub const TENANT_SHARE: &str = "tenantShare";
+    /// Tasks/s delivered to this tenant by the shared pool.
+    pub const TENANT_THROUGHPUT: &str = "tenantThroughput";
 }
 
 /// A point-in-time reading of every sensor a skeleton ABC exposes.
@@ -112,6 +123,14 @@ pub struct SensorSnapshot {
     pub reactor_loop_lag_us: f64,
     /// Frames pending in per-connection send queues.
     pub net_send_queue_depth: u64,
+    /// Cumulative tasks dropped by admission control.
+    pub tasks_shed: u64,
+    /// Tasks waiting in this tenant's admission queue.
+    pub tenant_queue_depth: u64,
+    /// Normalised pool share of this tenant (0..1).
+    pub tenant_share: f64,
+    /// Tasks/s delivered to this tenant by the shared pool.
+    pub tenant_throughput: f64,
     /// Additional substrate-specific beans.
     pub extra: Vec<(String, f64)>,
 }
@@ -140,6 +159,10 @@ impl SensorSnapshot {
             speculative_wins: 0,
             reactor_loop_lag_us: 0.0,
             net_send_queue_depth: 0,
+            tasks_shed: 0,
+            tenant_queue_depth: 0,
+            tenant_share: 1.0,
+            tenant_throughput: 0.0,
             extra: Vec::new(),
         }
     }
@@ -153,7 +176,7 @@ impl SensorSnapshot {
     /// Flattens the snapshot to `(bean name, value)` pairs for a rule
     /// engine's working memory. Booleans encode as 0.0/1.0.
     pub fn to_beans(&self) -> Vec<(String, f64)> {
-        let mut out = Vec::with_capacity(19 + self.extra.len());
+        let mut out = Vec::with_capacity(23 + self.extra.len());
         out.push((beans::ARRIVAL_RATE.to_owned(), self.arrival_rate));
         out.push((beans::DEPARTURE_RATE.to_owned(), self.departure_rate));
         out.push((beans::NUM_WORKERS.to_owned(), f64::from(self.num_workers)));
@@ -200,6 +223,13 @@ impl SensorSnapshot {
             beans::NET_SEND_QUEUE_DEPTH.to_owned(),
             self.net_send_queue_depth as f64,
         ));
+        out.push((beans::TASKS_SHED.to_owned(), self.tasks_shed as f64));
+        out.push((
+            beans::TENANT_QUEUE_DEPTH.to_owned(),
+            self.tenant_queue_depth as f64,
+        ));
+        out.push((beans::TENANT_SHARE.to_owned(), self.tenant_share));
+        out.push((beans::TENANT_THROUGHPUT.to_owned(), self.tenant_throughput));
         out.extend(self.extra.iter().cloned());
         out
     }
@@ -284,6 +314,10 @@ mod tests {
             beans::SPECULATIVE_WINS,
             beans::REACTOR_LOOP_LAG_US,
             beans::NET_SEND_QUEUE_DEPTH,
+            beans::TASKS_SHED,
+            beans::TENANT_QUEUE_DEPTH,
+            beans::TENANT_SHARE,
+            beans::TENANT_THROUGHPUT,
         ] {
             assert_eq!(
                 all.iter().filter(|(n, _)| n == name).count(),

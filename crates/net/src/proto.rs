@@ -67,6 +67,15 @@ pub enum FrameType {
     /// Either direction: cooperative close; the daemon finishes pending
     /// tasks, flushes, and closes the connection.
     Goodbye = 8,
+    /// Client → tenancy front-end: attach as a tenant stream (payload:
+    /// [`TenantAttach`]). Sent instead of [`FrameType::Hello`] when the
+    /// peer is a multi-tenant front-end rather than a worker daemon.
+    TenantAttach = 9,
+    /// Front-end → client: accept/refuse the tenant (payload:
+    /// [`TenantAck`]). After an accepting ack, the connection carries
+    /// [`FrameType::Task`]/[`FrameType::Result`]/[`FrameType::Lost`]
+    /// frames whose `seq` is the tenant-local sequence number.
+    TenantAck = 10,
 }
 
 impl FrameType {
@@ -82,6 +91,8 @@ impl FrameType {
             6 => FrameType::HeartbeatAck,
             7 => FrameType::Sensors,
             8 => FrameType::Goodbye,
+            9 => FrameType::TenantAttach,
+            10 => FrameType::TenantAck,
             _ => return None,
         })
     }
@@ -380,6 +391,92 @@ pub fn decode_sensors(b: &[u8]) -> Option<SensorBlob> {
     })
 }
 
+/// The tenant-attachment request a remote client opens with.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TenantAttach {
+    /// Tenant name (metrics label, journal key, event-log prefix).
+    pub tenant: String,
+    /// The tenant's QoS contract, in the contract grammar's JSON form
+    /// (decoded by `bskel_core::contract::Contract`).
+    pub contract_json: String,
+    /// Admission bound: maximum queued tasks before shedding kicks in.
+    pub queue_capacity: u32,
+    /// Shed policy: 0 = shed-oldest, 1 = reject new arrivals.
+    pub shed_policy: u8,
+}
+
+/// Encodes a [`TenantAttach`] payload.
+pub fn encode_tenant_attach(t: &TenantAttach) -> Vec<u8> {
+    let name = t.tenant.as_bytes();
+    let contract = t.contract_json.as_bytes();
+    let mut out = Vec::with_capacity(9 + name.len() + contract.len());
+    out.extend_from_slice(&t.queue_capacity.to_le_bytes());
+    out.push(t.shed_policy);
+    out.extend_from_slice(&(name.len() as u16).to_le_bytes());
+    out.extend_from_slice(name);
+    out.extend_from_slice(&(contract.len() as u16).to_le_bytes());
+    out.extend_from_slice(contract);
+    out
+}
+
+/// Decodes a [`TenantAttach`] payload.
+pub fn decode_tenant_attach(b: &[u8]) -> Option<TenantAttach> {
+    if b.len() < 9 {
+        return None;
+    }
+    let queue_capacity = u32::from_le_bytes(b[0..4].try_into().ok()?);
+    let shed_policy = b[4];
+    let name_len = u16::from_le_bytes(b[5..7].try_into().ok()?) as usize;
+    let name = b.get(7..7 + name_len)?;
+    let rest = 7 + name_len;
+    let contract_len = u16::from_le_bytes(b.get(rest..rest + 2)?.try_into().ok()?) as usize;
+    let contract = b.get(rest + 2..rest + 2 + contract_len)?;
+    Some(TenantAttach {
+        tenant: String::from_utf8(name.to_vec()).ok()?,
+        contract_json: String::from_utf8(contract.to_vec()).ok()?,
+        queue_capacity,
+        shed_policy,
+    })
+}
+
+/// The front-end's reply to a [`TenantAttach`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantAck {
+    /// Whether the tenant was admitted.
+    pub ok: bool,
+    /// The initial fair-share weight granted (0 when refused).
+    pub share: f64,
+    /// Refusal reason when `ok` is false.
+    pub error: String,
+}
+
+/// Encodes a [`TenantAck`] payload.
+pub fn encode_tenant_ack(a: &TenantAck) -> Vec<u8> {
+    let err = a.error.as_bytes();
+    let mut out = Vec::with_capacity(11 + err.len());
+    out.push(u8::from(a.ok));
+    out.extend_from_slice(&a.share.to_le_bytes());
+    out.extend_from_slice(&(err.len() as u16).to_le_bytes());
+    out.extend_from_slice(err);
+    out
+}
+
+/// Decodes a [`TenantAck`] payload.
+pub fn decode_tenant_ack(b: &[u8]) -> Option<TenantAck> {
+    if b.len() < 11 {
+        return None;
+    }
+    let ok = b[0] != 0;
+    let share = f64::from_le_bytes(b[1..9].try_into().ok()?);
+    let err_len = u16::from_le_bytes(b[9..11].try_into().ok()?) as usize;
+    let err = b.get(11..11 + err_len)?;
+    Some(TenantAck {
+        ok,
+        share,
+        error: String::from_utf8(err.to_vec()).ok()?,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -495,6 +592,56 @@ mod tests {
             error: "unknown workload".into(),
         };
         assert_eq!(decode_hello_ack(&encode_hello_ack(&a)), Some(a));
+    }
+
+    #[test]
+    fn tenant_attach_roundtrip() {
+        let t = TenantAttach {
+            tenant: "victim".into(),
+            contract_json: r#"{"throughputRange":{"lo":0.4,"hi":0.8}}"#.into(),
+            queue_capacity: 64,
+            shed_policy: 1,
+        };
+        assert_eq!(decode_tenant_attach(&encode_tenant_attach(&t)), Some(t));
+        assert_eq!(decode_tenant_attach(b"short"), None);
+    }
+
+    #[test]
+    fn tenant_attach_frame_decodes() {
+        let t = TenantAttach {
+            tenant: "hot".into(),
+            contract_json: "\"bestEffort\"".into(),
+            queue_capacity: 8,
+            shed_policy: 0,
+        };
+        let mut d = Decoder::new();
+        d.extend(&frame_bytes(
+            FrameType::TenantAttach,
+            0,
+            &encode_tenant_attach(&t),
+        ));
+        let f = d.next_frame().unwrap().unwrap();
+        assert_eq!(f.ftype, FrameType::TenantAttach);
+        assert_eq!(decode_tenant_attach(&f.payload), Some(t));
+    }
+
+    #[test]
+    fn tenant_ack_roundtrip() {
+        let a = TenantAck {
+            ok: true,
+            share: 0.25,
+            error: String::new(),
+        };
+        assert_eq!(decode_tenant_ack(&encode_tenant_ack(&a)), Some(a));
+        let refused = TenantAck {
+            ok: false,
+            share: 0.0,
+            error: "duplicate tenant name".into(),
+        };
+        assert_eq!(
+            decode_tenant_ack(&encode_tenant_ack(&refused)),
+            Some(refused)
+        );
     }
 
     #[test]

@@ -205,6 +205,26 @@ impl EffectTable {
             .actuator(crate::stdlib::KILL_WORKER_OP, "parDegree", Dir::Down)
             .bean_effect(crate::stdlib::KILL_WORKER_OP, "numWorkers", Dir::Down)
             .bean_effect(crate::stdlib::KILL_WORKER_OP, "workersLost", Dir::Up)
+            // Tenancy: share moves redistribute pool capacity between DRR
+            // queues — the firing tenant's delivered throughput and backlog
+            // follow its weight. Growing the shared pool lifts every
+            // tenant's delivered throughput.
+            .actuator(crate::stdlib::GROW_SHARE_OP, "tenantShare", Dir::Up)
+            .actuator(crate::stdlib::SHRINK_SHARE_OP, "tenantShare", Dir::Down)
+            .bean_effect(crate::stdlib::GROW_SHARE_OP, "tenantShare", Dir::Up)
+            .bean_effect(crate::stdlib::GROW_SHARE_OP, "tenantThroughput", Dir::Up)
+            .bean_effect(crate::stdlib::GROW_SHARE_OP, "tenantQueueDepth", Dir::Down)
+            .bean_effect(crate::stdlib::SHRINK_SHARE_OP, "tenantShare", Dir::Down)
+            .bean_effect(
+                crate::stdlib::SHRINK_SHARE_OP,
+                "tenantThroughput",
+                Dir::Down,
+            )
+            .bean_effect(crate::stdlib::SHRINK_SHARE_OP, "tenantQueueDepth", Dir::Up)
+            .bean_effect(crate::stdlib::SHED_LOAD_OP, "tenantQueueDepth", Dir::Down)
+            .bean_effect(crate::stdlib::SHED_LOAD_OP, "tasksShed", Dir::Up)
+            .bean_effect(op::ADD_EXECUTOR, "tenantThroughput", Dir::Up)
+            .bean_effect(op::REMOVE_EXECUTOR, "tenantThroughput", Dir::Down)
             // Escalation is pure signalling: it moves no bean and no
             // actuator resource, by design rather than by omission.
             .inert(op::RAISE_VIOLATION)

@@ -30,6 +30,8 @@ pub const FAULT_RULES_TEXT: &str = include_str!("../rules/fault.rules");
 pub const MIGRATE_RULES_TEXT: &str = include_str!("../rules/migrate.rules");
 /// Text of the distributed-farm resilience rule program.
 pub const RESILIENCE_RULES_TEXT: &str = include_str!("../rules/resilience.rules");
+/// Text of the multi-tenant arbitration rule program.
+pub const TENANCY_RULES_TEXT: &str = include_str!("../rules/tenancy.rules");
 
 /// Parameter names referenced by the standard programs.
 pub mod params {
@@ -52,6 +54,16 @@ pub mod params {
     pub const FT_MIN_WORKERS: &str = "FT_MIN_WORKERS";
     /// Migration: minimum best-free/slowest-live speed ratio worth a move.
     pub const MIGRATE_MIN_GAIN: &str = "MIGRATE_MIN_GAIN";
+    /// Tenant delivered-throughput floor (tasks/s) — contract floor.
+    pub const TENANT_RATE_FLOOR: &str = "TENANT_RATE_FLOOR";
+    /// Tenant delivered-throughput ceiling (tasks/s) — contract ceiling.
+    pub const TENANT_RATE_CEIL: &str = "TENANT_RATE_CEIL";
+    /// Guaranteed minimum share weight the arbiter may shrink a tenant to.
+    pub const TENANT_MIN_SHARE: &str = "TENANT_MIN_SHARE";
+    /// Maximum share weight a single tenant may grow to.
+    pub const TENANT_MAX_SHARE: &str = "TENANT_MAX_SHARE";
+    /// Admission bound: queue depth above which a tenant is over budget.
+    pub const TENANT_QUEUE_LIMIT: &str = "TENANT_QUEUE_LIMIT";
 }
 
 /// Violation data attached by `setData` in the standard programs.
@@ -148,6 +160,50 @@ pub const MIGRATE_SLOWEST_OP: &str = "MIGRATE_SLOWEST";
 /// `kill_workers` actuator — and used by tests, chaos rules and bench
 /// harnesses to exercise the FT rule program.
 pub const KILL_WORKER_OP: &str = "KILL_WORKER";
+
+/// Share actuation: raise the firing tenant's DRR weight (bounded by
+/// `TENANT_MAX_SHARE`). Handled by the tenancy front-end's per-tenant ABC.
+pub const GROW_SHARE_OP: &str = "GROW_SHARE";
+
+/// Share actuation: lower the firing tenant's DRR weight (bounded by
+/// `TENANT_MIN_SHARE`).
+pub const SHRINK_SHARE_OP: &str = "SHRINK_SHARE";
+
+/// Admission actuation: drop queued tasks from the firing tenant (per its
+/// shed policy) until its queue is back inside the admission bound.
+pub const SHED_LOAD_OP: &str = "SHED_LOAD";
+
+/// The multi-tenant arbitration rule program (share grow/shrink, load
+/// shedding, pool growth on aggregate pressure, escalation at the share
+/// ceiling).
+pub fn tenancy_rules() -> RuleSet {
+    parse_rules(TENANCY_RULES_TEXT).expect("embedded tenancy.rules must parse")
+}
+
+/// Builds the tenancy parameter table from a tenant's contract bounds.
+///
+/// * `floor`/`ceil` — the delivered-throughput stripe (tasks/s); for a
+///   pure `minThroughput` contract pass `ceil = f64::INFINITY`.
+/// * `min_share`/`max_share` — bounds on the tenant's DRR share weight.
+/// * `queue_limit` — admission bound on the tenant's queue depth.
+/// * `max_workers` — shared-pool parallelism ceiling (arbiter growth
+///   stops here; referenced by the pool-pressure rule).
+pub fn tenancy_params(
+    floor: f64,
+    ceil: f64,
+    min_share: f64,
+    max_share: f64,
+    queue_limit: u32,
+    max_workers: u32,
+) -> ParamTable {
+    ParamTable::new()
+        .with(params::TENANT_RATE_FLOOR, floor)
+        .with(params::TENANT_RATE_CEIL, ceil)
+        .with(params::TENANT_MIN_SHARE, min_share)
+        .with(params::TENANT_MAX_SHARE, max_share)
+        .with(params::TENANT_QUEUE_LIMIT, f64::from(queue_limit))
+        .with(params::FARM_MAX_NUM_WORKERS, f64::from(max_workers))
+}
 
 /// Fig. 5 farm rules + migration rules.
 pub fn farm_rules_with_migration() -> RuleSet {

@@ -226,6 +226,7 @@ pub fn replay_counterexample(
             ManagerKind::Pipeline => ManagerConfig::pipeline(&p.label),
             ManagerKind::Producer => ManagerConfig::producer(&p.label),
             ManagerKind::Sequential => ManagerConfig::sequential(&p.label),
+            ManagerKind::Tenant => ManagerConfig::tenant(&p.label),
         };
         // The checker's exact parameter binding, merged over any
         // contract-derived defaults; linting already happened upstream.

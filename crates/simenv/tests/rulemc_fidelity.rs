@@ -235,6 +235,19 @@ fn heuristic_and_lasso_agree_on_all_shipped_programs() {
             stdlib::resilience_params(16),
             Spec::default(),
         ),
+        (
+            "tenancy",
+            stdlib::tenancy_rules(),
+            stdlib::tenancy_params(0.4, 0.8, 0.1, 0.8, 64, 16),
+            Spec::default()
+                .violation(Condition::And(vec![
+                    Condition::bean_vs_const("tenantThroughput", Cmp::Lt, 0.4),
+                    Condition::bean_vs_const("tenantQueueDepth", Cmp::Gt, 0.0),
+                ]))
+                .min_plant("tenantThroughput", "arrivalRate")
+                .initial("numWorkers", 0.0, 16.0)
+                .initial("tenantShare", 0.0, 1.0),
+        ),
     ];
     for (name, rules, params, spec) in &singles {
         let report = checker

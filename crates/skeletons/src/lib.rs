@@ -46,7 +46,8 @@ pub mod stream;
 
 pub use abc_impl::{FarmAbc, MapAbc, SourceAbc, StageAbc};
 pub use farm::{
-    Farm, FarmBuilder, FarmEvent, FarmEventKind, GatherPolicy, SchedPolicy, ShutdownReport,
+    Farm, FarmBuilder, FarmControl, FarmEvent, FarmEventKind, GatherPolicy, SchedPolicy,
+    ShutdownReport,
 };
 pub use gcm_sync::GcmMirroredFarm;
 pub use limiter::PacedSource;

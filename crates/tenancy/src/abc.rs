@@ -1,0 +1,172 @@
+//! ABCs binding the front-end to autonomic managers, and the two-level
+//! manager hierarchy the paper's arbitration story needs.
+//!
+//! Each tenant gets a [`TenantAbc`] under a `ManagerKind::Tenant` manager
+//! running `tenancy.rules` with parameters derived from the tenant's own
+//! contract: it grows/shrinks the tenant's fair-share weight, sheds load
+//! when the admission queue overflows its budget, and — when the share
+//! ceiling is reached and the contract is still missed — escalates with
+//! `raiseViol` to its parent.
+//!
+//! The parent is the *pool arbiter*: an [`ArbiterAbc`] over the shared
+//! farm's control surface, same rule program, but with its share pinned to
+//! `1.0` (via `extra_params`), which makes the share rules dormant and
+//! leaves the pool-growth rule (`violTooMuch → ADD_EXECUTOR`) and the
+//! shed guard live. Child escalations arrive through the standard
+//! violation mailbox and surface as the `violTooMuch` flag — the same
+//! hierarchy machinery the paper's pipeline-of-farms uses.
+
+use crate::frontend::{FrontShared, TenantFrontEnd, TenantHandle};
+use bskel_core::{
+    Abc, AbcError, ActuationOutcome, AutonomicManager, EventLog, ManagerConfig, ManagerOp,
+};
+use bskel_monitor::{SensorSnapshot, Time};
+use bskel_rules::stdlib::{self, params};
+use std::sync::Arc;
+
+/// Growth factor applied to a tenant's weight per `GROW_SHARE` firing.
+const GROW_FACTOR: f64 = 1.25;
+/// Shrink factor applied per `SHRINK_SHARE` firing.
+const SHRINK_FACTOR: f64 = 0.8;
+
+/// Per-tenant ABC: senses one tenant's queue, share, and delivered rate;
+/// actuates share growth/shrink and load shedding.
+pub struct TenantAbc<In, Out> {
+    shared: Arc<FrontShared<In, Out>>,
+    index: usize,
+}
+
+impl<In, Out> TenantAbc<In, Out> {
+    pub(crate) fn new(shared: Arc<FrontShared<In, Out>>, index: usize) -> Self {
+        Self { shared, index }
+    }
+}
+
+impl<In: Send + 'static, Out: Send + 'static> Abc for TenantAbc<In, Out> {
+    fn sense(&mut self, now: Time) -> SensorSnapshot {
+        self.shared.sense_tenant(self.index, now)
+    }
+
+    fn actuate(&mut self, op: &ManagerOp, _now: Time) -> Result<ActuationOutcome, AbcError> {
+        match op {
+            ManagerOp::Custom(name) if name == stdlib::GROW_SHARE_OP => {
+                Ok(match self.shared.scale_weight(self.index, GROW_FACTOR) {
+                    Some(_) => ActuationOutcome::Applied,
+                    None => ActuationOutcome::NoOp,
+                })
+            }
+            ManagerOp::Custom(name) if name == stdlib::SHRINK_SHARE_OP => {
+                Ok(match self.shared.scale_weight(self.index, SHRINK_FACTOR) {
+                    Some(_) => ActuationOutcome::Applied,
+                    None => ActuationOutcome::NoOp,
+                })
+            }
+            ManagerOp::Custom(name) if name == stdlib::SHED_LOAD_OP => {
+                Ok(match self.shared.shed_to_half(self.index) {
+                    0 => ActuationOutcome::NoOp,
+                    _ => ActuationOutcome::Applied,
+                })
+            }
+            // Pool sizing is the arbiter's job, not a tenant's.
+            _ => Ok(ActuationOutcome::NoOp),
+        }
+    }
+}
+
+/// Pool-arbiter ABC: the shared farm's sensors plus tenant aggregates;
+/// actuates pool sizing through the farm control surface.
+pub struct ArbiterAbc<In, Out> {
+    shared: Arc<FrontShared<In, Out>>,
+}
+
+impl<In, Out> ArbiterAbc<In, Out> {
+    pub(crate) fn new(shared: Arc<FrontShared<In, Out>>) -> Self {
+        Self { shared }
+    }
+}
+
+impl<In: Send + 'static, Out: Send + 'static> Abc for ArbiterAbc<In, Out> {
+    fn sense(&mut self, now: Time) -> SensorSnapshot {
+        self.shared.sense_pool(now)
+    }
+
+    fn actuate(&mut self, op: &ManagerOp, _now: Time) -> Result<ActuationOutcome, AbcError> {
+        match op {
+            ManagerOp::AddWorkers(n) => match self.shared.control.add_workers(*n) {
+                Ok(_) => Ok(ActuationOutcome::Applied),
+                Err(reason) => Ok(ActuationOutcome::Refused { reason }),
+            },
+            ManagerOp::RemoveWorkers(n) => match self.shared.control.remove_workers(*n) {
+                Ok(_) => Ok(ActuationOutcome::Applied),
+                Err(reason) => Ok(ActuationOutcome::Refused { reason }),
+            },
+            ManagerOp::BalanceLoad => Ok(if self.shared.control.rebalance() {
+                ActuationOutcome::Applied
+            } else {
+                ActuationOutcome::NoOp
+            }),
+            // Share ops are pinned dormant by the arbiter's parameters;
+            // anything else is not the pool's to perform.
+            _ => Ok(ActuationOutcome::NoOp),
+        }
+    }
+}
+
+/// The assembled two-level control hierarchy over a front-end.
+pub struct TenancyManagers {
+    /// Pool arbiter (parent).
+    pub arbiter: AutonomicManager,
+    /// Per-tenant managers (children), in the order the handles were
+    /// passed to [`build_managers`].
+    pub children: Vec<AutonomicManager>,
+}
+
+impl TenancyManagers {
+    /// Runs one control cycle across the hierarchy, children first so
+    /// escalations raised this cycle reach the arbiter's mailbox before
+    /// it senses.
+    pub fn run_cycle(&mut self, now: Time) {
+        for c in &mut self.children {
+            c.control_cycle(now);
+        }
+        self.arbiter.control_cycle(now);
+    }
+}
+
+/// Builds the arbiter + per-tenant managers for `front`:
+///
+/// - one `ManagerConfig::tenant` child per handle, named `AM_T_<tenant>`,
+///   its contract posted from the tenant's spec (deriving the rule
+///   parameters: the contract floor/ceiling become `$TENANT_RATE_FLOOR` /
+///   `$TENANT_RATE_CEIL`);
+/// - an arbiter named `AM_POOL` whose share parameters are pinned to 1.0
+///   so only the pool-level rules stay live, with `max_workers` bounding
+///   `ADD_EXECUTOR`.
+pub fn build_managers<In: Send + 'static, Out: Send + 'static>(
+    front: &TenantFrontEnd<In, Out>,
+    handles: &[&TenantHandle<In, Out>],
+    log: EventLog,
+    max_workers: u32,
+) -> TenancyManagers {
+    let mut cfg = ManagerConfig::tenant("AM_POOL");
+    cfg.max_workers = max_workers;
+    cfg.extra_params = vec![
+        (params::TENANT_MIN_SHARE.to_owned(), 1.0),
+        (params::TENANT_MAX_SHARE.to_owned(), 1.0),
+    ];
+    let arbiter = AutonomicManager::new(cfg, Box::new(front.arbiter_abc()), log.clone());
+
+    let children = handles
+        .iter()
+        .map(|h| {
+            let mut cfg = ManagerConfig::tenant(&format!("AM_T_{}", h.name()));
+            cfg.max_workers = max_workers;
+            let m = AutonomicManager::new(cfg, Box::new(front.tenant_abc(h)), log.clone())
+                .with_parent(arbiter.mailbox());
+            m.contract_slot().post(h.contract());
+            m
+        })
+        .collect();
+
+    TenancyManagers { arbiter, children }
+}

@@ -1,0 +1,317 @@
+//! Tenant streams over the `bskel_net` wire protocol.
+//!
+//! A remote tenant opens a TCP connection and sends a `TenantAttach`
+//! frame (name, contract as JSON in the standard contract grammar, queue
+//! shape) instead of the worker daemon's `Hello`. The front-end replies
+//! with a `TenantAck` carrying the admitted share, after which the
+//! connection is a plain task stream: `Task` frames in, `Result` / `Lost`
+//! frames out (tenant-local sequence numbers on both sides), `Goodbye` to
+//! close — the client's to stop submitting, the server's to say the
+//! stream is fully accounted.
+//!
+//! Admission control, fair scheduling, and manager arbitration are
+//! exactly the in-process [`TenantFrontEnd`] path — the wire tenants and
+//! in-process tenants share one scheduler and one pool.
+
+use crate::frontend::{TenantFrontEnd, TenantHandle, TenantMsg};
+use crate::spec::{ShedPolicy, TenantSpec};
+use bskel_net::proto::{
+    decode_tenant_ack, decode_tenant_attach, encode_frame, encode_tenant_ack, encode_tenant_attach,
+    Decoder, Frame, FrameType, TenantAck, TenantAttach,
+};
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Reads from `stream` until the decoder yields a frame. `Ok(None)` on
+/// clean EOF; protocol errors surface as `InvalidData`.
+fn next_frame_blocking(stream: &mut TcpStream, dec: &mut Decoder) -> io::Result<Option<Frame>> {
+    let mut buf = [0_u8; 4096];
+    loop {
+        match dec.next_frame() {
+            Ok(Some(f)) => return Ok(Some(f)),
+            Ok(None) => {}
+            Err(e) => return Err(io::Error::new(io::ErrorKind::InvalidData, e)),
+        }
+        let n = stream.read(&mut buf)?;
+        if n == 0 {
+            return Ok(None);
+        }
+        dec.extend(&buf[..n]);
+    }
+}
+
+fn send_frame(
+    stream: &mut TcpStream,
+    ftype: FrameType,
+    seq: u64,
+    payload: &[u8],
+) -> io::Result<()> {
+    let mut out = Vec::with_capacity(payload.len() + 16);
+    encode_frame(&mut out, ftype, seq, payload);
+    stream.write_all(&out)
+}
+
+/// A TCP front door over a byte-stream front-end.
+pub struct TenancyServer {
+    addr: std::net::SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl TenancyServer {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"`) and serves tenant connections
+    /// onto `front` until [`TenancyServer::stop`].
+    pub fn bind(addr: &str, front: Arc<TenantFrontEnd<Vec<u8>, Vec<u8>>>) -> io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let accept = std::thread::Builder::new()
+            .name("tenancy-accept".into())
+            .spawn(move || {
+                let mut conns: Vec<JoinHandle<()>> = Vec::new();
+                for stream in listener.incoming() {
+                    if stop2.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(stream) = stream else { continue };
+                    let front = Arc::clone(&front);
+                    if let Ok(h) = std::thread::Builder::new()
+                        .name("tenancy-conn".into())
+                        .spawn(move || {
+                            let _ = serve_connection(stream, &front);
+                        })
+                    {
+                        conns.push(h);
+                    }
+                }
+                for h in conns {
+                    let _ = h.join();
+                }
+            })
+            .expect("spawn tenancy accept loop");
+        Ok(Self {
+            addr: local,
+            stop,
+            accept: Some(accept),
+        })
+    }
+
+    /// The bound address (for `"…:0"` binds).
+    pub fn local_addr(&self) -> std::net::SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting and joins every connection thread. In-flight
+    /// connections finish their streams first.
+    pub fn stop(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// One connection: attach handshake, then reader (tasks in) + writer
+/// (results out) until both sides say goodbye.
+fn serve_connection(
+    mut stream: TcpStream,
+    front: &TenantFrontEnd<Vec<u8>, Vec<u8>>,
+) -> io::Result<()> {
+    let mut dec = Decoder::new();
+    // Handshake: the first frame must be a TenantAttach.
+    let Some(frame) = next_frame_blocking(&mut stream, &mut dec)? else {
+        return Ok(());
+    };
+    let refuse = |stream: &mut TcpStream, error: String| {
+        let ack = TenantAck {
+            ok: false,
+            share: 0.0,
+            error,
+        };
+        send_frame(stream, FrameType::TenantAck, 0, &encode_tenant_ack(&ack))
+    };
+    if frame.ftype != FrameType::TenantAttach {
+        return refuse(
+            &mut stream,
+            format!("expected TenantAttach, got {:?}", frame.ftype),
+        );
+    }
+    let Some(attach) = decode_tenant_attach(&frame.payload) else {
+        return refuse(&mut stream, "malformed TenantAttach payload".into());
+    };
+    let contract: bskel_core::Contract = match serde_json::from_str(&attach.contract_json) {
+        Ok(c) => c,
+        Err(e) => return refuse(&mut stream, format!("bad contract: {e}")),
+    };
+    let spec = TenantSpec::new(attach.tenant, contract)
+        .with_queue_capacity((attach.queue_capacity.max(1)) as usize)
+        .with_shed_policy(ShedPolicy::from_wire(attach.shed_policy));
+    let handle: TenantHandle<Vec<u8>, Vec<u8>> = match front.attach(spec) {
+        Ok(h) => h,
+        Err(e) => return refuse(&mut stream, e.to_string()),
+    };
+    let ack = TenantAck {
+        ok: true,
+        share: handle.stats().share,
+        error: String::new(),
+    };
+    send_frame(
+        &mut stream,
+        FrameType::TenantAck,
+        0,
+        &encode_tenant_ack(&ack),
+    )?;
+
+    // Writer: forward the tenant's result stream until End.
+    let mut write_half = stream.try_clone()?;
+    let output = handle.output().clone();
+    let writer = std::thread::Builder::new()
+        .name("tenancy-conn-writer".into())
+        .spawn(move || -> io::Result<()> {
+            for msg in output.iter() {
+                match msg {
+                    TenantMsg::Item { seq, payload } => {
+                        send_frame(&mut write_half, FrameType::Result, seq, &payload)?;
+                    }
+                    TenantMsg::Lost { seq, .. } => {
+                        send_frame(&mut write_half, FrameType::Lost, seq, &[])?;
+                    }
+                    TenantMsg::End => {
+                        send_frame(&mut write_half, FrameType::Goodbye, 0, &[])?;
+                        break;
+                    }
+                }
+            }
+            write_half.flush()
+        })
+        .expect("spawn tenancy connection writer");
+
+    // Reader: admit tasks until the client says goodbye or disconnects.
+    // The client's frame seq is its own copy of the dense tenant sequence;
+    // admission control assigns the authoritative one in the same order.
+    loop {
+        match next_frame_blocking(&mut stream, &mut dec)? {
+            Some(f) if f.ftype == FrameType::Task => {
+                let _ = handle.submit(f.payload);
+            }
+            Some(f) if f.ftype == FrameType::Goodbye => {
+                handle.close();
+                break;
+            }
+            Some(_) => {} // Heartbeats etc.: ignored by the front door.
+            None => {
+                handle.close();
+                break;
+            }
+        }
+    }
+    writer.join().expect("tenancy writer panicked")?;
+    Ok(())
+}
+
+/// Results of one finished tenant stream, from [`TenantClient::finish`].
+#[derive(Debug, Default)]
+pub struct ClientSummary {
+    /// `(seq, payload)` of every delivered result, in delivery order.
+    pub results: Vec<(u64, Vec<u8>)>,
+    /// Sequence numbers that were shed or lost.
+    pub lost: Vec<u64>,
+}
+
+/// A remote tenant: connects, attaches, streams tasks, collects results.
+pub struct TenantClient {
+    stream: TcpStream,
+    next_seq: u64,
+    reader: Option<JoinHandle<ClientSummary>>,
+}
+
+impl TenantClient {
+    /// Connects to a [`TenancyServer`] and performs the attach handshake.
+    /// `contract` is serialised into the attach frame's JSON field.
+    pub fn connect(
+        addr: impl std::net::ToSocketAddrs,
+        name: &str,
+        contract: &bskel_core::Contract,
+        queue_capacity: u32,
+        shed_policy: ShedPolicy,
+    ) -> io::Result<(Self, TenantAck)> {
+        let mut stream = TcpStream::connect(addr)?;
+        let attach = TenantAttach {
+            tenant: name.to_owned(),
+            contract_json: serde_json::to_string(contract)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e))?,
+            queue_capacity,
+            shed_policy: shed_policy.to_wire(),
+        };
+        send_frame(
+            &mut stream,
+            FrameType::TenantAttach,
+            0,
+            &encode_tenant_attach(&attach),
+        )?;
+        let mut dec = Decoder::new();
+        let ack = loop {
+            let Some(f) = next_frame_blocking(&mut stream, &mut dec)? else {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "connection closed before TenantAck",
+                ));
+            };
+            if f.ftype == FrameType::TenantAck {
+                break decode_tenant_ack(&f.payload).ok_or_else(|| {
+                    io::Error::new(io::ErrorKind::InvalidData, "malformed TenantAck")
+                })?;
+            }
+        };
+        // Collect results as they stream back so a large result volume
+        // never wedges the server's writer against a full socket buffer.
+        let mut read_half = stream.try_clone()?;
+        let reader = std::thread::Builder::new()
+            .name("tenant-client-reader".into())
+            .spawn(move || {
+                let mut summary = ClientSummary::default();
+                let mut dec = dec; // carries over any bytes read past the ack
+                while let Ok(Some(f)) = next_frame_blocking(&mut read_half, &mut dec) {
+                    match f.ftype {
+                        FrameType::Result => summary.results.push((f.seq, f.payload)),
+                        FrameType::Lost => summary.lost.push(f.seq),
+                        FrameType::Goodbye => break,
+                        _ => {}
+                    }
+                }
+                summary
+            })
+            .expect("spawn tenant client reader");
+        Ok((
+            Self {
+                stream,
+                next_seq: 0,
+                reader: Some(reader),
+            },
+            ack,
+        ))
+    }
+
+    /// Streams one task; returns the sequence number it will be known by.
+    pub fn submit(&mut self, payload: &[u8]) -> io::Result<u64> {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        send_frame(&mut self.stream, FrameType::Task, seq, payload)?;
+        Ok(seq)
+    }
+
+    /// Says goodbye and drains the result stream to completion.
+    pub fn finish(mut self) -> io::Result<ClientSummary> {
+        send_frame(&mut self.stream, FrameType::Goodbye, 0, &[])?;
+        let reader = self.reader.take().expect("reader present until finish");
+        reader
+            .join()
+            .map_err(|_| io::Error::other("tenant client reader panicked"))
+    }
+}
