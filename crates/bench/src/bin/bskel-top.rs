@@ -114,6 +114,7 @@ fn render_journal(records: &[JournalRecord]) -> String {
                 manager,
                 op,
                 outcome,
+                ..
             } => {
                 *counts.entry((manager, "actuation")).or_default() += 1;
                 events.push((*at, manager, "actuation", format!("{op} -> {outcome}")));

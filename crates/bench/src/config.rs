@@ -147,6 +147,10 @@ pub enum ScenarioConfig {
         /// Model-based initial setup.
         #[serde(default)]
         model_initial_setup: bool,
+        /// Control law for the farm manager
+        /// (`"rules" | "aimd" | "retry_budget" | "hedge"`; default rules).
+        #[serde(default)]
+        controller: Option<String>,
         /// RNG seed.
         #[serde(default = "default_seed")]
         seed: u64,
@@ -170,6 +174,9 @@ pub enum ScenarioConfig {
         /// Run length, seconds.
         #[serde(default = "default_horizon")]
         horizon: f64,
+        /// Control law for the farm-stage manager (default rules).
+        #[serde(default)]
+        controller: Option<String>,
         /// RNG seed.
         #[serde(default = "default_seed")]
         seed: u64,
@@ -195,6 +202,9 @@ pub enum ScenarioConfig {
         /// Seconds between manager control cycles.
         #[serde(default = "default_control_period")]
         control_period: f64,
+        /// Control law for the pool arbiter (default rules).
+        #[serde(default)]
+        controller: Option<String>,
         /// Seed for burst phase offsets.
         #[serde(default = "default_seed")]
         seed: u64,
@@ -217,6 +227,41 @@ pub struct RunReport {
     pub security_violations: u64,
     /// Manager events emitted.
     pub events: usize,
+    /// Contract-violation events observed (`contrLow` + `raiseViol`).
+    #[serde(default)]
+    pub violations: u64,
+    /// Resource cost: ∫ workers dt over the run, worker-seconds.
+    #[serde(default)]
+    pub worker_seconds: f64,
+}
+
+/// Piecewise-constant integral of a sampled series (worker-seconds when
+/// fed the `workers` trace), extended to `horizon` at the last value.
+fn integrate(series: &[(f64, f64)], horizon: f64) -> f64 {
+    let mut area = 0.0;
+    for w in series.windows(2) {
+        area += w[0].1 * (w[1].0 - w[0].0);
+    }
+    if let Some(&(t, v)) = series.last() {
+        area += v * (horizon - t).max(0.0);
+    }
+    area
+}
+
+/// Counts contract-violation events (`contrLow` + `raiseViol`).
+fn count_violations(events: &[bskel_core::EventRecord]) -> u64 {
+    use bskel_core::EventKind;
+    events
+        .iter()
+        .filter(|e| matches!(e.kind, EventKind::ContrLow | EventKind::RaiseViol))
+        .count() as u64
+}
+
+/// Parses an optional controller-name field; `None` means rules.
+fn parse_controller(c: &Option<String>) -> bskel_core::ControllerKind {
+    c.as_deref().map_or(bskel_core::ControllerKind::Rules, |s| {
+        s.parse().expect("valid controller name in scenario config")
+    })
 }
 
 impl ScenarioConfig {
@@ -241,6 +286,7 @@ impl ScenarioConfig {
                 ft_min_workers,
                 migrate_min_gain,
                 model_initial_setup,
+                controller,
                 seed,
             } => {
                 let mut b = FarmScenario::builder()
@@ -249,6 +295,7 @@ impl ScenarioConfig {
                     .initial_workers(initial_workers)
                     .contract(contract)
                     .horizon(horizon)
+                    .controller(parse_controller(&controller))
                     .model_initial_setup(model_initial_setup);
                 if let Some((trusted, untrusted)) = nodes {
                     b = b.nodes(trusted, untrusted);
@@ -276,6 +323,8 @@ impl ScenarioConfig {
                     time_to_contract: outcome.time_to_contract,
                     security_violations: outcome.plaintext_to_untrusted,
                     events: outcome.events.len(),
+                    violations: count_violations(&outcome.events),
+                    worker_seconds: integrate(outcome.trace.get("workers"), horizon),
                 };
                 (report, outcome.trace.to_csv())
             }
@@ -287,6 +336,7 @@ impl ScenarioConfig {
                 add_batch,
                 count,
                 horizon,
+                controller,
                 seed,
             } => {
                 let outcome = PipelineScenario::builder()
@@ -297,6 +347,7 @@ impl ScenarioConfig {
                     .add_batch(add_batch)
                     .count(count)
                     .horizon(horizon)
+                    .controller(parse_controller(&controller))
                     .build()
                     .run(seed);
                 let lo = contract.throughput_bounds().map_or(0.0, |(lo, _)| lo);
@@ -310,6 +361,8 @@ impl ScenarioConfig {
                     time_to_contract: outcome.trace.first_reaching("throughput", lo),
                     security_violations: 0,
                     events: outcome.events.len(),
+                    violations: count_violations(&outcome.events),
+                    worker_seconds: integrate(outcome.trace.get("workers"), horizon),
                 };
                 (report, outcome.trace.to_csv())
             }
@@ -320,6 +373,7 @@ impl ScenarioConfig {
                 max_workers,
                 duration,
                 control_period,
+                controller,
                 seed,
             } => run_multi_tenant(
                 &tenants,
@@ -328,6 +382,7 @@ impl ScenarioConfig {
                 max_workers,
                 duration,
                 control_period,
+                parse_controller(&controller),
                 seed,
             ),
         }
@@ -337,6 +392,7 @@ impl ScenarioConfig {
 /// Runs a multi-tenant scenario on the threaded front-end: paced offered
 /// load per tenant, manager cycles at `control_period`, and a per-tenant
 /// accounting CSV as the trace.
+#[allow(clippy::too_many_arguments)]
 fn run_multi_tenant(
     tenants: &[TenantConfig],
     service_time: f64,
@@ -344,9 +400,10 @@ fn run_multi_tenant(
     max_workers: u32,
     duration: f64,
     control_period: f64,
+    controller: bskel_core::ControllerKind,
     seed: u64,
 ) -> (RunReport, String) {
-    use bskel_tenancy::{build_managers, TenantFrontEnd, TenantSpec};
+    use bskel_tenancy::{build_managers_with, TenantFrontEnd, TenantSpec};
     use std::time::{Duration, Instant};
 
     let spin_us = (service_time * 1e6).max(1.0) as u64;
@@ -377,11 +434,12 @@ fn run_multi_tenant(
         })
         .collect();
     let log = bskel_core::EventLog::new();
-    let mut managers = build_managers(
+    let mut managers = build_managers_with(
         &front,
         &handles.iter().collect::<Vec<_>>(),
         log.clone(),
         max_workers,
+        controller,
     );
 
     // Deterministic burst phase offsets from the seed (splitmix64 step).
@@ -451,6 +509,10 @@ fn run_multi_tenant(
         time_to_contract: None,
         security_violations: 0,
         events: log.len(),
+        violations: count_violations(&log.snapshot()),
+        // The threaded front-end has no workers trace; approximate the
+        // resource cost with the final pool size over the whole run.
+        worker_seconds: f64::from(workers) * duration,
     };
     (report, csv)
 }

@@ -12,9 +12,16 @@
 
 use crate::config::ScenarioConfig;
 use bskel_core::contract::Contract;
+use bskel_core::ControllerKind;
 use bskel_rules::analysis::{Analyzer, Diagnostic, Severity};
 use bskel_rules::{parse_rules_spanned, stdlib, ParamTable, RuleSet};
 use bskel_sim::sim_bean_schema;
+
+/// Resolves a scenario's optional controller name; an unknown name is a
+/// configuration error the lint must surface, not a panic.
+pub(crate) fn controller_of(c: &Option<String>) -> Result<ControllerKind, String> {
+    c.as_deref().map_or(Ok(ControllerKind::Rules), str::parse)
+}
 
 /// Lint results for one input file.
 #[derive(Debug)]
@@ -110,6 +117,18 @@ pub fn lint_scenario(path: &str, json: &str) -> FileReport {
             }
         }
     };
+    let controller = match &cfg {
+        ScenarioConfig::Farm { controller, .. }
+        | ScenarioConfig::Pipeline { controller, .. }
+        | ScenarioConfig::MultiTenant { controller, .. } => controller,
+    };
+    if let Err(e) = controller_of(controller) {
+        return FileReport {
+            path: path.to_string(),
+            parse_error: Some(format!("bad scenario config: {e}")),
+            diagnostics: Vec::new(),
+        };
+    }
     FileReport {
         path: path.to_string(),
         parse_error: None,
@@ -141,6 +160,12 @@ pub(crate) fn arbiter_params_for(max_workers: u32) -> ParamTable {
 }
 
 /// Analyzes the rule programs implied by a scenario configuration.
+///
+/// Controller-aware: a manager whose configured control law runs **no**
+/// rule program (`aimd`) contributes nothing to lint — there is no
+/// program to analyze, and findings against a program that never loads
+/// would be noise. The budget-mirroring laws (`retry_budget`, `hedge`)
+/// wrap the standard programs and are linted exactly like `rules`.
 pub fn lint_scenario_config(cfg: &ScenarioConfig) -> Vec<Diagnostic> {
     let analyzer = Analyzer::new(sim_bean_schema());
     let mut out = Vec::new();
@@ -149,8 +174,14 @@ pub fn lint_scenario_config(cfg: &ScenarioConfig) -> Vec<Diagnostic> {
             contract,
             ft_min_workers,
             migrate_min_gain,
+            controller,
             ..
         } => {
+            if controller_of(controller) == Ok(ControllerKind::Aimd) {
+                // The farm manager is the scenario's only manager, and
+                // AIMD loads no rules.
+                return out;
+            }
             // The farm manager loads one merged program; the analysis of
             // the merge catches intra-set problems, and the per-concern
             // pairings catch TR-09-10-style contradictions.
@@ -183,22 +214,29 @@ pub fn lint_scenario_config(cfg: &ScenarioConfig) -> Vec<Diagnostic> {
         ScenarioConfig::Pipeline {
             initial_rate,
             contract,
+            controller,
             ..
         } => {
             // AM_A drives the source with output-rate contracts around the
             // configured initial rate; the farm stage gets the app SLA.
+            // Only the farm stage honours the controller selection, so an
+            // AIMD farm drops out of the lint while the coordinator and
+            // producer programs stay checked.
+            let farm_is_ruled = controller_of(controller) != Ok(ControllerKind::Aimd);
             let (floor, ceil) = Contract::output_rate(*initial_rate)
                 .output_rate_bounds()
                 .unwrap_or((0.0, f64::INFINITY));
-            let programs: Vec<(&str, RuleSet, ParamTable)> = vec![
+            let mut programs: Vec<(&str, RuleSet, ParamTable)> = vec![
                 ("pipeline", stdlib::pipeline_rules(), ParamTable::new()),
                 (
                     "producer",
                     stdlib::producer_rules(),
                     stdlib::producer_params(floor, ceil),
                 ),
-                ("farm", stdlib::farm_rules(), farm_params_for(contract)),
             ];
+            if farm_is_ruled {
+                programs.push(("farm", stdlib::farm_rules(), farm_params_for(contract)));
+            }
             for (_, set, params) in &programs {
                 out.extend(analyzer.analyze(set, Some(params), None));
             }
@@ -208,13 +246,16 @@ pub fn lint_scenario_config(cfg: &ScenarioConfig) -> Vec<Diagnostic> {
             // producer child, not direct writes to a shared actuator, so
             // pairing it against the producer would flag the hierarchy's
             // designed feedback path as a conflict.
-            let (pl, ps, pp) = &programs[1];
-            let (fl, fs, fp) = &programs[2];
-            out.extend(analyzer.check_conflicts((pl, ps, Some(pp)), (fl, fs, Some(fp))));
+            if farm_is_ruled {
+                let (pl, ps, pp) = &programs[1];
+                let (fl, fs, fp) = &programs[2];
+                out.extend(analyzer.check_conflicts((pl, ps, Some(pp)), (fl, fs, Some(fp))));
+            }
         }
         ScenarioConfig::MultiTenant {
             tenants,
             max_workers,
+            controller,
             ..
         } => {
             // One tenancy program per tenant, under the parameters its
@@ -230,12 +271,15 @@ pub fn lint_scenario_config(cfg: &ScenarioConfig) -> Vec<Diagnostic> {
                     None,
                 ));
             }
-            // The arbiter runs the same program with its share pinned.
-            out.extend(analyzer.analyze(
-                &stdlib::tenancy_rules(),
-                Some(&arbiter_params_for(*max_workers)),
-                None,
-            ));
+            // The arbiter runs the same program with its share pinned —
+            // unless it was handed to the AIMD law, which takes no rules.
+            if controller_of(controller) != Ok(ControllerKind::Aimd) {
+                out.extend(analyzer.analyze(
+                    &stdlib::tenancy_rules(),
+                    Some(&arbiter_params_for(*max_workers)),
+                    None,
+                ));
+            }
         }
     }
     out
@@ -345,12 +389,88 @@ mod tests {
             ft_min_workers: None,
             migrate_min_gain: None,
             model_initial_setup: false,
+            controller: None,
             seed: 1,
         };
         let diags = lint_scenario_config(&cfg);
         assert!(
             diags.iter().any(|d| d.code == LintCode::Oscillation),
             "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn controller_state_beans_are_in_the_lint_schema() {
+        // The controller seam's published state beans — the retry-budget
+        // token level, hedge counters and AIMD ceiling — must be legal
+        // sensors for operator rule programs.
+        let report = lint_rules_text(
+            "controllers.rules",
+            r#"
+            rule "BudgetLow" salience 5
+            when
+                retryBudgetTokens < 2
+            then
+                fireOperation(SHED_LOAD);
+            end
+            rule "HedgeStorm" salience 4
+            when
+                hedgesLaunched > 100 && hedgeWins < 10
+            then
+                fireOperation(BALANCE_LOAD);
+            end
+            rule "AimdPinned" salience 3
+            when
+                aimdCeiling < 2
+            then
+                fireOperation(ADD_EXECUTOR);
+            end
+            "#,
+        );
+        assert!(!diag_has_errors(&report.diagnostics), "{}", report.render());
+    }
+
+    #[test]
+    fn aimd_scenario_lints_no_rule_program() {
+        // The same inverted contract that flags Oscillation under rules
+        // produces nothing under AIMD: no program loads, so there is
+        // nothing to lint.
+        let cfg = ScenarioConfig::Farm {
+            service_time: 1.0,
+            arrival_rate: 1.0,
+            initial_workers: 1,
+            contract: Contract::throughput_range(0.7, 0.3),
+            horizon: 10.0,
+            nodes: None,
+            secure: None,
+            ssl: None,
+            failures: vec![],
+            ft_min_workers: None,
+            migrate_min_gain: None,
+            model_initial_setup: false,
+            controller: Some("aimd".into()),
+            seed: 1,
+        };
+        assert!(lint_scenario_config(&cfg).is_empty());
+    }
+
+    #[test]
+    fn unknown_controller_name_is_a_config_error() {
+        let report = lint_scenario(
+            "bad_controller.json",
+            r#"{
+                "kind": "farm",
+                "service_time": 1.0,
+                "arrival_rate": 1.0,
+                "contract": { "MinThroughput": 0.5 },
+                "controller": "pid"
+            }"#,
+        );
+        assert_eq!(report.error_count(), 1);
+        assert!(
+            report.render().contains("unknown controller"),
+            "{}",
+            report.render()
         );
     }
 
@@ -372,6 +492,7 @@ mod tests {
             ft_min_workers: Some(6),
             migrate_min_gain: None,
             model_initial_setup: false,
+            controller: None,
             seed: 1,
         };
         let diags = lint_scenario_config(&cfg);

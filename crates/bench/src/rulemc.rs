@@ -25,8 +25,9 @@
 //! and checks each loop with the deployment's actual thresholds.
 
 use crate::config::ScenarioConfig;
-use crate::rulelint::{arbiter_params_for, farm_params_for, tenant_params_for};
+use crate::rulelint::{arbiter_params_for, controller_of, farm_params_for, tenant_params_for};
 use bskel_core::contract::Contract;
+use bskel_core::ControllerKind;
 use bskel_rules::analysis::Severity;
 use bskel_rules::{
     parse_rules, stdlib, throughput_violation, Cmp, Condition, Counterexample, EnvMove, McError,
@@ -322,6 +323,18 @@ pub fn check_scenario(path: &str, json: &str) -> FileReport {
             }
         }
     };
+    let controller = match &cfg {
+        ScenarioConfig::Farm { controller, .. }
+        | ScenarioConfig::Pipeline { controller, .. }
+        | ScenarioConfig::MultiTenant { controller, .. } => controller,
+    };
+    if let Err(e) = controller_of(controller) {
+        return FileReport {
+            path: path.to_string(),
+            parse_error: Some(format!("bad scenario config: {e}")),
+            checks: Vec::new(),
+        };
+    }
     FileReport {
         path: path.to_string(),
         parse_error: None,
@@ -330,6 +343,12 @@ pub fn check_scenario(path: &str, json: &str) -> FileReport {
 }
 
 /// Model-checks the control loops implied by a scenario configuration.
+///
+/// Controller-aware: a manager handed to the `aimd` law runs no rule
+/// program, so there is no rule × effect-table loop to model — its
+/// checks are skipped. The budget-mirroring laws (`retry_budget`,
+/// `hedge`) execute the standard programs unchanged and are checked
+/// exactly like `rules`.
 pub fn check_scenario_config(cfg: &ScenarioConfig) -> Vec<CheckOutcome> {
     let checker = ModelChecker::new(sim_bean_schema());
     let mut out = Vec::new();
@@ -338,8 +357,14 @@ pub fn check_scenario_config(cfg: &ScenarioConfig) -> Vec<CheckOutcome> {
             contract,
             ft_min_workers,
             migrate_min_gain,
+            controller,
             ..
         } => {
+            if controller_of(controller) == Ok(ControllerKind::Aimd) {
+                // The farm manager is the scenario's only manager, and
+                // AIMD loads no rules.
+                return out;
+            }
             // The farm manager runs one merged program: check the merge,
             // not the concerns in isolation — interaction bugs (an FT
             // floor fighting the performance ceiling) only exist in the
@@ -377,8 +402,12 @@ pub fn check_scenario_config(cfg: &ScenarioConfig) -> Vec<CheckOutcome> {
         ScenarioConfig::Pipeline {
             initial_rate,
             contract,
+            controller,
             ..
         } => {
+            // Only the farm stage honours the controller selection; the
+            // coordinator and producer loops stay rule-driven regardless.
+            let farm_is_ruled = controller_of(controller) != Ok(ControllerKind::Aimd);
             // Leaf loops first: the producer under its own output-rate
             // contract, the farm stage under the application SLA.
             let (floor, ceil) = Contract::output_rate(*initial_rate)
@@ -402,37 +431,40 @@ pub fn check_scenario_config(cfg: &ScenarioConfig) -> Vec<CheckOutcome> {
                     &producer_spec,
                 ),
             });
-            let farm_params = farm_params_for(contract);
-            out.push(CheckOutcome {
-                program: "farm".to_string(),
-                result: checker.check(
-                    "farm",
-                    &stdlib::farm_rules(),
-                    &farm_params,
-                    &farm_spec_for(contract),
-                ),
-            });
-            // The hierarchy composition: farm child escalates, pipeline
-            // parent retunes the source. Escalation no longer discharges
-            // recovery — the parent is in the model, so the obligation is
-            // that the *closed* loop actually recovers.
-            let composed_spec = farm_spec_for(contract)
-                .waiver(Condition::flag("endStream"))
-                .env("endStream", EnvMove::UpOnly)
-                .escalation_discharges(false)
-                .recovery_k(12);
-            out.push(CheckOutcome {
-                program: "farm+pipeline".to_string(),
-                result: checker.check_composed(
-                    ("farm", &stdlib::farm_rules(), &farm_params),
-                    ("pipeline", &stdlib::pipeline_rules(), &ParamTable::new()),
-                    &composed_spec,
-                ),
-            });
+            if farm_is_ruled {
+                let farm_params = farm_params_for(contract);
+                out.push(CheckOutcome {
+                    program: "farm".to_string(),
+                    result: checker.check(
+                        "farm",
+                        &stdlib::farm_rules(),
+                        &farm_params,
+                        &farm_spec_for(contract),
+                    ),
+                });
+                // The hierarchy composition: farm child escalates, pipeline
+                // parent retunes the source. Escalation no longer discharges
+                // recovery — the parent is in the model, so the obligation is
+                // that the *closed* loop actually recovers.
+                let composed_spec = farm_spec_for(contract)
+                    .waiver(Condition::flag("endStream"))
+                    .env("endStream", EnvMove::UpOnly)
+                    .escalation_discharges(false)
+                    .recovery_k(12);
+                out.push(CheckOutcome {
+                    program: "farm+pipeline".to_string(),
+                    result: checker.check_composed(
+                        ("farm", &stdlib::farm_rules(), &farm_params),
+                        ("pipeline", &stdlib::pipeline_rules(), &ParamTable::new()),
+                        &composed_spec,
+                    ),
+                });
+            }
         }
         ScenarioConfig::MultiTenant {
             tenants,
             max_workers,
+            controller,
             ..
         } => {
             // One loop per tenant, under the parameters its manager
@@ -463,7 +495,11 @@ pub fn check_scenario_config(cfg: &ScenarioConfig) -> Vec<CheckOutcome> {
                 let floor = |c: &Contract| c.throughput_bounds().map_or(0.0, |(lo, _)| lo);
                 floor(&a.contract).total_cmp(&floor(&b.contract))
             });
-            if let Some(t) = demanding {
+            // An AIMD arbiter runs no rules, so there is no child+arbiter
+            // rule composition to check — the per-tenant loops above
+            // (always rule-driven) remain the checked surface.
+            let arbiter_is_ruled = controller_of(controller) != Ok(ControllerKind::Aimd);
+            if let Some(t) = demanding.filter(|_| arbiter_is_ruled) {
                 out.push(CheckOutcome {
                     program: format!("{}+arbiter", t.name),
                     result: checker.check_composed(
@@ -661,6 +697,30 @@ mod tests {
         let report = check_content("fig4.json", &content);
         let labels: Vec<&str> = report.checks.iter().map(|c| c.program.as_str()).collect();
         assert_eq!(labels, vec!["producer", "farm", "farm+pipeline"]);
+    }
+
+    #[test]
+    fn aimd_controller_drops_the_ruled_loops_from_the_check() {
+        // An AIMD farm stage runs no rule program: the farm and
+        // farm+pipeline compositions disappear while the producer's
+        // rule-driven loop stays checked.
+        let content = std::fs::read_to_string("../../scenarios/fig4.json").expect("fig4");
+        let aimd = content.replacen('{', "{\n  \"controller\": \"aimd\",", 1);
+        let report = check_content("fig4.json", &aimd);
+        assert!(report.parse_error.is_none(), "{:?}", report.parse_error);
+        let labels: Vec<&str> = report.checks.iter().map(|c| c.program.as_str()).collect();
+        assert_eq!(labels, vec!["producer"]);
+        // A pure AIMD farm scenario has no checkable loop at all, while
+        // the budget laws keep the full rule surface.
+        let fig3 = std::fs::read_to_string("../../scenarios/fig3.json").expect("fig3");
+        for (law, programs) in [("aimd", 0), ("retry_budget", 1), ("hedge", 1)] {
+            let cfg = fig3.replacen('{', &format!("{{\n  \"controller\": \"{law}\","), 1);
+            let report = check_content("fig3.json", &cfg);
+            assert_eq!(report.checks.len(), programs, "{law}");
+        }
+        // And an unknown law is a configuration error, not a panic.
+        let bad = fig3.replacen('{', "{\n  \"controller\": \"pid\",", 1);
+        assert!(check_content("fig3.json", &bad).parse_error.is_some());
     }
 
     #[test]

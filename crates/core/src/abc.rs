@@ -45,6 +45,10 @@ pub fn standard_schema() -> BeanSchema {
         .bean(beans::TENANT_QUEUE_DEPTH, BeanType::Count)
         .bean(beans::TENANT_SHARE, BeanType::Rate)
         .bean(beans::TENANT_THROUGHPUT, BeanType::Rate)
+        .bean(beans::RETRY_BUDGET_TOKENS, BeanType::Rate)
+        .bean(beans::HEDGES_LAUNCHED, BeanType::Count)
+        .bean(beans::HEDGE_WINS, BeanType::Count)
+        .bean(beans::AIMD_CEILING, BeanType::Rate)
         .bean(hier_beans::VIOL_NOT_ENOUGH, BeanType::Flag)
         .bean(hier_beans::VIOL_TOO_MUCH, BeanType::Flag)
         .bean(hier_beans::END_STREAM, BeanType::Flag)

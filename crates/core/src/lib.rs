@@ -38,6 +38,7 @@ pub mod abc;
 pub mod bs;
 pub mod concern;
 pub mod contract;
+pub mod controller;
 pub mod coord;
 pub mod events;
 pub mod hierarchy;
@@ -46,6 +47,10 @@ pub mod manager;
 pub use abc::{standard_schema, Abc, AbcError, ActuationOutcome, ManagerOp};
 pub use concern::Concern;
 pub use contract::Contract;
+pub use controller::{
+    build_controller, AimdController, BudgetedRuleController, Controller, ControllerKind,
+    RuleController,
+};
 pub use events::{EventKind, EventLog, EventRecord};
 pub use manager::{
     AmState, AutonomicManager, ManagerConfig, ManagerKind, RuleCheck, RuleLintError,

@@ -31,10 +31,11 @@
 use crate::abc::{Abc, AbcError, ActuationOutcome, ManagerOp};
 use crate::concern::Concern;
 use crate::contract::Contract;
+use crate::controller::{build_controller, Controller, ControllerKind};
 use crate::events::{EventKind, EventLog};
 use bskel_monitor::{SensorSnapshot, Time};
 use bskel_rules::stdlib::{self, hier_beans, viol};
-use bskel_rules::{op, Analyzer, OpCall, RuleEngine, RuleSet, WorkingMemory};
+use bskel_rules::{op, Analyzer, OpCall, RuleSet, WorkingMemory};
 use std::fmt;
 use std::sync::{Arc, Mutex};
 
@@ -251,6 +252,12 @@ pub struct ManagerConfig {
     /// (the default) skips it — exhaustive exploration costs more than a
     /// lint pass and belongs at deploy time, not in every unit test.
     pub model_check: Option<usize>,
+    /// The control law this manager runs (see
+    /// [`crate::controller::ControllerKind`]). Defaults to the rule
+    /// engine; `Aimd` replaces the scaling rules with a congestion-control
+    /// law, `RetryBudget`/`Hedge` wrap the rule program with a
+    /// retry-budget mirror (plant-side enforcement in `bskel_net`).
+    pub controller: ControllerKind,
 }
 
 impl ManagerConfig {
@@ -272,6 +279,7 @@ impl ManagerConfig {
             model_initial_setup: false,
             rule_check: RuleCheck::default(),
             model_check: None,
+            controller: ControllerKind::Rules,
         }
     }
 
@@ -306,7 +314,7 @@ pub struct AutonomicManager {
     cfg: ManagerConfig,
     state: AmState,
     contract: Contract,
-    engine: RuleEngine,
+    controller: Box<dyn Controller>,
     params: bskel_rules::ParamTable,
     abc: Box<dyn Abc>,
     log: EventLog,
@@ -353,11 +361,12 @@ impl AutonomicManager {
             ManagerKind::Tenant => stdlib::tenancy_rules(),
         };
         let source_rate = cfg.initial_source_rate;
+        let controller = build_controller(cfg.controller, rules);
         let mut m = Self {
             cfg,
             state: AmState::Active,
             contract: Contract::BestEffort,
-            engine: RuleEngine::new(rules),
+            controller,
             params: bskel_rules::ParamTable::new(),
             abc,
             log,
@@ -394,7 +403,7 @@ impl AutonomicManager {
     /// findings (unknown beans, unsatisfiable guards, undamped
     /// oscillation pairs, conflicting shadowing) reject the program.
     pub fn try_with_rules(mut self, rules: RuleSet) -> Result<Self, RuleLintError> {
-        self.engine = RuleEngine::new(rules);
+        self.controller.set_rules(rules);
         self.lint_rules(None, 0.0)?;
         Ok(self)
     }
@@ -412,8 +421,12 @@ impl AutonomicManager {
         if self.cfg.rule_check == RuleCheck::Off {
             return Ok(());
         }
+        // Laws without a rule program have nothing to lint or model-check.
+        let Some(rules) = self.controller.rules() else {
+            return Ok(());
+        };
         let analyzer = Analyzer::new(self.abc.bean_schema());
-        let mut diags = analyzer.analyze(self.engine.rules(), params, None);
+        let mut diags = analyzer.analyze(rules, params, None);
         for d in &diags {
             self.emit(
                 now,
@@ -444,7 +457,10 @@ impl AutonomicManager {
         let Some(k) = self.cfg.model_check else {
             return Vec::new();
         };
-        if self.engine.rules().rules().is_empty() {
+        let Some(rules) = self.controller.rules() else {
+            return Vec::new();
+        };
+        if rules.rules().is_empty() {
             return Vec::new();
         }
         let bound = params.unwrap_or(&self.params);
@@ -476,7 +492,7 @@ impl AutonomicManager {
         }
         let report = match ModelChecker::new(self.abc.bean_schema()).check(
             &self.cfg.name,
-            self.engine.rules(),
+            rules,
             bound,
             &spec,
         ) {
@@ -686,7 +702,13 @@ impl AutonomicManager {
                 Ok(ActuationOutcome::Refused { reason }) => format!("refused:{reason}"),
                 Err(e) => format!("error:{e}"),
             };
-            journal.actuation(now, &self.cfg.name, &op.to_string(), &outcome);
+            journal.actuation_by(
+                now,
+                &self.cfg.name,
+                &op.to_string(),
+                &outcome,
+                self.controller.name(),
+            );
         }
         result
     }
@@ -701,7 +723,21 @@ impl AutonomicManager {
             self.adopt_contract(c, now);
         }
 
-        let snap = self.abc.sense(now);
+        let mut snap = self.abc.sense(now);
+        // Controller-internal state (AIMD ceiling, budget-mirror tokens)
+        // rides the snapshot so both the journal and the working memory
+        // see it; plant-published budget tokens stay authoritative.
+        for (name, v) in self.controller.state_beans() {
+            match name {
+                bskel_monitor::snapshot::beans::AIMD_CEILING => snap.aimd_ceiling = v,
+                bskel_monitor::snapshot::beans::RETRY_BUDGET_TOKENS => {
+                    if snap.retry_budget_tokens == 0.0 {
+                        snap.retry_budget_tokens = v;
+                    }
+                }
+                _ => snap.extra.push((name.to_owned(), v)),
+            }
+        }
         // Ops plane: every sensed snapshot is journaled (when a journal
         // is attached to the log), making the control loop's full input
         // durable and the run replayable offline.
@@ -814,7 +850,7 @@ impl AutonomicManager {
         wm.insert_flag(hier_beans::VIOL_TOO_MUCH, viol_too_much);
         wm.insert_flag(hier_beans::END_STREAM, self.end_stream_seen);
 
-        let ops = match self.engine.cycle_ops(&wm, &self.params) {
+        let ops = match self.controller.decide(&snap, &wm, &self.params) {
             Ok(ops) => ops,
             Err(e) => {
                 // A broken rule program is a policy bug: surface it loudly

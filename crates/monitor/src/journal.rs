@@ -87,6 +87,10 @@ pub enum JournalEntry {
         /// The plant's response: `applied`, `noop`, `refused:<reason>`
         /// or `error:<message>`.
         outcome: String,
+        /// The control law that ordered the op (`rules`, `aimd`,
+        /// `retry_budget`, `hedge`). Journals written before this field
+        /// existed parse as `rules`.
+        controller: String,
     },
 }
 
@@ -206,11 +210,17 @@ impl Journal {
 
     /// Records an ordered actuation and the plant's response.
     pub fn actuation(&self, at: Time, manager: &str, op: &str, outcome: &str) {
+        self.actuation_by(at, manager, op, outcome, "rules");
+    }
+
+    /// Records an ordered actuation attributed to a specific control law.
+    pub fn actuation_by(&self, at: Time, manager: &str, op: &str, outcome: &str, controller: &str) {
         self.record(JournalEntry::Actuation {
             at,
             manager: manager.to_owned(),
             op: op.to_owned(),
             outcome: outcome.to_owned(),
+            controller: controller.to_owned(),
         });
     }
 
@@ -353,6 +363,7 @@ fn encode_record(out: &mut String, rec: &JournalRecord) {
             manager,
             op,
             outcome,
+            controller,
         } => {
             out.push_str(",\"t\":\"actuation\",\"at\":");
             encode_f64(out, *at);
@@ -362,6 +373,8 @@ fn encode_record(out: &mut String, rec: &JournalRecord) {
             encode_str(out, op);
             out.push_str(",\"outcome\":");
             encode_str(out, outcome);
+            out.push_str(",\"controller\":");
+            encode_str(out, controller);
         }
     }
     out.push('}');
@@ -515,6 +528,11 @@ fn parse_record(line: &str) -> Result<JournalRecord, String> {
             manager: v.str_of("manager")?.to_owned(),
             op: v.str_of("op")?.to_owned(),
             outcome: v.str_of("outcome")?.to_owned(),
+            controller: match v.get("controller") {
+                Some(Json::Str(s)) => s.clone(),
+                Some(Json::Null) | None => "rules".to_owned(),
+                Some(_) => return Err("controller is not a string".into()),
+            },
         },
         other => return Err(format!("unknown entry type {other:?}")),
     };

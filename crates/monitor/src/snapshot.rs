@@ -75,6 +75,16 @@ pub mod beans {
     pub const TENANT_SHARE: &str = "tenantShare";
     /// Tasks/s delivered to this tenant by the shared pool.
     pub const TENANT_THROUGHPUT: &str = "tenantThroughput";
+    /// Tokens left in the retry budget gating re-dispatch (speculation,
+    /// hedges, reconnect storms). 0.0 when no budget is configured.
+    pub const RETRY_BUDGET_TOKENS: &str = "retryBudgetTokens";
+    /// Cumulative hedged task dispatches (quantile-triggered duplicates).
+    pub const HEDGES_LAUNCHED: &str = "hedgesLaunched";
+    /// Cumulative hedged dispatches that beat the original to the result.
+    pub const HEDGE_WINS: &str = "hedgeWins";
+    /// The AIMD controller's current par-degree ceiling (0.0 when the
+    /// manager runs a non-AIMD control law).
+    pub const AIMD_CEILING: &str = "aimdCeiling";
 }
 
 /// A point-in-time reading of every sensor a skeleton ABC exposes.
@@ -131,6 +141,14 @@ pub struct SensorSnapshot {
     pub tenant_share: f64,
     /// Tasks/s delivered to this tenant by the shared pool.
     pub tenant_throughput: f64,
+    /// Tokens left in the retry budget (0.0 when no budget configured).
+    pub retry_budget_tokens: f64,
+    /// Cumulative hedged task dispatches.
+    pub hedges_launched: u64,
+    /// Cumulative hedged dispatches that won the race to the result.
+    pub hedge_wins: u64,
+    /// AIMD par-degree ceiling (0.0 under non-AIMD control laws).
+    pub aimd_ceiling: f64,
     /// Additional substrate-specific beans.
     pub extra: Vec<(String, f64)>,
 }
@@ -163,6 +181,10 @@ impl SensorSnapshot {
             tenant_queue_depth: 0,
             tenant_share: 1.0,
             tenant_throughput: 0.0,
+            retry_budget_tokens: 0.0,
+            hedges_launched: 0,
+            hedge_wins: 0,
+            aimd_ceiling: 0.0,
             extra: Vec::new(),
         }
     }
@@ -176,7 +198,7 @@ impl SensorSnapshot {
     /// Flattens the snapshot to `(bean name, value)` pairs for a rule
     /// engine's working memory. Booleans encode as 0.0/1.0.
     pub fn to_beans(&self) -> Vec<(String, f64)> {
-        let mut out = Vec::with_capacity(23 + self.extra.len());
+        let mut out = Vec::with_capacity(27 + self.extra.len());
         out.push((beans::ARRIVAL_RATE.to_owned(), self.arrival_rate));
         out.push((beans::DEPARTURE_RATE.to_owned(), self.departure_rate));
         out.push((beans::NUM_WORKERS.to_owned(), f64::from(self.num_workers)));
@@ -230,6 +252,16 @@ impl SensorSnapshot {
         ));
         out.push((beans::TENANT_SHARE.to_owned(), self.tenant_share));
         out.push((beans::TENANT_THROUGHPUT.to_owned(), self.tenant_throughput));
+        out.push((
+            beans::RETRY_BUDGET_TOKENS.to_owned(),
+            self.retry_budget_tokens,
+        ));
+        out.push((
+            beans::HEDGES_LAUNCHED.to_owned(),
+            self.hedges_launched as f64,
+        ));
+        out.push((beans::HEDGE_WINS.to_owned(), self.hedge_wins as f64));
+        out.push((beans::AIMD_CEILING.to_owned(), self.aimd_ceiling));
         out.extend(self.extra.iter().cloned());
         out
     }
@@ -318,6 +350,10 @@ mod tests {
             beans::TENANT_QUEUE_DEPTH,
             beans::TENANT_SHARE,
             beans::TENANT_THROUGHPUT,
+            beans::RETRY_BUDGET_TOKENS,
+            beans::HEDGES_LAUNCHED,
+            beans::HEDGE_WINS,
+            beans::AIMD_CEILING,
         ] {
             assert_eq!(
                 all.iter().filter(|(n, _)| n == name).count(),

@@ -104,9 +104,15 @@ const DISPATCH_BATCH: usize = 32;
 /// per wire batch; `SendQueue::write_to` then coalesces many chunks into
 /// one vectored syscall).
 const WIRE_BATCH: usize = 32;
-/// Most overdue tasks one slot may speculate per deadline sweep, so a
-/// stalled slot with a deep in-flight map cannot flood the survivors.
+/// Default for [`ResilienceConfig::spec_sweep_limit`]: most overdue tasks
+/// one slot may speculate per deadline sweep, so a stalled slot with a
+/// deep in-flight map cannot flood the survivors.
 const SPEC_SWEEP_LIMIT: usize = 16;
+/// Rolling enqueue-to-delivery latency samples kept for hedging.
+const LATENCY_WINDOW: usize = 512;
+/// Delivery samples required before the hedge quantile is trusted (a
+/// quantile over a handful of samples hedges on noise).
+const HEDGE_MIN_SAMPLES: usize = 32;
 /// Epoll token of the cross-thread waker eventfd (never a slot id).
 const WAKER_TOKEN: u64 = u64::MAX;
 /// Per-slot send-queue byte ceiling: the reactor stops encoding more
@@ -187,9 +193,53 @@ pub struct ResilienceConfig {
     /// speculatively re-executed on a second slot. `None` disables
     /// speculation entirely (the default).
     pub task_deadline: Option<Duration>,
+    /// Most overdue tasks one slot may re-dispatch per deadline sweep
+    /// (raised to ≥ 1 at build time). At runtime the retry budget, when
+    /// configured, supersedes this as the binding brake.
+    pub spec_sweep_limit: usize,
+    /// Token-bucket retry budget gating every re-dispatch path
+    /// (speculation, hedges, reconnect retries after a failure). `None`
+    /// (the default) leaves re-dispatch uncapped.
+    pub retry_budget: Option<RetryBudgetConfig>,
+    /// Hedged dispatch: an in-flight task older than this rolling
+    /// quantile of the enqueue-to-delivery latency distribution is
+    /// duplicated onto a second slot (first result wins, via the
+    /// speculation registry). `None` disables hedging (the default).
+    pub hedge_quantile: Option<f64>,
     /// Seed for the backoff jitter, so reconnect schedules replay
     /// exactly under a fixed seed.
     pub seed: u64,
+}
+
+/// Finagle-style retry budget: every delivered result deposits `ratio`
+/// tokens (capped), every re-dispatch withdraws one, and the bucket
+/// starts (and idles) at `min_tokens` so cold starts and long quiet
+/// periods still afford a little recovery work. Worker-loss recovery
+/// re-queues are *never* blocked by the budget — loss freedom outranks
+/// storm damping — but they are charged (down to zero), so a recovery
+/// storm still suppresses discretionary speculation afterwards.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryBudgetConfig {
+    /// Tokens deposited per successfully delivered result.
+    pub ratio: f64,
+    /// Bucket floor: tokens held when the pool has done no recent work.
+    pub min_tokens: f64,
+}
+
+impl RetryBudgetConfig {
+    fn sanitize(mut self) -> Self {
+        self.ratio = if self.ratio.is_finite() {
+            self.ratio.clamp(0.0, 10.0)
+        } else {
+            0.0
+        };
+        self.min_tokens = if self.min_tokens.is_finite() {
+            self.min_tokens.clamp(0.0, 1e6)
+        } else {
+            0.0
+        };
+        self
+    }
 }
 
 impl Default for ResilienceConfig {
@@ -200,6 +250,9 @@ impl Default for ResilienceConfig {
             breaker_threshold: 3,
             breaker_cooldown: Duration::from_millis(500),
             task_deadline: None,
+            spec_sweep_limit: SPEC_SWEEP_LIMIT,
+            retry_budget: None,
+            hedge_quantile: None,
             seed: 0xB5E7,
         }
     }
@@ -213,6 +266,12 @@ impl ResilienceConfig {
         self.breaker_threshold = self.breaker_threshold.max(1);
         self.breaker_cooldown = clamp_duration(self.breaker_cooldown);
         self.task_deadline = self.task_deadline.map(clamp_duration);
+        self.spec_sweep_limit = self.spec_sweep_limit.max(1);
+        self.retry_budget = self.retry_budget.map(RetryBudgetConfig::sanitize);
+        self.hedge_quantile = self
+            .hedge_quantile
+            .map(|q| if q.is_finite() { q } else { 0.95 })
+            .map(|q| q.clamp(0.01, 0.999));
         self
     }
 
@@ -329,11 +388,115 @@ struct InflightEntry {
 }
 
 /// A task being speculatively re-executed: every slot holding a copy,
-/// which one got the latest copy, and when.
+/// which one got the latest copy, and when. `hedged` records what
+/// triggered the first duplicate (quantile hedge vs deadline
+/// speculation), so a winning copy credits the right counter.
 struct SpecEntry {
     holders: Vec<(u64, Weak<SlotShared>)>,
     last_retry_slot: u64,
     retried_at: Instant,
+    hedged: bool,
+}
+
+/// The plant-side retry-budget token bucket (see [`RetryBudgetConfig`]).
+/// One mutexed f64: every path that touches it does a few arithmetic ops,
+/// and all callers are off the frame hot path except the per-result
+/// deposit (which is two loads and a store's worth of work under an
+/// uncontended lock).
+struct RetryBudget {
+    tokens: Mutex<f64>,
+    ratio: f64,
+    cap: f64,
+}
+
+impl RetryBudget {
+    fn new(cfg: RetryBudgetConfig) -> Self {
+        Self {
+            tokens: Mutex::new(cfg.min_tokens),
+            ratio: cfg.ratio,
+            // Ten idle floors of headroom (at least 10 tokens) bounds
+            // burst withdrawal after a long healthy stretch.
+            cap: (cfg.min_tokens * 10.0).max(10.0),
+        }
+    }
+
+    /// Credits one successfully delivered result.
+    fn deposit(&self, n: f64) {
+        let mut t = self.tokens.lock();
+        *t = (*t + self.ratio * n).min(self.cap);
+    }
+
+    /// Withdraws `n` tokens if the bucket holds them (discretionary
+    /// re-dispatch: speculation, hedges, reconnect retries).
+    fn try_charge(&self, n: f64) -> bool {
+        let mut t = self.tokens.lock();
+        if *t >= n {
+            *t -= n;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Withdraws `n` tokens unconditionally, flooring at zero (forced
+    /// re-dispatch: worker-loss recovery, which is never blocked).
+    fn charge_forced(&self, n: f64) {
+        let mut t = self.tokens.lock();
+        *t = (*t - n).max(0.0);
+    }
+
+    /// Returns `n` tokens after an aborted charge.
+    fn refund(&self, n: f64) {
+        let mut t = self.tokens.lock();
+        *t = (*t + n).min(self.cap);
+    }
+
+    fn tokens(&self) -> f64 {
+        *self.tokens.lock()
+    }
+}
+
+/// Rolling window of enqueue-to-delivery latencies (seconds) feeding the
+/// hedge trigger. A plain ring: the quantile is computed on demand by the
+/// deadline sweep (once per heartbeat period), not per sample.
+struct LatencyWindow {
+    samples: Vec<f64>,
+    next: usize,
+    filled: bool,
+}
+
+impl LatencyWindow {
+    fn new() -> Self {
+        Self {
+            samples: Vec::with_capacity(LATENCY_WINDOW),
+            next: 0,
+            filled: false,
+        }
+    }
+
+    fn record(&mut self, secs: f64) {
+        if self.filled {
+            self.samples[self.next] = secs;
+            self.next = (self.next + 1) % LATENCY_WINDOW;
+        } else {
+            self.samples.push(secs);
+            if self.samples.len() == LATENCY_WINDOW {
+                self.filled = true;
+            }
+        }
+    }
+
+    /// The `q`-quantile of the window, or `None` until enough samples
+    /// have accumulated to make hedging on it defensible.
+    fn quantile(&self, q: f64) -> Option<f64> {
+        if self.samples.len() < HEDGE_MIN_SAMPLES {
+            return None;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let idx = ((sorted.len() as f64 - 1.0) * q).round() as usize;
+        Some(sorted[idx.min(sorted.len() - 1)])
+    }
 }
 
 /// The speculation registry: the single source of truth that makes
@@ -463,6 +626,10 @@ struct PoolMetrics {
     workers_lost: AtomicU64,
     /// Speculative re-executions dispatched by the deadline sweep.
     tasks_retried: AtomicU64,
+    /// Hedged (quantile-triggered) duplicate dispatches.
+    hedges_launched: AtomicU64,
+    /// Hedged tasks whose duplicate copy resolved first.
+    hedge_wins: AtomicU64,
     /// Speculated tasks whose *retry copy* resolved first.
     spec_wins: AtomicU64,
     /// Late answers for already-resolved speculated tasks, dropped.
@@ -533,6 +700,11 @@ struct PoolShared<Out> {
     /// declared unreachable (builder-configurable, clamped non-zero).
     handshake_timeout: Duration,
     resilience: ResilienceConfig,
+    /// Plant-side retry budget, when configured (see `ResilienceConfig`).
+    budget: Option<RetryBudget>,
+    /// Delivery-latency window feeding the hedge quantile (only ever
+    /// written when hedging is configured).
+    latency: Mutex<LatencyWindow>,
     spec: Mutex<SpecRegistry>,
     /// Fast-out for the frame hot path: the reactor consults the
     /// speculation registry only after the first task has ever been
@@ -713,11 +885,20 @@ impl<Out: Send + 'static> PoolShared<Out> {
                 // `remove` guards against duplicates by construction: a
                 // result for an already-harvested (recovered) task is
                 // dropped rather than delivered twice.
-                let claimed = slot.inflight.lock().remove(&seq).is_some();
-                if claimed {
+                let entry = slot.inflight.lock().remove(&seq);
+                let claimed = entry.is_some();
+                if let Some(e) = entry {
                     slot.inflight_count.fetch_sub(1, Ordering::SeqCst);
+                    if self.resilience.hedge_quantile.is_some() {
+                        self.latency
+                            .lock()
+                            .record(e.sent_at.elapsed().as_secs_f64());
+                    }
                 }
                 if self.resolve_answer(slot, seq, claimed) {
+                    if let Some(b) = &self.budget {
+                        b.deposit(1.0);
+                    }
                     out.push((seq, (self.decode)(payload)));
                 }
             }
@@ -784,7 +965,11 @@ impl<Out: Send + 'static> PoolShared<Out> {
         if let Some(entry) = spec.active.remove(&seq) {
             spec.resolved.insert(seq);
             if claimed && slot.id == entry.last_retry_slot {
-                self.metrics.spec_wins.fetch_add(1, Ordering::SeqCst);
+                if entry.hedged {
+                    self.metrics.hedge_wins.fetch_add(1, Ordering::SeqCst);
+                } else {
+                    self.metrics.spec_wins.fetch_add(1, Ordering::SeqCst);
+                }
             }
             for (holder_id, holder) in entry.holders {
                 if holder_id == slot.id {
@@ -812,10 +997,28 @@ impl<Out: Send + 'static> PoolShared<Out> {
     /// One deadline sweep: re-executes overdue in-flight tasks on a
     /// second slot. Needs at least two live slots (speculating back onto
     /// the only slot that already holds the task is pointless), and is a
-    /// no-op unless a [`ResilienceConfig::task_deadline`] is configured.
+    /// no-op unless a [`ResilienceConfig::task_deadline`] or a hedge
+    /// quantile is configured.
+    ///
+    /// With hedging on, the effective deadline is the rolling latency
+    /// quantile (once enough deliveries have been observed): tasks in
+    /// the slow tail are duplicated long before any fixed deadline would
+    /// fire. Both triggers share the registry, the per-sweep cap and the
+    /// retry budget.
     fn deadline_sweep(&self) {
-        let Some(deadline) = self.resilience.task_deadline else {
-            return;
+        let quantile_deadline = self.resilience.hedge_quantile.and_then(|q| {
+            self.latency
+                .lock()
+                .quantile(q)
+                .map(|s| clamp_duration(Duration::from_secs_f64(s.max(1e-3))))
+        });
+        let (deadline, hedged) = match (quantile_deadline, self.resilience.task_deadline) {
+            // The tighter trigger wins; a quantile below the fixed
+            // deadline is a hedge, not a failure suspicion.
+            (Some(q), Some(f)) if q < f => (q, true),
+            (_, Some(f)) => (f, false),
+            (Some(q), None) => (q, true),
+            (None, None) => return,
         };
         let table = self.table.load();
         if table.len() < 2 {
@@ -832,12 +1035,12 @@ impl<Out: Send + 'static> PoolShared<Out> {
                 inflight
                     .iter()
                     .filter(|(_, e)| e.sent_at.elapsed() > deadline)
-                    .take(SPEC_SWEEP_LIMIT)
+                    .take(self.resilience.spec_sweep_limit)
                     .map(|(seq, e)| (*seq, e.item.clone()))
                     .collect()
             };
             for (seq, item) in overdue {
-                self.speculate(slot, seq, item, &table, deadline);
+                self.speculate(slot, seq, item, &table, deadline, hedged);
             }
         }
     }
@@ -853,6 +1056,7 @@ impl<Out: Send + 'static> PoolShared<Out> {
         item: Vec<u8>,
         table: &[Arc<SlotShared>],
         deadline: Duration,
+        hedged: bool,
     ) {
         use std::collections::hash_map::Entry;
         let mut spec = self.spec.lock();
@@ -880,9 +1084,21 @@ impl<Out: Send + 'static> PoolShared<Out> {
         let Some(target) = target else {
             return; // every live slot already holds a copy
         };
+        // Every discretionary duplicate — deadline speculation and hedge
+        // alike — costs one budget token; an exhausted budget is the
+        // storm brake.
+        if let Some(b) = &self.budget {
+            if !b.try_charge(1.0) {
+                return;
+            }
+        }
         let mut one = vec![Task { seq, item }];
         if !target.queue.push_batch(&mut one) {
-            return; // target raced into its death path; next sweep retries
+            // Target raced into its death path; next sweep retries.
+            if let Some(b) = &self.budget {
+                b.refund(1.0);
+            }
+            return;
         }
         match spec.active.entry(seq) {
             Entry::Occupied(mut o) => {
@@ -899,10 +1115,15 @@ impl<Out: Send + 'static> PoolShared<Out> {
                     ],
                     last_retry_slot: target.id,
                     retried_at: Instant::now(),
+                    hedged,
                 });
             }
         }
-        self.metrics.tasks_retried.fetch_add(1, Ordering::SeqCst);
+        if hedged {
+            self.metrics.hedges_launched.fetch_add(1, Ordering::SeqCst);
+        } else {
+            self.metrics.tasks_retried.fetch_add(1, Ordering::SeqCst);
+        }
     }
 
     // -- death & recovery ---------------------------------------------
@@ -937,6 +1158,12 @@ impl<Out: Send + 'static> PoolShared<Out> {
         leftover.extend(harvested);
         leftover.extend(slot.queue.close());
         let replayed = leftover.len();
+        // Recovery re-queues are charged but never blocked: loss freedom
+        // outranks the storm brake, and the drained bucket suppresses
+        // discretionary speculation while the survivors absorb the replay.
+        if let Some(b) = &self.budget {
+            b.charge_forced(replayed as f64);
+        }
         // The slot's completed work keeps counting toward the service
         // statistic.
         self.retired_slots.lock().push(Arc::clone(slot));
@@ -1081,6 +1308,14 @@ impl<Out: Send + 'static> PoolShared<Out> {
                 Err(e) => {
                     es.breaker.lock().on_failure(&self.resilience);
                     last_err = e;
+                    // Retrying after a failure is discretionary re-dispatch:
+                    // each further attempt costs a budget token, so a mass
+                    // outage cannot become a synchronized reconnect storm.
+                    if let Some(b) = &self.budget {
+                        if connected.len() < n as usize && !b.try_charge(1.0) {
+                            break;
+                        }
+                    }
                 }
             }
         }
@@ -1264,6 +1499,11 @@ impl<Out: Send + 'static> PoolShared<Out> {
         snap.reconnect_backoff_ms = backoff_ms;
         snap.tasks_retried = self.metrics.tasks_retried.load(Ordering::SeqCst);
         snap.speculative_wins = self.metrics.spec_wins.load(Ordering::SeqCst);
+        snap.hedges_launched = self.metrics.hedges_launched.load(Ordering::SeqCst);
+        snap.hedge_wins = self.metrics.hedge_wins.load(Ordering::SeqCst);
+        if let Some(b) = &self.budget {
+            snap.retry_budget_tokens = b.tokens();
+        }
         snap.reconfiguring =
             self.metrics.reconfiguring.load(Ordering::SeqCst) || self.metrics.in_blackout(now);
         let bits = self.metrics.last_arrival_bits.load(Ordering::Relaxed);
@@ -1608,7 +1848,9 @@ impl<Out: Send + 'static> Reactor<Out> {
         let now = Instant::now();
         self.wheel
             .arm(now + self.heartbeat_period, TimerKey::Heartbeat);
-        if self.shared.resilience.task_deadline.is_some() {
+        if self.shared.resilience.task_deadline.is_some()
+            || self.shared.resilience.hedge_quantile.is_some()
+        {
             self.wheel
                 .arm(now + self.heartbeat_period, TimerKey::SpecSweep);
         }
@@ -2105,6 +2347,27 @@ impl<In: Send + 'static, Out: Send + 'static> RemotePoolBuilder<In, Out> {
         self
     }
 
+    /// Most overdue tasks one slot may re-dispatch per deadline sweep
+    /// (raised to ≥ 1 at build time).
+    pub fn spec_sweep_limit(mut self, n: usize) -> Self {
+        self.resilience.spec_sweep_limit = n;
+        self
+    }
+
+    /// Enables the retry budget gating every re-dispatch path (see
+    /// [`RetryBudgetConfig`]).
+    pub fn retry_budget(mut self, ratio: f64, min_tokens: f64) -> Self {
+        self.resilience.retry_budget = Some(RetryBudgetConfig { ratio, min_tokens });
+        self
+    }
+
+    /// Enables hedged dispatch at the given rolling latency quantile
+    /// (e.g. `0.95`; clamped into `[0.01, 0.999]` at build time).
+    pub fn hedge_quantile(mut self, q: f64) -> Self {
+        self.resilience.hedge_quantile = Some(q);
+        self
+    }
+
     /// Connects the initial slots and starts the pool.
     ///
     /// Fails if no endpoint was registered or fewer than the requested
@@ -2157,6 +2420,8 @@ impl<In: Send + 'static, Out: Send + 'static> RemotePoolBuilder<In, Out> {
                 last_arrival_bits: AtomicU64::new(0),
                 workers_lost: AtomicU64::new(0),
                 tasks_retried: AtomicU64::new(0),
+                hedges_launched: AtomicU64::new(0),
+                hedge_wins: AtomicU64::new(0),
                 spec_wins: AtomicU64::new(0),
                 spec_dups: AtomicU64::new(0),
                 reactor_lag_us: AtomicU64::new(0),
@@ -2187,7 +2452,9 @@ impl<In: Send + 'static, Out: Send + 'static> RemotePoolBuilder<In, Out> {
             max_workers: self.max_workers,
             rate_window: self.rate_window,
             handshake_timeout,
+            budget: resilience.retry_budget.map(RetryBudget::new),
             resilience,
+            latency: Mutex::new(LatencyWindow::new()),
             spec: Mutex::new(SpecRegistry::default()),
             spec_touched: AtomicBool::new(false),
         });
@@ -2415,6 +2682,22 @@ impl<In: Send + 'static, Out: Send + 'static> RemoteWorkerPool<In, Out> {
         self.shared.open_circuits()
     }
 
+    /// Hedged (quantile-triggered) duplicate dispatches launched.
+    pub fn hedges_launched(&self) -> u64 {
+        self.shared.metrics.hedges_launched.load(Ordering::SeqCst)
+    }
+
+    /// Hedged tasks whose duplicate copy answered first.
+    pub fn hedge_wins(&self) -> u64 {
+        self.shared.metrics.hedge_wins.load(Ordering::SeqCst)
+    }
+
+    /// Tokens left in the retry budget, `None` when no budget is
+    /// configured.
+    pub fn retry_budget_tokens(&self) -> Option<f64> {
+        self.shared.budget.as_ref().map(RetryBudget::tokens)
+    }
+
     /// Accumulated secure-channel costs (zero for plain endpoints) — the
     /// measured counterpart of the simulator's `SslCostModel`.
     pub fn cost_report(&self) -> CostReport {
@@ -2493,5 +2776,171 @@ impl<In, Out> Drop for RemoteWorkerPool<In, Out> {
         let _ = self.shared.reactor_tx.send(ReactorCmd::Shutdown);
         self.shared.waker.wake();
         let _ = reactor.join();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // -- resilience-policy configuration (the sweep cap is policy, not a
+    //    magic constant) ------------------------------------------------
+
+    #[test]
+    fn spec_sweep_limit_defaults_and_is_configurable() {
+        assert_eq!(ResilienceConfig::default().spec_sweep_limit, 16);
+        let cfg = ResilienceConfig {
+            spec_sweep_limit: 3,
+            ..ResilienceConfig::default()
+        }
+        .sanitize();
+        assert_eq!(cfg.spec_sweep_limit, 3);
+        // A zero cap would silently disable recovery; sanitize floors it.
+        let cfg = ResilienceConfig {
+            spec_sweep_limit: 0,
+            ..ResilienceConfig::default()
+        }
+        .sanitize();
+        assert_eq!(cfg.spec_sweep_limit, 1);
+    }
+
+    #[test]
+    fn budget_and_hedge_config_sanitize() {
+        let cfg = ResilienceConfig {
+            retry_budget: Some(RetryBudgetConfig {
+                ratio: f64::NAN,
+                min_tokens: -3.0,
+            }),
+            hedge_quantile: Some(7.0),
+            ..ResilienceConfig::default()
+        }
+        .sanitize();
+        let b = cfg.retry_budget.unwrap();
+        assert_eq!(b.ratio, 0.0);
+        assert_eq!(b.min_tokens, 0.0);
+        assert!((cfg.hedge_quantile.unwrap() - 0.999).abs() < 1e-12);
+    }
+
+    // -- retry-budget token bucket --------------------------------------
+
+    #[test]
+    fn retry_budget_floors_deposits_and_forced_charges() {
+        let b = RetryBudget::new(RetryBudgetConfig {
+            ratio: 0.5,
+            min_tokens: 2.0,
+        });
+        assert!((b.tokens() - 2.0).abs() < 1e-12);
+        assert!(b.try_charge(1.0));
+        assert!(b.try_charge(1.0));
+        assert!(!b.try_charge(1.0)); // empty: discretionary work refused
+        b.charge_forced(5.0); // forced work floors at zero, never refuses
+        assert_eq!(b.tokens(), 0.0);
+        for _ in 0..1000 {
+            b.deposit(1.0);
+        }
+        assert!((b.tokens() - 20.0).abs() < 1e-12); // cap = 10 × floor
+    }
+
+    #[test]
+    fn zero_budget_refuses_all_discretionary_work() {
+        let b = RetryBudget::new(RetryBudgetConfig {
+            ratio: 0.0,
+            min_tokens: 0.0,
+        });
+        b.deposit(100.0);
+        assert!(!b.try_charge(1.0));
+    }
+
+    // -- hedging latency window -----------------------------------------
+
+    #[test]
+    fn latency_quantile_needs_min_samples_then_tracks_tail() {
+        let mut w = LatencyWindow::new();
+        for _ in 0..(HEDGE_MIN_SAMPLES - 1) {
+            w.record(0.010);
+        }
+        assert!(w.quantile(0.95).is_none());
+        w.record(0.010);
+        let q = w.quantile(0.95).unwrap();
+        assert!((q - 0.010).abs() < 1e-9);
+        // A slow tail pulls the p95 up without moving the median much.
+        for _ in 0..4 {
+            w.record(0.500);
+        }
+        assert!(w.quantile(0.95).unwrap() > 0.010);
+        assert!((w.quantile(0.50).unwrap() - 0.010).abs() < 1e-9);
+    }
+
+    #[test]
+    fn latency_window_wraps_at_capacity() {
+        let mut w = LatencyWindow::new();
+        for _ in 0..LATENCY_WINDOW {
+            w.record(1.0);
+        }
+        for _ in 0..LATENCY_WINDOW {
+            w.record(0.001);
+        }
+        // The old generation is fully evicted.
+        assert!(w.quantile(0.999).unwrap() < 0.01);
+    }
+
+    // -- decorrelated-jitter reconnect backoff (property test) ----------
+
+    /// Property: for any failure history, every backoff delay stays in
+    /// `[reconnect_base, reconnect_cap]`, and the whole schedule is a
+    /// deterministic function of the resilience seed.
+    #[test]
+    fn breaker_backoff_bounded_and_deterministic_per_seed() {
+        let cfg = ResilienceConfig {
+            reconnect_base: Duration::from_millis(20),
+            reconnect_cap: Duration::from_millis(700),
+            ..ResilienceConfig::default()
+        }
+        .sanitize();
+        for seed in [0u64, 1, 0xB5E7, 0xDEAD_BEEF, u64::MAX] {
+            let schedule = |s: u64| -> Vec<Duration> {
+                let mut b = Breaker::new(&cfg, s);
+                let mut out = Vec::new();
+                for i in 0..200 {
+                    b.on_failure(&cfg);
+                    out.push(b.backoff);
+                    // Interleave successes so the schedule also covers
+                    // post-reset growth, not just saturation at the cap.
+                    if i % 17 == 16 {
+                        b.on_success(&cfg);
+                    }
+                }
+                out
+            };
+            let a = schedule(seed);
+            for (i, d) in a.iter().enumerate() {
+                assert!(
+                    *d >= cfg.reconnect_base,
+                    "seed {seed}, step {i}: {d:?} fell below base {:?}",
+                    cfg.reconnect_base
+                );
+                assert!(
+                    *d <= cfg.reconnect_cap,
+                    "seed {seed}, step {i}: {d:?} exceeded cap {:?}",
+                    cfg.reconnect_cap
+                );
+            }
+            // Deterministic per seed: same seed, same schedule ...
+            assert_eq!(a, schedule(seed));
+        }
+        // ... and different seeds actually diverge (jitter is real).
+        let cfg2 = cfg.clone();
+        let mut b1 = Breaker::new(&cfg2, 1);
+        let mut b2 = Breaker::new(&cfg2, 2);
+        let mut diverged = false;
+        for _ in 0..50 {
+            b1.on_failure(&cfg2);
+            b2.on_failure(&cfg2);
+            if b1.backoff != b2.backoff {
+                diverged = true;
+                break;
+            }
+        }
+        assert!(diverged, "distinct seeds produced identical schedules");
     }
 }

@@ -27,6 +27,7 @@ use bskel_core::contract::Contract;
 use bskel_core::events::{EventKind, EventLog, EventRecord};
 use bskel_core::hierarchy;
 use bskel_core::manager::{AutonomicManager, ManagerConfig, ManagerKind};
+use bskel_core::ControllerKind;
 use bskel_monitor::SensorSnapshot;
 use bskel_workloads::ServiceDist;
 use rand::rngs::StdRng;
@@ -133,6 +134,10 @@ pub struct FarmScenario {
     pub migrate_min_gain: Option<f64>,
     /// Model-based initial parallelism setup (vs purely reactive ramp).
     pub model_initial_setup: bool,
+    /// The control law the farm manager runs (rules, AIMD, or a
+    /// budget-mirroring rule wrapper — see
+    /// [`bskel_core::ControllerKind`]).
+    pub controller: ControllerKind,
 }
 
 impl FarmScenario {
@@ -160,6 +165,7 @@ impl FarmScenario {
             ft_min_workers: None,
             migrate_min_gain: None,
             model_initial_setup: false,
+            controller: ControllerKind::Rules,
         })
     }
 
@@ -214,6 +220,7 @@ impl FarmScenario {
         cfg.control_period = self.tick;
         cfg.add_batch = self.add_batch;
         cfg.model_initial_setup = self.model_initial_setup;
+        cfg.controller = self.controller;
         let mut rules = bskel_rules::stdlib::farm_rules();
         let mut custom_rules = false;
         if let Some(ft_min) = self.ft_min_workers {
@@ -403,6 +410,12 @@ impl FarmScenarioBuilder {
         self
     }
 
+    /// Selects the farm manager's control law (default: the rule engine).
+    pub fn controller(mut self, kind: ControllerKind) -> Self {
+        self.0.controller = kind;
+        self
+    }
+
     /// Enables worker migration when the best free node is at least
     /// `min_gain` times faster than the slowest live worker.
     pub fn migrate_min_gain(mut self, min_gain: f64) -> Self {
@@ -482,6 +495,10 @@ pub struct PipelineScenario {
     pub rate_window: f64,
     /// Emitter dispatch policy.
     pub dispatch: Dispatch,
+    /// The control law run by the farm-stage manager (the hierarchy's
+    /// other managers always run rules — AIMD and budget mirroring are
+    /// worker-pool laws).
+    pub controller: ControllerKind,
 }
 
 impl PipelineScenario {
@@ -501,6 +518,7 @@ impl PipelineScenario {
             add_batch: 2,
             rate_window: 10.0,
             dispatch: Dispatch::ShortestQueue,
+            controller: ControllerKind::Rules,
         })
     }
 
@@ -544,6 +562,7 @@ impl PipelineScenario {
         let tick = self.tick;
         let add_batch = self.add_batch;
         let initial_rate = self.initial_rate;
+        let controller = self.controller;
         let mut hierarchy = {
             let state = Arc::clone(&state);
             hierarchy::build(
@@ -562,6 +581,9 @@ impl PipelineScenario {
                     cfg.control_period = tick;
                     cfg.add_batch = add_batch;
                     cfg.initial_source_rate = initial_rate;
+                    if cfg.kind == ManagerKind::Farm {
+                        cfg.controller = controller;
+                    }
                     cfg
                 },
             )
@@ -683,6 +705,12 @@ impl PipelineScenarioBuilder {
         self
     }
 
+    /// Selects the farm-stage manager's control law (default: rules).
+    pub fn controller(mut self, kind: ControllerKind) -> Self {
+        self.0.controller = kind;
+        self
+    }
+
     /// Finalises the scenario.
     pub fn build(self) -> PipelineScenario {
         self.0
@@ -739,6 +767,32 @@ mod tests {
             !outcome.events_of(&EventKind::AddWorker).is_empty(),
             "addWorker events present"
         );
+    }
+
+    #[test]
+    fn fig3_aimd_controller_also_reaches_contract() {
+        let outcome = FarmScenario::builder()
+            .controller(ControllerKind::Aimd)
+            .build()
+            .run(42);
+        // The AIMD law replaces the scaling rules yet must still honour
+        // the same SLA: grow until ≥ 0.6 task/s is delivered.
+        assert!(
+            outcome.final_snapshot.departure_rate >= 0.6 * 0.9,
+            "final throughput {}",
+            outcome.final_snapshot.departure_rate
+        );
+        assert!(outcome.time_to_contract.is_some());
+        assert!(
+            !outcome.events_of(&EventKind::AddWorker).is_empty(),
+            "AIMD issued ADD_EXECUTOR"
+        );
+        // Determinism is controller-independent.
+        let again = FarmScenario::builder()
+            .controller(ControllerKind::Aimd)
+            .build()
+            .run(42);
+        assert_eq!(outcome.trace, again.trace);
     }
 
     #[test]

@@ -18,7 +18,8 @@
 
 use crate::frontend::{FrontShared, TenantFrontEnd, TenantHandle};
 use bskel_core::{
-    Abc, AbcError, ActuationOutcome, AutonomicManager, EventLog, ManagerConfig, ManagerOp,
+    Abc, AbcError, ActuationOutcome, AutonomicManager, ControllerKind, EventLog, ManagerConfig,
+    ManagerOp,
 };
 use bskel_monitor::{SensorSnapshot, Time};
 use bskel_rules::stdlib::{self, params};
@@ -148,12 +149,53 @@ pub fn build_managers<In: Send + 'static, Out: Send + 'static>(
     log: EventLog,
     max_workers: u32,
 ) -> TenancyManagers {
+    build_managers_with(front, handles, log, max_workers, ControllerKind::Rules)
+}
+
+/// [`build_managers`] with an explicit control law for the **arbiter**
+/// (per-tenant managers always run the share rules — the tenant-level
+/// AIMD law is the front-end's in-flight cap adaptation, which is a
+/// plant mechanism, not a manager policy).
+///
+/// Under [`ControllerKind::Aimd`] the arbiter sizes the pool by AIMD
+/// over aggregate targets: the contract floor/ceiling parameters are the
+/// sums of the tenants' own floors/ceilings, so the pool grows while
+/// total delivery misses total promises. The budget-mirroring laws wrap
+/// the same `tenancy.rules` program the default runs.
+pub fn build_managers_with<In: Send + 'static, Out: Send + 'static>(
+    front: &TenantFrontEnd<In, Out>,
+    handles: &[&TenantHandle<In, Out>],
+    log: EventLog,
+    max_workers: u32,
+    controller: ControllerKind,
+) -> TenancyManagers {
     let mut cfg = ManagerConfig::tenant("AM_POOL");
     cfg.max_workers = max_workers;
+    cfg.controller = controller;
     cfg.extra_params = vec![
         (params::TENANT_MIN_SHARE.to_owned(), 1.0),
         (params::TENANT_MAX_SHARE.to_owned(), 1.0),
     ];
+    if controller == ControllerKind::Aimd {
+        let (floor, ceil) = handles.iter().fold((0.0_f64, 0.0_f64), |(lo, hi), h| {
+            match h.contract().throughput_bounds() {
+                Some((l, u)) => (lo + l, hi + if u.is_finite() { u } else { 0.0 }),
+                None => (lo, hi),
+            }
+        });
+        cfg.extra_params.extend([
+            (params::FARM_LOW_PERF_LEVEL.to_owned(), floor),
+            (
+                params::FARM_HIGH_PERF_LEVEL.to_owned(),
+                if ceil > floor { ceil } else { f64::INFINITY },
+            ),
+            (params::FARM_MIN_NUM_WORKERS.to_owned(), 1.0),
+            (
+                params::FARM_MAX_NUM_WORKERS.to_owned(),
+                f64::from(max_workers),
+            ),
+        ]);
+    }
     let arbiter = AutonomicManager::new(cfg, Box::new(front.arbiter_abc()), log.clone());
 
     let children = handles

@@ -139,6 +139,9 @@ struct TenantState<In, Out> {
     completions: RateEstimator,
     /// Admission-to-result latency of every completed task, seconds.
     latencies: Vec<f64>,
+    /// AIMD adaptation of this tenant's in-flight cap (see
+    /// [`crate::aimd::InFlightAimd`]).
+    cap_aimd: crate::aimd::InFlightAimd,
 }
 
 impl<In, Out> TenantState<In, Out> {
@@ -160,6 +163,7 @@ impl<In, Out> TenantState<In, Out> {
             arrivals: RateEstimator::new(RATE_WINDOW),
             completions: RateEstimator::new(RATE_WINDOW),
             latencies: Vec::new(),
+            cap_aimd: crate::aimd::InFlightAimd::new(),
         }
     }
 
@@ -304,6 +308,7 @@ impl<In, Out> FrontShared<In, Out> {
             share,
             arrival_rate: t.arrivals.rate(now),
             throughput: t.completions.rate(now),
+            cap_factor: t.cap_aimd.factor(),
         }
     }
 
@@ -346,6 +351,9 @@ pub struct TenantStats {
     pub arrival_rate: f64,
     /// Results per second over the rate window.
     pub throughput: f64,
+    /// AIMD multiplicative factor on the static in-flight cap (see
+    /// [`crate::aimd::InFlightAimd`]).
+    pub cap_factor: f64,
 }
 
 /// Final per-tenant accounting, from [`TenantFrontEnd::shutdown`].
@@ -746,16 +754,21 @@ fn dispatch<In, Out>(
         .map(|t| t.weight)
         .sum();
     let weights: Vec<f64> = inner.tenants.iter().map(|t| t.weight).collect();
+    let now = shared.clock.now();
     let caps: Vec<u64> = inner
         .tenants
-        .iter()
+        .iter_mut()
         .map(|t| {
             let share = if total_w > 0.0 {
                 t.weight / total_w
             } else {
                 0.0
             };
-            ((workers * share).round() as u64).max(1)
+            let base = ((workers * share).round() as u64).max(1);
+            // AIMD depth adaptation: grow the cap while the tenant is
+            // backlogged and clean, halve it the moment it sheds.
+            t.cap_aimd.observe(now, t.shed, !t.queue.is_empty());
+            t.cap_aimd.apply(base)
         })
         .collect();
     loop {

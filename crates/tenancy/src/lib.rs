@@ -37,12 +37,14 @@
 //! [`Contract`]: bskel_core::Contract
 
 pub mod abc;
+pub mod aimd;
 pub mod drr;
 pub mod frontend;
 pub mod server;
 pub mod spec;
 
-pub use abc::{build_managers, ArbiterAbc, TenancyManagers, TenantAbc};
+pub use abc::{build_managers, build_managers_with, ArbiterAbc, TenancyManagers, TenantAbc};
+pub use aimd::InFlightAimd;
 pub use drr::Drr;
 pub use frontend::{
     Admission, LossReason, TenancyReport, TenantFrontEnd, TenantHandle, TenantMsg, TenantReport,
